@@ -1,0 +1,179 @@
+package stringoram_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"stringoram"
+)
+
+// These tests exercise the repository's public facade exactly as an
+// importing project would, without touching internal packages directly.
+
+func TestPublicDefaultConfig(t *testing.T) {
+	cfg := stringoram.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.ORAM.Z != 8 || cfg.ORAM.Y != 8 {
+		t.Fatalf("unexpected defaults: %+v", cfg.ORAM)
+	}
+}
+
+func TestPublicFunctionalRing(t *testing.T) {
+	cfg := stringoram.ScaledConfig(10).ORAM
+	ring, err := stringoram.NewFunctionalRing(cfg, 1, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, cfg.BlockSize)
+	copy(data, "public api")
+	if _, err := ring.Write(9, data); err != nil {
+		t.Fatal(err)
+	}
+	got, ops, err := ring.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted data")
+	}
+	if len(ops) == 0 {
+		t.Fatal("no operations reported")
+	}
+}
+
+func TestPublicFunctionalRingRejectsBadKey(t *testing.T) {
+	cfg := stringoram.ScaledConfig(10).ORAM
+	if _, err := stringoram.NewFunctionalRing(cfg, 1, []byte("short")); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestPublicTimingRing(t *testing.T) {
+	ring, err := stringoram.NewRing(stringoram.ScaledConfig(10).ORAM, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := ring.Access(stringoram.BlockID(i), i%2 == 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ring.Stats().ReadPaths != 100 {
+		t.Fatalf("ReadPaths = %d", ring.Stats().ReadPaths)
+	}
+}
+
+func TestPublicPathORAM(t *testing.T) {
+	p, err := stringoram.NewPathORAM(4, 8, 64, 200, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Access(1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(stringoram.WorkloadSuite()) != 10 {
+		t.Fatal("suite size wrong")
+	}
+	p, err := stringoram.WorkloadByName("libq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := stringoram.GenerateTrace(p, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1000 {
+		t.Fatalf("trace length %d", len(tr.Records))
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	sys := stringoram.ScaledConfig(12)
+	p, _ := stringoram.WorkloadByName("black")
+	tr, err := stringoram.GenerateTrace(p, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stringoram.Simulate(sys, tr, stringoram.SimOptions{MaxAccesses: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.ORAMAccesses == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestPublicSchedulerKinds(t *testing.T) {
+	sys := stringoram.DefaultConfig().WithScheduler(stringoram.SchedProactiveBank)
+	if sys.Scheduler != stringoram.SchedProactiveBank {
+		t.Fatal("WithScheduler did not apply")
+	}
+}
+
+func TestPublicRecursiveRing(t *testing.T) {
+	cfg := stringoram.ScaledConfig(12).ORAM
+	cfg.Y = 0
+	rr, err := stringoram.NewRecursiveRing(stringoram.RecursiveConfig{
+		Data: cfg, Capacity: 2048, OnChipCutoff: 64,
+	}, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Levels() == 0 {
+		t.Fatal("expected at least one recursion level")
+	}
+	if _, _, err := rr.Access(100, true, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicStashOverflowSurfaces(t *testing.T) {
+	cfg := stringoram.ScaledConfig(8).ORAM
+	cfg.Levels = 3
+	cfg.TreeTopCacheLevels = 0
+	cfg.StashSize = 12
+	ring, err := stringoram.NewRing(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawOverflow bool
+	for i := 0; i < 300; i++ {
+		if _, _, err := ring.Access(stringoram.BlockID(i), true, nil); err != nil {
+			if errors.Is(err, stringoram.ErrStashOverflow) {
+				sawOverflow = true
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if !sawOverflow {
+		t.Fatal("overfull tiny tree never reported ErrStashOverflow")
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments in -short mode")
+	}
+	scale := stringoram.QuickScale()
+	scale.Accesses = 100
+	scale.TraceLen = 1500
+	scale.Levels = 10
+	r := stringoram.NewExperiments(scale)
+	tb, err := r.Fig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() == 0 {
+		t.Fatal("empty figure")
+	}
+}

@@ -1,0 +1,432 @@
+// Package stringoram_test holds the repository-level benchmark harness:
+// one testing.B benchmark per table/figure of the paper's evaluation.
+// Each benchmark regenerates its experiment at Quick scale and reports
+// the headline metric(s) via b.ReportMetric, so `go test -bench=.`
+// reproduces the whole evaluation and prints the paper-comparable
+// numbers. See EXPERIMENTS.md for paper-vs-measured records.
+package stringoram_test
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+	"stringoram/internal/experiments"
+	"stringoram/internal/oram"
+	"stringoram/internal/sched"
+	"stringoram/internal/sim"
+	"stringoram/internal/stats"
+	"stringoram/internal/trace"
+)
+
+// benchScale is deliberately small so the full bench suite runs in
+// minutes; use cmd/stringoram -scale full for publication-scale runs.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Accesses: 500, TraceLen: 5000, Levels: 14, Seed: 7}
+}
+
+// BenchmarkFig4SpaceUtilization regenerates Fig. 4 (analytic) and
+// reports Config-4's space efficiency (paper: 35.56%).
+func BenchmarkFig4SpaceUtilization(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig4()
+		c4 := config.ORAMForRing(config.Fig4Configs()[3])
+		eff = c4.SpaceEfficiency()
+	}
+	b.ReportMetric(eff*100, "config4-efficiency-%")
+}
+
+// BenchmarkTableVCBSpace regenerates Table V and reports the Y=8 total
+// footprint in GB (paper: 12 GB, down from 20 GB).
+func BenchmarkTableVCBSpace(b *testing.B) {
+	var gbTotal float64
+	for i := 0; i < b.N; i++ {
+		_ = experiments.TableV()
+		o := config.Default().WithCBRate(8).ORAM
+		gbTotal = float64(o.TotalCapacityBytes()) / float64(1<<30)
+	}
+	b.ReportMetric(gbTotal, "Y8-total-GB")
+}
+
+// BenchmarkFig5bRowBufferConflict regenerates Fig. 5(b) on one workload
+// and reports the read-path and eviction conflict rates (paper: ~0.74 vs
+// ~0.10).
+func BenchmarkFig5bRowBufferConflict(b *testing.B) {
+	scale := benchScale()
+	p, err := trace.ByName("libq")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var readRate, evictRate float64
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, scale.TraceLen, trace.SeedFor(scale.Seed, p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := experiments.SchemeBaseline.Apply(scaleSystem(scale), 8)
+		res, err := sim.Run(sys, tr, sim.Options{MaxAccesses: scale.Accesses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		readRate = res.Sched.ConflictRate(sched.TagReadPath)
+		evictRate = res.Sched.ConflictRate(sched.TagEvict)
+	}
+	b.ReportMetric(readRate, "readpath-conflict")
+	b.ReportMetric(evictRate, "evict-conflict")
+}
+
+// scaleSystem mirrors experiments.Scale.system for direct bench runs:
+// paper defaults at the bench's tree height, warm tree at 0.5.
+func scaleSystem(s experiments.Scale) config.System {
+	sys := config.Default()
+	if s.Levels > 0 {
+		sys.ORAM.Levels = s.Levels
+	}
+	sys.Seed = s.Seed
+	sys.ORAM.WarmFill = 0.5
+	return sys
+}
+
+// runScheme runs one (workload, scheme) simulation at bench scale.
+func runScheme(b *testing.B, scale experiments.Scale, workload string, scheme experiments.Scheme) *sim.Result {
+	b.Helper()
+	p, err := trace.ByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Generate(p, scale.TraceLen, trace.SeedFor(scale.Seed, p.Name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(scheme.Apply(scaleSystem(scale), 8), tr, sim.Options{MaxAccesses: scale.Accesses})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig10ExecutionTime regenerates Fig. 10's headline: normalized
+// execution time of CB, PB and ALL on a representative workload
+// (paper avg: CB 0.883, PB 0.811, ALL 0.700).
+func BenchmarkFig10ExecutionTime(b *testing.B) {
+	scale := benchScale()
+	var cb, pb, all float64
+	for i := 0; i < b.N; i++ {
+		base := runScheme(b, scale, "mummer", experiments.SchemeBaseline)
+		cb = float64(runScheme(b, scale, "mummer", experiments.SchemeCB).Cycles) / float64(base.Cycles)
+		pb = float64(runScheme(b, scale, "mummer", experiments.SchemePB).Cycles) / float64(base.Cycles)
+		all = float64(runScheme(b, scale, "mummer", experiments.SchemeAll).Cycles) / float64(base.Cycles)
+	}
+	b.ReportMetric(cb, "CB-norm-exec")
+	b.ReportMetric(pb, "PB-norm-exec")
+	b.ReportMetric(all, "ALL-norm-exec")
+}
+
+// BenchmarkFig11QueuingTime regenerates Fig. 11: normalized read/write
+// queuing time under ALL (paper avg: read 0.671, write 0.687).
+func BenchmarkFig11QueuingTime(b *testing.B) {
+	scale := benchScale()
+	var readN, writeN float64
+	for i := 0; i < b.N; i++ {
+		base := runScheme(b, scale, "libq", experiments.SchemeBaseline)
+		all := runScheme(b, scale, "libq", experiments.SchemeAll)
+		readN = all.Sched.AvgReadWait() / base.Sched.AvgReadWait()
+		writeN = all.Sched.AvgWriteWait() / base.Sched.AvgWriteWait()
+	}
+	b.ReportMetric(readN, "read-queue-norm")
+	b.ReportMetric(writeN, "write-queue-norm")
+}
+
+// BenchmarkFig12BankIdle regenerates Fig. 12: bank idle proportion under
+// baseline vs PB (paper: 0.660 -> 0.407) and the early PRE/ACT fractions
+// (paper: 0.593 / 0.569).
+func BenchmarkFig12BankIdle(b *testing.B) {
+	scale := benchScale()
+	var baseIdle, pbIdle, earlyPre, earlyAct float64
+	for i := 0; i < b.N; i++ {
+		base := runScheme(b, scale, "ferret", experiments.SchemeBaseline)
+		pb := runScheme(b, scale, "ferret", experiments.SchemePB)
+		baseIdle, pbIdle = base.BankIdle, pb.BankIdle
+		earlyPre, earlyAct = pb.Sched.EarlyPREFrac(), pb.Sched.EarlyACTFrac()
+	}
+	b.ReportMetric(baseIdle, "baseline-idle")
+	b.ReportMetric(pbIdle, "PB-idle")
+	b.ReportMetric(earlyPre, "early-PRE-frac")
+	b.ReportMetric(earlyAct, "early-ACT-frac")
+}
+
+// BenchmarkFig13CBSensitivity regenerates Fig. 13: green blocks fetched
+// per read path across CB rates (paper: 0.167, 0.652, 1.638, 3.255 for
+// Y=2,4,6,8).
+func BenchmarkFig13CBSensitivity(b *testing.B) {
+	scale := benchScale()
+	greens := make([]float64, 0, 4)
+	for i := 0; i < b.N; i++ {
+		greens = greens[:0]
+		p, _ := trace.ByName("swapt")
+		tr, err := trace.Generate(p, scale.TraceLen, trace.SeedFor(scale.Seed, p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, y := range []int{2, 4, 6, 8} {
+			res, err := sim.Run(scaleSystem(scale).WithCBRate(y), tr, sim.Options{MaxAccesses: scale.Accesses})
+			if err != nil {
+				b.Fatal(err)
+			}
+			greens = append(greens, res.ORAM.GreenPerReadPath())
+		}
+	}
+	for i, y := range []int{2, 4, 6, 8} {
+		b.ReportMetric(greens[i], "green-per-read-Y"+string(rune('0'+y)))
+	}
+}
+
+// BenchmarkFig14StashEviction regenerates Fig. 14's crossover: background
+// evictions appear with a small stash and an aggressive Y, and disappear
+// at stash 500 (paper: stash 200 + Y>=6 triggers; stash 500 + Y=8 none).
+func BenchmarkFig14StashEviction(b *testing.B) {
+	scale := benchScale()
+	var smallStashEvicts, bigStashEvicts float64
+	p := trace.Profile{
+		Name: "stashmix", MPKI: 20, WriteFrac: 0.4,
+		FootprintBytes: 32 << 20, StreamFrac: 0.2, ZipfTheta: 0.4, Streams: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, scale.TraceLen, trace.SeedFor(scale.Seed, p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		smallSys := scaleSystem(scale).WithCBRate(8).WithStashSize(16)
+		smallSys.ORAM.BackgroundEvictThreshold = 8
+		small, err := sim.Run(smallSys, tr, sim.Options{MaxAccesses: scale.Accesses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		big, err := sim.Run(scaleSystem(scale).WithCBRate(8).WithStashSize(500), tr,
+			sim.Options{MaxAccesses: scale.Accesses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		smallStashEvicts = float64(small.ORAM.BackgroundEvictions)
+		bigStashEvicts = float64(big.ORAM.BackgroundEvictions)
+	}
+	b.ReportMetric(smallStashEvicts, "bg-evicts-small-stash")
+	b.ReportMetric(bigStashEvicts, "bg-evicts-stash500")
+}
+
+// BenchmarkFig15StashOccupancy regenerates Fig. 15: the mean run-time
+// stash occupancy at Y=0 and Y=8 (occupancy grows with Y but stays
+// bounded).
+func BenchmarkFig15StashOccupancy(b *testing.B) {
+	scale := benchScale()
+	var mean0, mean8 float64
+	p := trace.Profile{
+		Name: "stashmix", MPKI: 20, WriteFrac: 0.4,
+		FootprintBytes: 32 << 20, StreamFrac: 0.2, ZipfTheta: 0.4, Streams: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, scale.TraceLen, trace.SeedFor(scale.Seed, p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		occMean := func(y int) float64 {
+			res, err := sim.Run(scaleSystem(scale).WithCBRate(y), tr,
+				sim.Options{MaxAccesses: scale.Accesses, CollectStash: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum := 0
+			for _, s := range res.StashSamples {
+				sum += s
+			}
+			if len(res.StashSamples) == 0 {
+				return 0
+			}
+			return float64(sum) / float64(len(res.StashSamples))
+		}
+		mean0, mean8 = occMean(0), occMean(8)
+	}
+	b.ReportMetric(mean0, "mean-occupancy-Y0")
+	b.ReportMetric(mean8, "mean-occupancy-Y8")
+}
+
+// BenchmarkRingVsPathBandwidth regenerates the introduction's bandwidth
+// comparison (paper: Ring cuts overall bandwidth 2.3-4x, online >60x with
+// the XOR technique).
+func BenchmarkRingVsPathBandwidth(b *testing.B) {
+	var overallRatio, onlineRatio float64
+	for i := 0; i < b.N; i++ {
+		path := oram.PathBandwidth(4, 24)
+		o := config.ORAMForRing(config.Fig4Configs()[2])
+		o.TreeTopCacheLevels = 0
+		ring := oram.RingBandwidth(o, true)
+		overallRatio = path.Overall / ring.Overall
+		onlineRatio = path.Online / ring.Online
+	}
+	b.ReportMetric(overallRatio, "overall-path/ring")
+	b.ReportMetric(onlineRatio, "online-path/ring")
+}
+
+// BenchmarkAblationLayout quantifies the subtree layout's benefit: the
+// execution-time ratio of the flat layout over the subtree layout
+// (the Fig. 5(a) motivation; expect > 1).
+func BenchmarkAblationLayout(b *testing.B) {
+	scale := benchScale()
+	p, _ := trace.ByName("ferret")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, scale.TraceLen, trace.SeedFor(scale.Seed, p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub, err := sim.Run(scaleSystem(scale), tr, sim.Options{MaxAccesses: scale.Accesses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat, err := sim.Run(scaleSystem(scale).WithLayout(config.LayoutFlat), tr, sim.Options{MaxAccesses: scale.Accesses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(flat.Cycles) / float64(sub.Cycles)
+	}
+	b.ReportMetric(ratio, "flat/subtree-exec")
+}
+
+// BenchmarkAblationPagePolicy compares open-page (the paper's
+// assumption) with an eager close-page policy under ORAM traffic.
+func BenchmarkAblationPagePolicy(b *testing.B) {
+	scale := benchScale()
+	p, _ := trace.ByName("ferret")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, scale.TraceLen, trace.SeedFor(scale.Seed, p.Name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		open, err := sim.Run(scaleSystem(scale), tr, sim.Options{MaxAccesses: scale.Accesses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		closed, err := sim.Run(scaleSystem(scale).WithPagePolicy(config.ClosePage), tr, sim.Options{MaxAccesses: scale.Accesses})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(closed.Cycles) / float64(open.Cycles)
+	}
+	b.ReportMetric(ratio, "close/open-exec")
+}
+
+// BenchmarkRecursivePositionMap measures the recursion extension's
+// overhead: read paths per logical access across the ORAM hierarchy
+// (flat on-chip map costs exactly 1).
+func BenchmarkRecursivePositionMap(b *testing.B) {
+	cfg := config.Default().ORAM
+	cfg.Levels = 14
+	cfg.TreeTopCacheLevels = 4
+	cfg.Y = 0
+	var perAccess float64
+	for i := 0; i < b.N; i++ {
+		rr, err := oram.NewRecursiveRing(oram.RecursiveConfig{
+			Data: cfg, Capacity: 1 << 15, OnChipCutoff: 256,
+		}, 7, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const n = 2000
+		for j := 0; j < n; j++ {
+			if _, _, err := rr.Access(oram.BlockID(j*37%(1<<15)), j%3 == 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rp, _ := rr.TotalOps()
+		perAccess = float64(rp) / n
+	}
+	b.ReportMetric(perAccess, "readpaths/access")
+}
+
+// BenchmarkXORDecode measures functional XOR-read throughput: accesses
+// per second with single-block online transfers and dummy cancellation.
+func BenchmarkXORDecode(b *testing.B) {
+	cfg := config.Default().ORAM
+	cfg.Levels = 12
+	cfg.TreeTopCacheLevels = 3
+	cfg.Y = 0
+	crypt, err := oram.NewCrypt([]byte("benchmark-key-16"), cfg.BlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := oram.NewRing(cfg, 1, &oram.Options{
+		Store: oram.NewMemStore(cfg.SlotsPerBucket()),
+		Crypt: crypt,
+		XOR:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, cfg.BlockSize)
+	for i := 0; i < 256; i++ {
+		if _, err := r.Write(oram.BlockID(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Read(oram.BlockID(i % 256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkORAMAccess measures raw protocol throughput (accesses/sec of
+// the Ring controller in timing-only mode), a library-level metric.
+func BenchmarkORAMAccess(b *testing.B) {
+	cfg := config.Default().ORAM
+	cfg.Levels = 16
+	r, err := oram.NewRing(cfg, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Access(oram.BlockID(i%4096), i%2 == 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedCyclesPerSecond measures simulator speed: simulated
+// memory cycles per wall-clock second on the default workload.
+func BenchmarkSimulatedCyclesPerSecond(b *testing.B) {
+	scale := benchScale()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res := runScheme(b, scale, "black", experiments.SchemeAll)
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles/run")
+}
+
+// TestBenchHarnessTablesRender sanity-checks that every experiment table
+// renders (the benches only exercise the numeric paths).
+func TestBenchHarnessTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test skipped in -short mode")
+	}
+	r := experiments.NewRunner(experiments.Scale{Accesses: 150, TraceLen: 2000, Levels: 12, Seed: 3})
+	tables := []*stats.Table{experiments.Fig4(), experiments.TableV()}
+	if tb, err := r.Fig5b(); err != nil {
+		t.Fatal(err)
+	} else {
+		tables = append(tables, tb)
+	}
+	if tb, err := r.Fig10(); err != nil {
+		t.Fatal(err)
+	} else {
+		tables = append(tables, tb)
+	}
+	for _, tb := range tables {
+		if tb.Rows() == 0 {
+			t.Fatalf("table %q empty", tb.Title)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"stringoram/internal/config"
+	"stringoram/internal/oram"
+	"stringoram/internal/rng"
+	"stringoram/internal/sim"
+	"stringoram/internal/trace"
+)
+
+// runVerify implements the "verify" subcommand: a fast end-to-end
+// self-check of the installed binary — functional data integrity,
+// protocol invariants, XOR-decode equivalence, checkpoint resume, and
+// simulator determinism. Exits non-zero on any failure.
+func runVerify(w io.Writer) error {
+	type check struct {
+		name string
+		fn   func() error
+	}
+	checks := []check{
+		{"functional round trip + invariants", verifyFunctional},
+		{"XOR decode equals direct read", verifyXOR},
+		{"checkpoint save/load resume", verifyCheckpoint},
+		{"simulator determinism", verifySimDeterminism},
+		{"scheduler schemes ordering", verifySchemes},
+	}
+	failed := 0
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			failed++
+			fmt.Fprintf(w, "FAIL  %-38s %v\n", c.name, err)
+		} else {
+			fmt.Fprintf(w, "ok    %s\n", c.name)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d checks failed", failed, len(checks))
+	}
+	fmt.Fprintln(w, "all checks passed")
+	return nil
+}
+
+func verifyCfg() config.ORAM {
+	cfg := config.Default().ORAM
+	cfg.Levels = 10
+	cfg.TreeTopCacheLevels = 3
+	return cfg
+}
+
+func verifyFunctional() error {
+	cfg := verifyCfg()
+	crypt, err := oram.NewCrypt([]byte("verify-key-16byt"), cfg.BlockSize)
+	if err != nil {
+		return err
+	}
+	r, err := oram.NewRing(cfg, 1, &oram.Options{
+		Store: oram.NewMemStore(cfg.SlotsPerBucket()), Crypt: crypt,
+	})
+	if err != nil {
+		return err
+	}
+	src := rng.New(2)
+	ref := make(map[oram.BlockID][]byte)
+	for i := 0; i < 600; i++ {
+		id := oram.BlockID(src.Intn(64))
+		if src.Bool() {
+			d := make([]byte, cfg.BlockSize)
+			for j := range d {
+				d[j] = byte(i + j)
+			}
+			if _, err := r.Write(id, d); err != nil {
+				return err
+			}
+			ref[id] = d
+		} else {
+			got, _, err := r.Read(id)
+			if err != nil {
+				return err
+			}
+			want := ref[id]
+			if want == nil {
+				want = make([]byte, cfg.BlockSize)
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("block %d corrupted at step %d", id, i)
+			}
+		}
+	}
+	return r.CheckInvariants()
+}
+
+func verifyXOR() error {
+	cfg := verifyCfg()
+	cfg.Y = 0
+	mk := func(xor bool) (*oram.Ring, error) {
+		crypt, err := oram.NewCrypt([]byte("verify-key-16byt"), cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		return oram.NewRing(cfg, 3, &oram.Options{
+			Store: oram.NewMemStore(cfg.SlotsPerBucket()), Crypt: crypt, XOR: xor,
+		})
+	}
+	a, err := mk(true)
+	if err != nil {
+		return err
+	}
+	b, err := mk(false)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 400; i++ {
+		id := oram.BlockID(i % 32)
+		write := i%3 == 0
+		var data []byte
+		if write {
+			data = make([]byte, cfg.BlockSize)
+			data[0] = byte(i)
+		}
+		da, _, errA := a.Access(id, write, data)
+		db, _, errB := b.Access(id, write, data)
+		if errA != nil || errB != nil {
+			return fmt.Errorf("%v / %v", errA, errB)
+		}
+		if !bytes.Equal(da, db) {
+			return fmt.Errorf("XOR and direct reads differ at step %d", i)
+		}
+	}
+	return nil
+}
+
+func verifyCheckpoint() error {
+	cfg := verifyCfg()
+	key := []byte("verify-key-16byt")
+	crypt, err := oram.NewCrypt(key, cfg.BlockSize)
+	if err != nil {
+		return err
+	}
+	r, err := oram.NewRing(cfg, 5, &oram.Options{
+		Store: oram.NewMemStore(cfg.SlotsPerBucket()), Crypt: crypt,
+	})
+	if err != nil {
+		return err
+	}
+	d := make([]byte, cfg.BlockSize)
+	copy(d, "checkpointed")
+	if _, err := r.Write(7, d); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		return err
+	}
+	r2, err := oram.Load(&buf, key)
+	if err != nil {
+		return err
+	}
+	got, _, err := r2.Read(7)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, d) {
+		return fmt.Errorf("restored ring returned wrong data")
+	}
+	return nil
+}
+
+func verifySimDeterminism() error {
+	p, err := trace.ByName("black")
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Generate(p, 1500, 9)
+	if err != nil {
+		return err
+	}
+	sys := config.Default()
+	sys.ORAM.Levels = 10
+	run := func() (int64, error) {
+		res, err := sim.Run(sys, tr, sim.Options{MaxAccesses: 100})
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+	a, err := run()
+	if err != nil {
+		return err
+	}
+	b, err := run()
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("two identical runs took %d and %d cycles", a, b)
+	}
+	return nil
+}
+
+func verifySchemes() error {
+	p, err := trace.ByName("libq")
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Generate(p, 2500, 11)
+	if err != nil {
+		return err
+	}
+	sys := config.Default()
+	sys.ORAM.Levels = 12
+	sys.ORAM.WarmFill = 0.5
+	cycles := func(s config.System) (int64, error) {
+		res, err := sim.Run(s, tr, sim.Options{MaxAccesses: 250})
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+	base, err := cycles(sys.WithCBRate(0))
+	if err != nil {
+		return err
+	}
+	all, err := cycles(sys.WithCBRate(8).WithScheduler(config.SchedProactiveBank))
+	if err != nil {
+		return err
+	}
+	if all >= base {
+		return fmt.Errorf("String ORAM (%d) not faster than baseline (%d)", all, base)
+	}
+	return nil
+}

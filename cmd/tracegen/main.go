@@ -1,0 +1,129 @@
+// Command tracegen generates and inspects the synthetic workload traces
+// used by the String ORAM experiments.
+//
+// Usage:
+//
+//	tracegen gen -workload libq -n 40000 -seed 7 -o libq.trc
+//	tracegen gen -all -n 40000 -dir traces/
+//	tracegen info libq.trc
+//	tracegen list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"stringoram/internal/stats"
+	"stringoram/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tracegen <gen|info|list> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		t := stats.NewTable("Workload suite (paper Table IV)",
+			"name", "MPKI", "write-frac", "footprint-MB", "stream-frac", "zipf")
+		for _, p := range trace.Suite() {
+			t.AddRowf(p.Name, p.MPKI, p.WriteFrac, float64(p.FootprintBytes)/(1<<20), p.StreamFrac, p.ZipfTheta)
+		}
+		return t.Render(w)
+	case "gen":
+		return genCmd(args[1:], w)
+	case "info":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: tracegen info <file>")
+		}
+		return infoCmd(args[1], w)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func genCmd(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	workload := fs.String("workload", "", "suite workload name")
+	all := fs.Bool("all", false, "generate the whole suite")
+	n := fs.Int("n", 40000, "records per trace")
+	seed := fs.Uint64("seed", 7, "base seed")
+	out := fs.String("o", "", "output file (single workload)")
+	dir := fs.String("dir", ".", "output directory (-all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	writeOne := func(p trace.Profile, path string) error {
+		tr, err := trace.Generate(p, *n, trace.SeedFor(*seed, p.Name))
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s: %d records, MPKI %.2f\n", path, len(tr.Records), tr.MPKI())
+		return f.Close()
+	}
+	if *all {
+		for _, p := range trace.Suite() {
+			if err := writeOne(p, filepath.Join(*dir, p.Name+".trc")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *workload == "" {
+		return fmt.Errorf("need -workload or -all")
+	}
+	p, err := trace.ByName(*workload)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = p.Name + ".trc"
+	}
+	return writeOne(p, path)
+}
+
+func infoCmd(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	reads, writes := 0, 0
+	distinct := make(map[uint64]bool)
+	for _, r := range tr.Records {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+		distinct[r.Addr] = true
+	}
+	fmt.Fprintf(w, "name:        %s\n", tr.Name)
+	fmt.Fprintf(w, "records:     %d (%d reads, %d writes)\n", len(tr.Records), reads, writes)
+	fmt.Fprintf(w, "instructions:%d\n", tr.Instructions())
+	fmt.Fprintf(w, "MPKI:        %.2f\n", tr.MPKI())
+	fmt.Fprintf(w, "footprint:   %d distinct blocks (%.1f MB)\n", len(distinct), float64(len(distinct))*64/(1<<20))
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNoArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no args accepted")
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"libq", "mummer", "24.07"} {
+		if !strings.Contains(buf.String(), w) {
+			t.Errorf("list output missing %q", w)
+		}
+	}
+}
+
+func TestGenAndInfoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "libq.trc")
+	var buf bytes.Buffer
+	if err := run([]string{"gen", "-workload", "libq", "-n", "2000", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	buf.Reset()
+	if err := run([]string{"info", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "libq") || !strings.Contains(out, "records:     2000") {
+		t.Fatalf("info output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "MPKI") {
+		t.Fatal("info output missing MPKI")
+	}
+}
+
+func TestGenAll(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"gen", "-all", "-n", "100", "-dir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("generated %d traces, want 10", len(entries))
+	}
+}
+
+func TestGenRequiresWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"gen"}, &buf); err == nil {
+		t.Fatal("gen without -workload or -all accepted")
+	}
+}
+
+func TestGenUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"gen", "-workload", "nosuch"}, &buf); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestInfoMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"info", "/nonexistent/file.trc"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestInfoGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.trc")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"info", path}, &buf); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Securekv: an oblivious key-value store built on the String ORAM
+// library. Keys hash to block IDs; values are fixed-size records sealed
+// inside ORAM blocks. An adversary watching the (simulated) memory bus
+// sees only fixed-shape ORAM transactions — never which key was touched,
+// whether it was a read or a write, or whether two operations addressed
+// the same key. This is the searchable-encryption-style scenario the
+// paper's introduction motivates.
+//
+// Run with: go run ./examples/securekv
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	"stringoram"
+)
+
+// kvStore maps string keys to short byte values through an ORAM.
+type kvStore struct {
+	ring      *stringoram.Ring
+	blockSize int
+}
+
+// newKVStore builds the store over a functional Ring ORAM.
+func newKVStore(levels int, key []byte) (*kvStore, error) {
+	cfg := stringoram.DefaultConfig().ORAM
+	cfg.Levels = levels
+	cfg.TreeTopCacheLevels = 3
+	ring, err := stringoram.NewFunctionalRing(cfg, 2026, key)
+	if err != nil {
+		return nil, err
+	}
+	return &kvStore{ring: ring, blockSize: cfg.BlockSize}, nil
+}
+
+// blockFor hashes a key into the ORAM's block-address space.
+func (kv *kvStore) blockFor(key string) stringoram.BlockID {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// Keep IDs positive and inside a 2^20-block namespace.
+	return stringoram.BlockID(h.Sum64() & 0xFFFFF)
+}
+
+// Put stores a value (at most blockSize-2 bytes) under a key.
+func (kv *kvStore) Put(key string, value []byte) error {
+	if len(value) > kv.blockSize-2 {
+		return fmt.Errorf("value too large: %d bytes", len(value))
+	}
+	block := make([]byte, kv.blockSize)
+	binary.LittleEndian.PutUint16(block[:2], uint16(len(value)))
+	copy(block[2:], value)
+	_, err := kv.ring.Write(kv.blockFor(key), block)
+	return err
+}
+
+// Get fetches the value stored under a key ("" for absent keys).
+func (kv *kvStore) Get(key string) ([]byte, error) {
+	block, _, err := kv.ring.Read(kv.blockFor(key))
+	if err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint16(block[:2])
+	if int(n) > kv.blockSize-2 {
+		return nil, fmt.Errorf("corrupt record for %q", key)
+	}
+	return block[2 : 2+n], nil
+}
+
+func main() {
+	kv, err := newKVStore(13, []byte("kv-demo-key-16b!"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	patients := map[string]string{
+		"patient/1001": "diagnosis=hypertension",
+		"patient/1002": "diagnosis=diabetes",
+		"patient/1003": "diagnosis=asthma",
+		"patient/1004": "diagnosis=migraine",
+	}
+	for k, v := range patients {
+		if err := kv.Put(k, []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Access one record repeatedly — the classic pattern-leakage case:
+	// without ORAM, an observer learns that patient/1002's record is
+	// "hot". With ORAM, each access touches a fresh random path.
+	for i := 0; i < 5; i++ {
+		v, err := kv.Get("patient/1002")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("patient/1002 -> %s\n", v)
+		}
+	}
+
+	if v, err := kv.Get("patient/9999"); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("patient/9999 -> %q (absent keys return empty, with identical bus behaviour)\n", v)
+	}
+
+	s := kv.ring.Stats()
+	fmt.Printf("\nafter %d logical requests the bus saw:\n", s.Reads+s.Writes)
+	fmt.Printf("  %d read-path transactions (1 block/bucket/level)\n", s.ReadPaths)
+	fmt.Printf("  %d eviction transactions (every A=%d accesses, deterministic)\n",
+		s.EvictPaths, kv.ring.Config().A)
+	fmt.Printf("  %d early reshuffles, %d green-block fetches\n", s.EarlyReshuffles, s.GreenFetches)
+	fmt.Println("every transaction has a fixed, data-independent shape — the 'hot' record is invisible")
+}

@@ -1,0 +1,3 @@
+module stringoram
+
+go 1.22

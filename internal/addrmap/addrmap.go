@@ -1,0 +1,177 @@
+// Package addrmap maps ORAM tree slots to physical DRAM coordinates.
+//
+// Two stages compose:
+//
+//  1. The subtree layout (Ren et al. [19], the paper's Fig. 5a): the tree
+//     is cut into layers of h levels; each h-level subtree's buckets are
+//     stored contiguously, with h chosen as the largest height whose
+//     subtree fits in one row buffer. Full-path operations then touch few
+//     rows, maximizing row-buffer locality under the open-page policy.
+//  2. Bit slicing of the physical block address into DRAM coordinates in
+//     the paper's Table II order "row:bank:column:rank:channel:offset"
+//     (most-significant first). Offset bits address bytes inside a block
+//     and are below block granularity, so the mapper works in units of
+//     blocks: channel bits are least significant, giving channel-level
+//     parallelism between adjacent blocks.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"stringoram/internal/config"
+)
+
+// Coord locates one block in the DRAM organization.
+type Coord struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// GlobalBank flattens the coordinate to a unique bank index in
+// [0, channels*ranks*banks).
+func (c Coord) GlobalBank(d config.DRAM) int {
+	return (c.Channel*d.Ranks+c.Rank)*d.Banks + c.Bank
+}
+
+// Mapper translates (bucket, slot) pairs to physical block addresses and
+// DRAM coordinates for one fixed ORAM/DRAM configuration.
+type Mapper struct {
+	slotsPerBucket int
+	levels         int // total tree levels
+	h              int // subtree height in levels
+
+	// Per-layer geometry. Layer k spans tree levels [k*h, min((k+1)*h, levels)).
+	layerStartBlock []int64 // physical block where the layer's subtrees begin
+	subtreeBuckets  []int64 // buckets per subtree in this layer
+	totalBlocks     int64
+
+	// Flat mode: heap-order addressing instead of subtree grouping.
+	flat bool
+
+	// DRAM slicing.
+	chanBits, rankBits, colBits, bankBits, rowBits int
+	dram                                           config.DRAM
+}
+
+// New builds a subtree-layout mapper; see NewLayout for the flat variant.
+func New(o config.ORAM, d config.DRAM) (*Mapper, error) {
+	return NewLayout(o, d, config.LayoutSubtree)
+}
+
+// NewLayout builds a mapper with the chosen layout. For the subtree
+// layout the subtree height is the largest h for which one subtree
+// (2^h - 1 buckets of Z+S-Y slots) fits in a single DRAM row of one
+// channel; h is at least 1 even when a single bucket overflows a row.
+// The flat layout stores buckets in plain heap order (the ablation
+// baseline the subtree layout is measured against).
+func NewLayout(o config.ORAM, d config.DRAM, kind config.LayoutKind) (*Mapper, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	slots := o.SlotsPerBucket()
+	h := 1
+	for (int64(1)<<uint(h+1))-1 <= int64(d.Columns)/int64(slots) {
+		h++
+	}
+
+	m := &Mapper{
+		slotsPerBucket: slots,
+		levels:         o.Levels,
+		h:              h,
+		flat:           kind == config.LayoutFlat,
+		chanBits:       bits.TrailingZeros(uint(d.Channels)),
+		rankBits:       bits.TrailingZeros(uint(d.Ranks)),
+		colBits:        bits.TrailingZeros(uint(d.Columns)),
+		bankBits:       bits.TrailingZeros(uint(d.Banks)),
+		rowBits:        bits.TrailingZeros(uint(d.Rows)),
+		dram:           d,
+	}
+
+	layers := (o.Levels + h - 1) / h
+	m.layerStartBlock = make([]int64, layers)
+	m.subtreeBuckets = make([]int64, layers)
+	var cursor int64
+	for k := 0; k < layers; k++ {
+		depth := h
+		if rem := o.Levels - k*h; rem < h {
+			depth = rem
+		}
+		m.layerStartBlock[k] = cursor
+		m.subtreeBuckets[k] = (int64(1) << uint(depth)) - 1
+		numSubtrees := int64(1) << uint(k*h)
+		cursor += numSubtrees * m.subtreeBuckets[k] * int64(slots)
+	}
+	m.totalBlocks = cursor
+
+	capBlocks := d.CapacityBytes(o.BlockSize) / int64(o.BlockSize)
+	if m.totalBlocks > capBlocks {
+		return nil, fmt.Errorf("addrmap: tree needs %d blocks but DRAM holds %d", m.totalBlocks, capBlocks)
+	}
+	return m, nil
+}
+
+// SubtreeHeight returns the chosen subtree height in levels.
+func (m *Mapper) SubtreeHeight() int { return m.h }
+
+// TotalBlocks returns the number of physical block addresses the tree
+// occupies.
+func (m *Mapper) TotalBlocks() int64 { return m.totalBlocks }
+
+// bucketLevel returns (level, in-level index) of a heap-order bucket.
+func bucketLevel(bucket int64) (int, int64) {
+	level := 63 - bits.LeadingZeros64(uint64(bucket+1))
+	return level, bucket - ((int64(1) << uint(level)) - 1)
+}
+
+// BlockAddr returns the physical block address of a bucket slot under the
+// subtree layout.
+func (m *Mapper) BlockAddr(bucket int64, slot int) int64 {
+	if slot < 0 || slot >= m.slotsPerBucket {
+		panic(fmt.Sprintf("addrmap: slot %d out of range [0,%d)", slot, m.slotsPerBucket))
+	}
+	level, inLevel := bucketLevel(bucket)
+	if level >= m.levels {
+		panic(fmt.Sprintf("addrmap: bucket %d beyond level %d", bucket, m.levels-1))
+	}
+	if m.flat {
+		return bucket*int64(m.slotsPerBucket) + int64(slot)
+	}
+	layer := level / m.h
+	localLevel := level - layer*m.h
+	subtree := inLevel >> uint(localLevel)
+	localInLevel := inLevel & ((int64(1) << uint(localLevel)) - 1)
+	localHeap := (int64(1) << uint(localLevel)) - 1 + localInLevel
+
+	base := m.layerStartBlock[layer] +
+		subtree*m.subtreeBuckets[layer]*int64(m.slotsPerBucket)
+	return base + localHeap*int64(m.slotsPerBucket) + int64(slot)
+}
+
+// Coord slices a physical block address into DRAM coordinates, with
+// channel bits least significant (row:bank:column:rank:channel order).
+func (m *Mapper) Coord(blockAddr int64) Coord {
+	a := blockAddr
+	var c Coord
+	c.Channel = int(a & (int64(m.dram.Channels) - 1))
+	a >>= uint(m.chanBits)
+	c.Rank = int(a & (int64(m.dram.Ranks) - 1))
+	a >>= uint(m.rankBits)
+	c.Col = int(a & (int64(m.dram.Columns) - 1))
+	a >>= uint(m.colBits)
+	c.Bank = int(a & (int64(m.dram.Banks) - 1))
+	a >>= uint(m.bankBits)
+	c.Row = int(a & (int64(m.dram.Rows) - 1))
+	return c
+}
+
+// MapAccess composes BlockAddr and Coord.
+func (m *Mapper) MapAccess(bucket int64, slot int) Coord {
+	return m.Coord(m.BlockAddr(bucket, slot))
+}

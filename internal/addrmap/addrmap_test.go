@@ -1,0 +1,259 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stringoram/internal/config"
+	"stringoram/internal/oram"
+)
+
+func smallSystem() (config.ORAM, config.DRAM) {
+	s := config.ScaledDefault(10)
+	return s.ORAM, s.DRAM
+}
+
+func TestNewDefault(t *testing.T) {
+	s := config.Default()
+	m, err := New(s.ORAM, s.DRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default: 12 slots/bucket, 128 columns => subtrees of 2^h-1 <= 10
+	// buckets => h = 3 (7 buckets, 84 blocks per subtree).
+	if m.SubtreeHeight() != 3 {
+		t.Errorf("subtree height = %d, want 3", m.SubtreeHeight())
+	}
+	// The tree must address exactly Buckets * slots blocks.
+	want := s.ORAM.Buckets() * int64(s.ORAM.SlotsPerBucket())
+	if m.TotalBlocks() != want {
+		t.Errorf("TotalBlocks = %d, want %d", m.TotalBlocks(), want)
+	}
+}
+
+func TestSubtreeHeightForPathORAMStyleBucket(t *testing.T) {
+	o, d := smallSystem()
+	o.Y = 0 // 20 slots/bucket, 128 cols => 2^h-1 <= 6 => h=2
+	m, err := New(o, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SubtreeHeight() != 2 {
+		t.Errorf("subtree height = %d, want 2", m.SubtreeHeight())
+	}
+}
+
+func TestBlockAddrBijective(t *testing.T) {
+	o, d := smallSystem()
+	m, err := New(o, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	tr := oram.NewTree(o.Levels)
+	for b := int64(0); b < tr.Buckets(); b++ {
+		for s := 0; s < o.SlotsPerBucket(); s++ {
+			a := m.BlockAddr(b, s)
+			if a < 0 || a >= m.TotalBlocks() {
+				t.Fatalf("bucket %d slot %d -> addr %d out of [0,%d)", b, s, a, m.TotalBlocks())
+			}
+			if seen[a] {
+				t.Fatalf("address %d assigned twice (bucket %d slot %d)", a, b, s)
+			}
+			seen[a] = true
+		}
+	}
+	if int64(len(seen)) != m.TotalBlocks() {
+		t.Fatalf("%d addresses used, want %d (layout must be dense)", len(seen), m.TotalBlocks())
+	}
+}
+
+func TestBucketSlotsContiguous(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	tr := oram.NewTree(o.Levels)
+	for b := int64(0); b < tr.Buckets(); b += 7 {
+		base := m.BlockAddr(b, 0)
+		for s := 1; s < o.SlotsPerBucket(); s++ {
+			if m.BlockAddr(b, s) != base+int64(s) {
+				t.Fatalf("bucket %d slots not contiguous", b)
+			}
+		}
+	}
+}
+
+// TestSubtreeContiguous verifies the defining property of the subtree
+// layout: all buckets of one h-level subtree occupy a contiguous block
+// range.
+func TestSubtreeContiguous(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	h := m.SubtreeHeight()
+	tr := oram.NewTree(o.Levels)
+	slots := int64(o.SlotsPerBucket())
+
+	// Walk the subtree rooted at the bucket at level h, in-level 1
+	// (an interior, non-root subtree) and collect its addresses.
+	rootLevel := h
+	rootInLevel := int64(1)
+	root := (int64(1) << uint(rootLevel)) - 1 + rootInLevel
+	var addrs []int64
+	var walk func(b int64, depth int)
+	walk = func(b int64, depth int) {
+		if depth >= h || b >= tr.Buckets() {
+			return
+		}
+		for s := 0; s < int(slots); s++ {
+			addrs = append(addrs, m.BlockAddr(b, s))
+		}
+		walk(2*b+1, depth+1)
+		walk(2*b+2, depth+1)
+	}
+	walk(root, 0)
+
+	lo, hi := addrs[0], addrs[0]
+	for _, a := range addrs {
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	if hi-lo+1 != int64(len(addrs)) {
+		t.Fatalf("subtree spans [%d,%d] = %d blocks but has %d slots; not contiguous",
+			lo, hi, hi-lo+1, len(addrs))
+	}
+}
+
+// TestFullPathTouchesFewRows checks the layout's purpose: a full-path
+// access (all slots of every bucket on a path) touches about
+// levels/h distinct rows per channel, far fewer than one per bucket.
+func TestFullPathTouchesFewRows(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	tr := oram.NewTree(o.Levels)
+
+	rows := make(map[[3]int]bool) // (channel, bank, row)
+	path := tr.Path(0, nil)
+	for _, b := range path {
+		for s := 0; s < o.SlotsPerBucket(); s++ {
+			c := m.MapAccess(b, s)
+			rows[[3]int{c.Channel, c.Bank, c.Row}] = true
+		}
+	}
+	perChannel := float64(len(rows)) / float64(d.Channels)
+	layers := float64((o.Levels + m.SubtreeHeight() - 1) / m.SubtreeHeight())
+	if perChannel > layers+2 {
+		t.Fatalf("full path opened %.1f rows/channel; subtree layout should keep it near %.0f", perChannel, layers)
+	}
+}
+
+func TestCoordRoundTripWithinRange(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	err := quick.Check(func(raw uint32) bool {
+		a := int64(raw) % m.TotalBlocks()
+		c := m.Coord(a)
+		return c.Channel >= 0 && c.Channel < d.Channels &&
+			c.Rank >= 0 && c.Rank < d.Ranks &&
+			c.Bank >= 0 && c.Bank < d.Banks &&
+			c.Row >= 0 && c.Row < d.Rows &&
+			c.Col >= 0 && c.Col < d.Columns
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordDistinctForDistinctAddrs(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	seen := make(map[Coord]int64)
+	for a := int64(0); a < 4096 && a < m.TotalBlocks(); a++ {
+		c := m.Coord(a)
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("addresses %d and %d share coordinate %+v", prev, a, c)
+		}
+		seen[c] = a
+	}
+}
+
+func TestChannelBitsAreLSB(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	// Adjacent block addresses must land on different channels
+	// (channel-level parallelism between consecutive blocks).
+	for a := int64(0); a < 16; a++ {
+		c := m.Coord(a)
+		if c.Channel != int(a)%d.Channels {
+			t.Fatalf("addr %d -> channel %d, want %d", a, c.Channel, int(a)%d.Channels)
+		}
+	}
+}
+
+func TestGlobalBankUnique(t *testing.T) {
+	d := config.Default().DRAM
+	seen := make(map[int]bool)
+	for ch := 0; ch < d.Channels; ch++ {
+		for r := 0; r < d.Ranks; r++ {
+			for b := 0; b < d.Banks; b++ {
+				g := Coord{Channel: ch, Rank: r, Bank: b}.GlobalBank(d)
+				if g < 0 || g >= d.TotalBanks() {
+					t.Fatalf("GlobalBank out of range: %d", g)
+				}
+				if seen[g] {
+					t.Fatalf("duplicate global bank %d", g)
+				}
+				seen[g] = true
+			}
+		}
+	}
+}
+
+func TestSlotOutOfRangePanics(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.BlockAddr(0, o.SlotsPerBucket())
+}
+
+func TestBucketBeyondTreePanics(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := New(o, d)
+	tr := oram.NewTree(o.Levels)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.BlockAddr(tr.Buckets(), 0)
+}
+
+func TestNewRejectsTooSmallDRAM(t *testing.T) {
+	o, d := smallSystem()
+	// 4 channels x 8 banks x 2 rows x 128 cols = 8192 blocks, below the
+	// 1023-bucket x 12-slot = 12276-block tree.
+	d.Rows = 2
+	if _, err := New(o, d); err == nil {
+		t.Fatal("accepted a DRAM too small for the tree")
+	}
+}
+
+func TestNewRejectsInvalidConfigs(t *testing.T) {
+	o, d := smallSystem()
+	bad := o
+	bad.Z = 0
+	if _, err := New(bad, d); err == nil {
+		t.Fatal("accepted invalid ORAM config")
+	}
+	badD := d
+	badD.Channels = 0
+	if _, err := New(o, badD); err == nil {
+		t.Fatal("accepted invalid DRAM config")
+	}
+}

@@ -1,0 +1,36 @@
+package addrmap
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+)
+
+// BenchmarkMapAccess measures the per-access mapping cost (subtree
+// layout + bit slicing), which sits on the simulator's hot path.
+func BenchmarkMapAccess(b *testing.B) {
+	s := config.Default()
+	m, err := New(s.ORAM, s.DRAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buckets := (int64(1) << uint(s.ORAM.Levels)) - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.MapAccess(int64(i)%buckets, i%s.ORAM.SlotsPerBucket())
+	}
+}
+
+// BenchmarkMapAccessFlat compares the flat layout's mapping cost.
+func BenchmarkMapAccessFlat(b *testing.B) {
+	s := config.Default()
+	m, err := NewLayout(s.ORAM, s.DRAM, config.LayoutFlat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buckets := (int64(1) << uint(s.ORAM.Levels)) - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.MapAccess(int64(i)%buckets, i%s.ORAM.SlotsPerBucket())
+	}
+}

@@ -1,0 +1,84 @@
+package addrmap
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+	"stringoram/internal/oram"
+)
+
+func TestFlatLayoutBijective(t *testing.T) {
+	o, d := smallSystem()
+	m, err := NewLayout(o, d, config.LayoutFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	tr := oram.NewTree(o.Levels)
+	for b := int64(0); b < tr.Buckets(); b++ {
+		for s := 0; s < o.SlotsPerBucket(); s++ {
+			a := m.BlockAddr(b, s)
+			if a < 0 || a >= m.TotalBlocks() {
+				t.Fatalf("flat addr %d out of range", a)
+			}
+			if seen[a] {
+				t.Fatalf("flat address %d reused", a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestFlatLayoutIsHeapOrder(t *testing.T) {
+	o, d := smallSystem()
+	m, _ := NewLayout(o, d, config.LayoutFlat)
+	slots := int64(o.SlotsPerBucket())
+	for _, b := range []int64{0, 1, 7, 100} {
+		if got := m.BlockAddr(b, 0); got != b*slots {
+			t.Fatalf("flat bucket %d starts at %d, want %d", b, got, b*slots)
+		}
+	}
+}
+
+// TestSubtreeBeatsFlatOnPathRows quantifies the layout's purpose at the
+// mapping level: a full-path access opens fewer rows under the subtree
+// layout than under the flat layout.
+func TestSubtreeBeatsFlatOnPathRows(t *testing.T) {
+	o, d := smallSystem()
+	sub, _ := NewLayout(o, d, config.LayoutSubtree)
+	flat, _ := NewLayout(o, d, config.LayoutFlat)
+	tr := oram.NewTree(o.Levels)
+
+	countRows := func(m *Mapper) int {
+		rows := make(map[[3]int]bool)
+		for _, b := range tr.Path(5, nil) {
+			for s := 0; s < o.SlotsPerBucket(); s++ {
+				c := m.MapAccess(b, s)
+				rows[[3]int{c.Channel, c.Bank, c.Row}] = true
+			}
+		}
+		return len(rows)
+	}
+	sr, fr := countRows(sub), countRows(flat)
+	if sr >= fr {
+		t.Fatalf("subtree layout opened %d rows vs flat %d; expected fewer", sr, fr)
+	}
+}
+
+func TestNewDefaultsToSubtree(t *testing.T) {
+	o, d := smallSystem()
+	a, err := New(o, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLayout(o, d, config.LayoutSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := oram.NewTree(o.Levels)
+	for _, bucket := range []int64{0, 3, 42, tr.Buckets() - 1} {
+		if a.BlockAddr(bucket, 1) != b.BlockAddr(bucket, 1) {
+			t.Fatalf("New and NewLayout(subtree) disagree on bucket %d", bucket)
+		}
+	}
+}

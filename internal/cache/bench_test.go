@@ -1,0 +1,32 @@
+package cache
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+)
+
+// BenchmarkAccessHit measures the LLC hot path.
+func BenchmarkAccessHit(b *testing.B) {
+	c, err := New(config.Cache{SizeBytes: 4 << 20, LineSize: 64, Ways: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+// BenchmarkAccessMissStream measures the miss/replacement path.
+func BenchmarkAccessMissStream(b *testing.B) {
+	c, err := New(config.Cache{SizeBytes: 256 << 10, LineSize: 64, Ways: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, i%4 == 0)
+	}
+}

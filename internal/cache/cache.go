@@ -1,0 +1,119 @@
+// Package cache implements the shared last-level cache that filters the
+// CPU trace into ORAM requests: set-associative, write-back,
+// write-allocate, with LRU replacement.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"stringoram/internal/config"
+)
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse is a monotonically increasing use stamp for LRU.
+	lastUse uint64
+}
+
+// Cache is a set-associative LLC. It is not safe for concurrent use.
+type Cache struct {
+	cfg      config.Cache
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	clock    uint64
+
+	hits   int64
+	misses int64
+	wbacks int64
+}
+
+// New builds a cache from the configuration.
+func New(cfg config.Cache) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, sets),
+		setShift: uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
+		setMask:  uint64(sets) - 1,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Result describes the outcome of one cache access.
+type Result struct {
+	Hit bool
+	// Writeback reports that a dirty victim was evicted; its block
+	// address (byte address of the line) is WritebackAddr.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Access performs a read or write of the line containing addr and returns
+// the outcome. Misses allocate; dirty victims surface as writebacks for
+// the caller to push to memory.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.clock++
+	tag := addr >> c.setShift
+	set := c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.hits++
+			return Result{Hit: true}
+		}
+	}
+	c.misses++
+	// Choose a victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	var res Result
+	if set[victim].valid && set[victim].dirty {
+		res.Writeback = true
+		res.WritebackAddr = set[victim].tag << c.setShift
+		c.wbacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	return res
+}
+
+// Stats returns (hits, misses, writebacks).
+func (c *Cache) Stats() (hits, misses, writebacks int64) {
+	return c.hits, c.misses, c.wbacks
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// String summarizes the geometry for diagnostics.
+func (c *Cache) String() string {
+	return fmt.Sprintf("cache{%dKB, %d-way, %dB lines, %d sets}",
+		c.cfg.SizeBytes>>10, c.cfg.Ways, c.cfg.LineSize, len(c.sets))
+}

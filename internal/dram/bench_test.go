@@ -1,0 +1,53 @@
+package dram
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+)
+
+// BenchmarkHitSequence measures pure row-hit throughput of the device
+// model (the hot path during evictions).
+func BenchmarkHitSequence(b *testing.B) {
+	cfg := config.Default().DRAM
+	ch := NewChannel(cfg)
+	at := ch.EarliestIssue(CmdACT, 0, 0, 1, 0)
+	ch.Issue(CmdACT, 0, 0, 1, at)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = ch.EarliestIssue(CmdRD, 0, 0, 1, at+1)
+		ch.Issue(CmdRD, 0, 0, 1, at)
+	}
+}
+
+// BenchmarkConflictSequence measures the PRE/ACT/RD conflict path (the
+// hot path during Ring ORAM read paths).
+func BenchmarkConflictSequence(b *testing.B) {
+	cfg := config.Default().DRAM
+	ch := NewChannel(cfg)
+	at := int64(0)
+	row := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, open := ch.OpenRow(0, 0); open {
+			at = ch.EarliestIssue(CmdPRE, 0, 0, 0, at+1)
+			ch.Issue(CmdPRE, 0, 0, 0, at)
+		}
+		row = (row + 1) % 64
+		at = ch.EarliestIssue(CmdACT, 0, 0, row, at+1)
+		ch.Issue(CmdACT, 0, 0, row, at)
+		at = ch.EarliestIssue(CmdRD, 0, 0, row, at+1)
+		ch.Issue(CmdRD, 0, 0, row, at)
+	}
+}
+
+// BenchmarkEarliestIssue measures the constraint-evaluation cost itself.
+func BenchmarkEarliestIssue(b *testing.B) {
+	cfg := config.Default().DRAM
+	ch := NewChannel(cfg)
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ch.EarliestIssue(CmdRD, 0, 0, 1, int64(i))
+	}
+}

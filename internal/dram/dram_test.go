@@ -1,0 +1,277 @@
+package dram
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+)
+
+func testChannel() (*Channel, config.DRAMTiming) {
+	cfg := config.Default().DRAM
+	return NewChannel(cfg), cfg.Timing
+}
+
+func TestFreshChannelAllPrecharged(t *testing.T) {
+	ch, _ := testChannel()
+	for b := 0; b < 8; b++ {
+		if _, open := ch.OpenRow(0, b); open {
+			t.Fatalf("bank %d open on a fresh channel", b)
+		}
+	}
+}
+
+func TestActThenReadTiming(t *testing.T) {
+	ch, tm := testChannel()
+	if !ch.CanIssue(CmdACT, 0, 0, 100, 0) {
+		t.Fatal("ACT not issuable at cycle 0")
+	}
+	done := ch.Issue(CmdACT, 0, 0, 100, 0)
+	if done != int64(tm.TRCD) {
+		t.Fatalf("ACT completion = %d, want tRCD=%d", done, tm.TRCD)
+	}
+	if row, open := ch.OpenRow(0, 0); !open || row != 100 {
+		t.Fatalf("row not open after ACT: %d,%v", row, open)
+	}
+	// RD must wait tRCD.
+	if e := ch.EarliestIssue(CmdRD, 0, 0, 100, 1); e != int64(tm.TRCD) {
+		t.Fatalf("earliest RD = %d, want %d", e, tm.TRCD)
+	}
+	done = ch.Issue(CmdRD, 0, 0, 100, int64(tm.TRCD))
+	want := int64(tm.TRCD + tm.CL + tm.TBUS)
+	if done != want {
+		t.Fatalf("RD data end = %d, want %d", done, want)
+	}
+}
+
+func TestReadWrongRowIsNever(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 100, 0)
+	if e := ch.EarliestIssue(CmdRD, 0, 0, 200, int64(tm.TRCD)); e != Never {
+		t.Fatalf("RD of a different row = %d, want Never", e)
+	}
+}
+
+func TestReadClosedBankIsNever(t *testing.T) {
+	ch, _ := testChannel()
+	if e := ch.EarliestIssue(CmdRD, 0, 0, 5, 0); e != Never {
+		t.Fatal("RD on a precharged bank should be Never")
+	}
+	if e := ch.EarliestIssue(CmdPRE, 0, 0, 0, 0); e != Never {
+		t.Fatal("PRE on a precharged bank should be Never")
+	}
+}
+
+func TestActOnOpenBankIsNever(t *testing.T) {
+	ch, _ := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	if e := ch.EarliestIssue(CmdACT, 0, 0, 2, 100); e != Never {
+		t.Fatal("ACT on an active bank should be Never (needs PRE first)")
+	}
+}
+
+func TestPrechargeRespectsTRAS(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	if e := ch.EarliestIssue(CmdPRE, 0, 0, 0, 1); e != int64(tm.TRAS) {
+		t.Fatalf("earliest PRE = %d, want tRAS=%d", e, tm.TRAS)
+	}
+}
+
+func TestRowCycleTRC(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	ch.Issue(CmdPRE, 0, 0, 0, int64(tm.TRAS))
+	e := ch.EarliestIssue(CmdACT, 0, 0, 2, int64(tm.TRAS)+1)
+	// Both tRC (ACT->ACT) and tRAS+tRP (PRE path) bind; tRC must hold.
+	if e < int64(tm.TRC) {
+		t.Fatalf("second ACT at %d violates tRC=%d", e, tm.TRC)
+	}
+}
+
+func TestWriteRecoveryBeforePrecharge(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	wrAt := int64(tm.TRCD)
+	ch.Issue(CmdWR, 0, 0, 1, wrAt)
+	wantPRE := wrAt + int64(tm.CWL+tm.TBUS+tm.TWR)
+	if e := ch.EarliestIssue(CmdPRE, 0, 0, 0, wrAt+1); e != wantPRE {
+		t.Fatalf("earliest PRE after WR = %d, want %d", e, wantPRE)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	wrAt := int64(tm.TRCD)
+	ch.Issue(CmdWR, 0, 0, 1, wrAt)
+	e := ch.EarliestIssue(CmdRD, 0, 0, 1, wrAt+1)
+	wantMin := wrAt + int64(tm.CWL+tm.TBUS+tm.TWTR)
+	if e < wantMin {
+		t.Fatalf("RD after WR at %d violates tWTR (want >= %d)", e, wantMin)
+	}
+}
+
+func TestColumnToColumnTCCD(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	rdAt := int64(tm.TRCD)
+	ch.Issue(CmdRD, 0, 0, 1, rdAt)
+	e := ch.EarliestIssue(CmdRD, 0, 0, 1, rdAt+1)
+	if e < rdAt+int64(tm.TCCD) {
+		t.Fatalf("second RD at %d violates tCCD", e)
+	}
+}
+
+func TestActToActTRRDAcrossBanks(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	if e := ch.EarliestIssue(CmdACT, 0, 1, 1, 1); e != int64(tm.TRRD) {
+		t.Fatalf("cross-bank ACT = %d, want tRRD=%d", e, tm.TRRD)
+	}
+}
+
+func TestFourActivateWindowTFAW(t *testing.T) {
+	ch, tm := testChannel()
+	at := int64(0)
+	for b := 0; b < 4; b++ {
+		at = ch.EarliestIssue(CmdACT, 0, b, 1, at)
+		ch.Issue(CmdACT, 0, b, 1, at)
+	}
+	// The fifth ACT must wait until the first + tFAW.
+	e := ch.EarliestIssue(CmdACT, 0, 4, 1, at+1)
+	if e < int64(tm.TFAW) {
+		t.Fatalf("fifth ACT at %d violates tFAW=%d", e, tm.TFAW)
+	}
+}
+
+func TestCommandBusOnePerCycle(t *testing.T) {
+	ch, _ := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	if ch.CanIssue(CmdACT, 0, 1, 1, 0) {
+		t.Fatal("two commands issued in the same cycle on one channel")
+	}
+	if e := ch.EarliestIssue(CmdACT, 0, 1, 1, 0); e < 1 {
+		t.Fatalf("second command earliest = %d, want >= 1", e)
+	}
+}
+
+func TestDataBusSerializesBursts(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	ch.Issue(CmdACT, 0, 1, 1, int64(tm.TRRD))
+	rd1 := ch.EarliestIssue(CmdRD, 0, 0, 1, 0)
+	end1 := ch.Issue(CmdRD, 0, 0, 1, rd1)
+	rd2 := ch.EarliestIssue(CmdRD, 0, 1, 1, rd1+1)
+	end2 := ch.Issue(CmdRD, 0, 1, 1, rd2)
+	// Burst 2's data (rd2+CL .. end2) must not overlap burst 1's.
+	if rd2+int64(tm.CL) < end1 {
+		t.Fatalf("data bursts overlap: burst1 ends %d, burst2 data starts %d", end1, rd2+int64(tm.CL))
+	}
+	if end2 <= end1 {
+		t.Fatal("second burst did not finish later than the first")
+	}
+}
+
+func TestIssueIllegalPanics(t *testing.T) {
+	ch, _ := testChannel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Issue of an illegal command did not panic")
+		}
+	}()
+	ch.Issue(CmdRD, 0, 0, 1, 0) // bank closed
+}
+
+func TestRefreshDueAndIssue(t *testing.T) {
+	ch, tm := testChannel()
+	if ch.RefreshDue(0, 0) {
+		t.Fatal("refresh due at cycle 0")
+	}
+	due := int64(tm.REFI)
+	if !ch.RefreshDue(0, due) {
+		t.Fatal("refresh not due at tREFI")
+	}
+	done := ch.Issue(CmdREF, 0, 0, 0, due)
+	if done != due+int64(tm.TRFC) {
+		t.Fatalf("REF completion = %d, want %d", done, due+int64(tm.TRFC))
+	}
+	if ch.RefreshDue(0, due) {
+		t.Fatal("refresh still due immediately after REF")
+	}
+	// Banks are blocked during tRFC.
+	if e := ch.EarliestIssue(CmdACT, 0, 3, 1, due+1); e < due+int64(tm.TRFC) {
+		t.Fatalf("ACT at %d during refresh (ends %d)", e, due+int64(tm.TRFC))
+	}
+}
+
+func TestRefreshRequiresAllBanksPrecharged(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 2, 1, 0)
+	if e := ch.EarliestIssue(CmdREF, 0, 0, 0, int64(tm.REFI)); e != Never {
+		t.Fatal("REF allowed with an open bank")
+	}
+}
+
+func TestBankBusyAccounting(t *testing.T) {
+	ch, tm := testChannel()
+	ch.Issue(CmdACT, 0, 0, 1, 0)
+	rdAt := int64(tm.TRCD)
+	ch.Issue(CmdRD, 0, 0, 1, rdAt)
+	got := ch.BankBusyCycles(0, 0)
+	want := rdAt + int64(tm.CL+tm.TBUS) // contiguous ACT..data-end occupancy
+	if got != want {
+		t.Fatalf("busy cycles = %d, want %d", got, want)
+	}
+	if ch.BankBusyCycles(0, 1) != 0 {
+		t.Fatal("untouched bank has busy cycles")
+	}
+}
+
+func TestRowBufferHitSequenceFasterThanConflicts(t *testing.T) {
+	// Eight hits to one open row must finish far sooner than eight
+	// PRE+ACT+RD conflict sequences; this is the asymmetry the PB
+	// scheduler exploits.
+	hitTime := func() int64 {
+		ch, _ := testChannel()
+		at := ch.EarliestIssue(CmdACT, 0, 0, 1, 0)
+		ch.Issue(CmdACT, 0, 0, 1, at)
+		var end int64
+		for i := 0; i < 8; i++ {
+			at = ch.EarliestIssue(CmdRD, 0, 0, 1, at+1)
+			end = ch.Issue(CmdRD, 0, 0, 1, at)
+		}
+		return end
+	}()
+	conflictTime := func() int64 {
+		ch, _ := testChannel()
+		var end int64
+		at := int64(0)
+		for i := 0; i < 8; i++ {
+			if i > 0 {
+				at = ch.EarliestIssue(CmdPRE, 0, 0, 0, at+1)
+				ch.Issue(CmdPRE, 0, 0, 0, at)
+			}
+			at = ch.EarliestIssue(CmdACT, 0, 0, i, at+1)
+			ch.Issue(CmdACT, 0, 0, i, at)
+			at = ch.EarliestIssue(CmdRD, 0, 0, i, at+1)
+			end = ch.Issue(CmdRD, 0, 0, i, at)
+		}
+		return end
+	}()
+	if conflictTime < hitTime*2 {
+		t.Fatalf("conflict sequence (%d) not clearly slower than hit sequence (%d)", conflictTime, hitTime)
+	}
+}
+
+func TestCmdKindString(t *testing.T) {
+	for k, want := range map[CmdKind]string{
+		CmdACT: "ACT", CmdRD: "RD", CmdWR: "WR", CmdPRE: "PRE", CmdREF: "REF",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if CmdKind(77).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}

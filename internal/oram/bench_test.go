@@ -1,0 +1,91 @@
+package oram
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+)
+
+// benchRing builds a mid-size ring for throughput benchmarks.
+func benchRing(b *testing.B, functional bool) *Ring {
+	b.Helper()
+	cfg := config.Default().ORAM
+	cfg.Levels = 16
+	var opts *Options
+	if functional {
+		crypt, err := NewCrypt([]byte("bench-key-16byte"), cfg.BlockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts = &Options{Store: NewMemStore(cfg.SlotsPerBucket()), Crypt: crypt}
+	}
+	r, err := NewRing(cfg, 1, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkAccessTimingOnly measures protocol-only access throughput
+// (metadata, selection, eviction bookkeeping; no data bytes).
+func BenchmarkAccessTimingOnly(b *testing.B) {
+	r := benchRing(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Access(BlockID(i%4096), i%2 == 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessFunctional measures full functional throughput with
+// AES-CTR sealing on every block moved.
+func BenchmarkAccessFunctional(b *testing.B) {
+	r := benchRing(b, true)
+	payload := make([]byte, r.Config().BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if i%2 == 0 {
+			_, _, err = r.Access(BlockID(i%4096), true, payload)
+		} else {
+			_, _, err = r.Access(BlockID(i%4096), false, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeal measures the sealing layer alone.
+func BenchmarkSeal(b *testing.B) {
+	c, err := NewCrypt([]byte("bench-key-16byte"), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Seal(payload)
+	}
+}
+
+// BenchmarkEvictPath isolates the eviction cost (reads, placement,
+// reshuffles) by running at A=1.
+func BenchmarkEvictPath(b *testing.B) {
+	cfg := config.Default().ORAM
+	cfg.Levels = 16
+	cfg.A = 1
+	cfg.S = cfg.A + 4
+	cfg.Y = 0
+	r, err := NewRing(cfg, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Access(BlockID(i%1024), false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package oram
+
+import "stringoram/internal/rng"
+
+// Slot is one physical block slot in a bucket. A slot is either real
+// (holding the block identified by ID) or a reserved dummy. Valid means the
+// slot has not been touched since the bucket's last reshuffle; Ring ORAM
+// never reads the same slot twice between reshuffles.
+type Slot struct {
+	Real  bool
+	Valid bool
+	ID    BlockID
+}
+
+// Bucket is one tree node: Z real slots plus S-Y reserved dummy slots,
+// and the metadata of Fig. 2 / Fig. 7(b): the per-bucket access counter,
+// and the green-block counter of the Compact Bucket scheme.
+type Bucket struct {
+	Slots []Slot
+	// Count is the number of accesses since the last reshuffle; must
+	// never exceed S.
+	Count int
+	// Green is the number of real blocks consumed as dummies since the
+	// last reshuffle; must never exceed Y.
+	Green int
+	// Epoch counts reshuffles of this bucket. Dummy ciphertexts are
+	// sealed deterministically per (bucket, slot, epoch), which lets
+	// the XOR technique cancel them out of a combined read.
+	Epoch int
+}
+
+// newBucket returns a freshly reshuffled bucket with no real blocks: all
+// slots slots are valid reserved dummies. This is also the state of a
+// never-written bucket (encrypted garbage is indistinguishable from a
+// dummy block).
+func newBucket(slots int) *Bucket {
+	b := &Bucket{Slots: make([]Slot, slots)}
+	for i := range b.Slots {
+		b.Slots[i] = Slot{Real: false, Valid: true}
+	}
+	return b
+}
+
+// findBlock returns the slot index holding the given block, or -1.
+func (b *Bucket) findBlock(id BlockID) int {
+	for i := range b.Slots {
+		if b.Slots[i].Real && b.Slots[i].Valid && b.Slots[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// realBlocks returns the number of valid real blocks resident.
+func (b *Bucket) realBlocks() int {
+	n := 0
+	for i := range b.Slots {
+		if b.Slots[i].Real && b.Slots[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// validDummies returns the number of untouched reserved dummy slots.
+func (b *Bucket) validDummies() int {
+	n := 0
+	for i := range b.Slots {
+		if !b.Slots[i].Real && b.Slots[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// canServe reports whether the bucket can absorb one more read-path access
+// without a reshuffle. hasTarget indicates the access will read a real
+// block of interest out of this bucket (which is always possible when the
+// block is valid); otherwise a dummy-capable slot must exist: a valid
+// reserved dummy, or (CB) a green block when the green budget y allows and
+// a valid real block is resident. s is the access budget S.
+func (b *Bucket) canServe(hasTarget bool, s, y int) bool {
+	if b.Count >= s {
+		return false
+	}
+	if hasTarget {
+		return true
+	}
+	if b.validDummies() > 0 {
+		return true
+	}
+	return b.Green < y && b.realBlocks() > 0
+}
+
+// selectDummy picks a slot to read as a dummy and consumes it. With the
+// dummy-first policy, reserved dummies are used before green blocks so
+// that green fetches (which grow the stash) happen only when necessary;
+// the uniform policy picks uniformly among all eligible slots.
+//
+// It returns the slot index and, when a green block was consumed, the
+// evicted real block's ID (the caller must move it to the stash);
+// otherwise InvalidBlock. The caller must have checked canServe.
+func (b *Bucket) selectDummy(src *rng.Source, y int, uniform bool) (slot int, green BlockID) {
+	var dummies, greens []int
+	for i := range b.Slots {
+		if !b.Slots[i].Valid {
+			continue
+		}
+		if b.Slots[i].Real {
+			greens = append(greens, i)
+		} else {
+			dummies = append(dummies, i)
+		}
+	}
+	greenOK := b.Green < y && len(greens) > 0
+	pickGreen := false
+	switch {
+	case uniform && greenOK && len(dummies) > 0:
+		pickGreen = src.Intn(len(dummies)+len(greens)) >= len(dummies)
+	case len(dummies) == 0 && greenOK:
+		pickGreen = true
+	case len(dummies) == 0:
+		panic("oram: selectDummy called on a bucket that cannot serve")
+	}
+	if pickGreen {
+		i := greens[src.Intn(len(greens))]
+		id := b.Slots[i].ID
+		b.Slots[i].Valid = false
+		b.Green++
+		return i, id
+	}
+	i := dummies[src.Intn(len(dummies))]
+	b.Slots[i].Valid = false
+	return i, InvalidBlock
+}
+
+// selectDummyBalanced is selectDummy with the choice within the eligible
+// pool delegated to pick (used by imbalance-aware retrieval, Che et al.
+// ICCD'19: any valid dummy is equally safe, so the controller may choose
+// the one whose physical address balances channel load). The dummy-first
+// pool ordering is preserved: reserved dummies are offered before green
+// blocks.
+func (b *Bucket) selectDummyBalanced(pick func(candidates []int) int, y int) (slot int, green BlockID) {
+	var dummies, greens []int
+	for i := range b.Slots {
+		if !b.Slots[i].Valid {
+			continue
+		}
+		if b.Slots[i].Real {
+			greens = append(greens, i)
+		} else {
+			dummies = append(dummies, i)
+		}
+	}
+	pool := dummies
+	pickGreen := false
+	if len(dummies) == 0 {
+		if b.Green >= y || len(greens) == 0 {
+			panic("oram: selectDummyBalanced called on a bucket that cannot serve")
+		}
+		pool = greens
+		pickGreen = true
+	}
+	choice := pick(pool)
+	if choice < 0 || choice >= len(pool) {
+		panic("oram: slot balancer returned an out-of-range candidate index")
+	}
+	i := pool[choice]
+	if pickGreen {
+		id := b.Slots[i].ID
+		b.Slots[i].Valid = false
+		b.Green++
+		return i, id
+	}
+	b.Slots[i].Valid = false
+	return i, InvalidBlock
+}
+
+// consumeReal reads the target block out of the given slot: the slot is
+// invalidated and the block leaves the bucket (its data now lives in the
+// stash).
+func (b *Bucket) consumeReal(slot int) BlockID {
+	id := b.Slots[slot].ID
+	b.Slots[slot].Real = false
+	b.Slots[slot].Valid = false
+	b.Slots[slot].ID = InvalidBlock
+	return id
+}
+
+// residentBlocks appends the IDs of all real blocks still resident (valid)
+// in the bucket to dst. Invalid real slots no longer hold a block: reading
+// a slot moves its block to the stash.
+func (b *Bucket) residentBlocks(dst []BlockID) []BlockID {
+	for i := range b.Slots {
+		if b.Slots[i].Real && b.Slots[i].Valid {
+			dst = append(dst, b.Slots[i].ID)
+		}
+	}
+	return dst
+}
+
+// reshuffle rewrites the bucket with the given real blocks (at most Z) in
+// randomly permuted physical positions, resets all metadata, and marks
+// every slot valid. It returns the permutation target slots chosen for the
+// real blocks (parallel to blocks), so a functional store can place data.
+func (b *Bucket) reshuffle(blocks []BlockID, src *rng.Source) []int {
+	if len(blocks) > len(b.Slots) {
+		panic("oram: reshuffle with more blocks than slots")
+	}
+	perm := src.Perm(len(b.Slots))
+	for i := range b.Slots {
+		b.Slots[i] = Slot{Real: false, Valid: true, ID: InvalidBlock}
+	}
+	target := make([]int, len(blocks))
+	for i, id := range blocks {
+		s := perm[i]
+		b.Slots[s] = Slot{Real: true, Valid: true, ID: id}
+		target[i] = s
+	}
+	b.Count = 0
+	b.Green = 0
+	b.Epoch++
+	return target
+}

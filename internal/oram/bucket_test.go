@@ -1,0 +1,250 @@
+package oram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stringoram/internal/rng"
+)
+
+func TestNewBucketAllDummyValid(t *testing.T) {
+	b := newBucket(12)
+	if len(b.Slots) != 12 {
+		t.Fatalf("slots = %d, want 12", len(b.Slots))
+	}
+	if b.validDummies() != 12 || b.realBlocks() != 0 {
+		t.Fatalf("fresh bucket: dummies=%d reals=%d", b.validDummies(), b.realBlocks())
+	}
+	if b.Count != 0 || b.Green != 0 {
+		t.Fatal("fresh bucket has nonzero counters")
+	}
+}
+
+func TestReshufflePlacesBlocks(t *testing.T) {
+	src := rng.New(1)
+	b := newBucket(12)
+	blocks := []BlockID{10, 20, 30}
+	targets := b.reshuffle(blocks, src)
+	if len(targets) != 3 {
+		t.Fatalf("targets = %v", targets)
+	}
+	for i, id := range blocks {
+		s := targets[i]
+		if !b.Slots[s].Real || !b.Slots[s].Valid || b.Slots[s].ID != id {
+			t.Errorf("block %d not at slot %d: %+v", id, s, b.Slots[s])
+		}
+		if b.findBlock(id) != s {
+			t.Errorf("findBlock(%d) = %d, want %d", id, b.findBlock(id), s)
+		}
+	}
+	if b.realBlocks() != 3 || b.validDummies() != 9 {
+		t.Errorf("reals=%d dummies=%d", b.realBlocks(), b.validDummies())
+	}
+}
+
+func TestReshuffleResetsCounters(t *testing.T) {
+	src := rng.New(2)
+	b := newBucket(8)
+	b.Count = 7
+	b.Green = 3
+	b.reshuffle(nil, src)
+	if b.Count != 0 || b.Green != 0 {
+		t.Fatalf("counters not reset: count=%d green=%d", b.Count, b.Green)
+	}
+}
+
+func TestReshufflePermutationVaries(t *testing.T) {
+	src := rng.New(3)
+	same := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		b := newBucket(12)
+		targets := b.reshuffle([]BlockID{1, 2, 3, 4}, src)
+		if targets[0] == 0 && targets[1] == 1 && targets[2] == 2 && targets[3] == 3 {
+			same++
+		}
+	}
+	if same > trials/4 {
+		t.Fatalf("identity placement %d/%d times; permutation looks broken", same, trials)
+	}
+}
+
+func TestReshuffleTooManyBlocksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := newBucket(2)
+	b.reshuffle([]BlockID{1, 2, 3}, rng.New(1))
+}
+
+func TestConsumeReal(t *testing.T) {
+	src := rng.New(4)
+	b := newBucket(6)
+	b.reshuffle([]BlockID{42}, src)
+	s := b.findBlock(42)
+	id := b.consumeReal(s)
+	if id != 42 {
+		t.Fatalf("consumeReal returned %d, want 42", id)
+	}
+	if b.findBlock(42) >= 0 {
+		t.Fatal("block still resident after consume")
+	}
+	if b.Slots[s].Valid {
+		t.Fatal("consumed slot still valid")
+	}
+	if b.realBlocks() != 0 {
+		t.Fatal("realBlocks after consume != 0")
+	}
+}
+
+func TestSelectDummyPrefersReservedDummies(t *testing.T) {
+	src := rng.New(5)
+	// Z=4 reals, 4 reserved dummies, Y=4 budget, dummy-first policy:
+	// the first 4 selections must all be reserved dummies.
+	b := newBucket(8)
+	b.reshuffle([]BlockID{1, 2, 3, 4}, src)
+	for i := 0; i < 4; i++ {
+		_, green := b.selectDummy(src, 4, false)
+		if green != InvalidBlock {
+			t.Fatalf("selection %d consumed a green block while reserved dummies remained", i)
+		}
+	}
+	if b.validDummies() != 0 {
+		t.Fatalf("%d reserved dummies left after 4 selections", b.validDummies())
+	}
+	// Now only green blocks remain eligible.
+	for i := 0; i < 4; i++ {
+		_, green := b.selectDummy(src, 4, false)
+		if green == InvalidBlock {
+			t.Fatalf("selection %d should have consumed a green block", i)
+		}
+	}
+	if b.Green != 4 {
+		t.Fatalf("green counter = %d, want 4", b.Green)
+	}
+}
+
+func TestSelectDummyRespectsGreenBudget(t *testing.T) {
+	src := rng.New(6)
+	b := newBucket(8)
+	b.reshuffle([]BlockID{1, 2, 3, 4}, src)
+	// Exhaust the 4 reserved dummies, then Y=1 allows one green.
+	for i := 0; i < 4; i++ {
+		b.selectDummy(src, 1, false)
+	}
+	if _, green := b.selectDummy(src, 1, false); green == InvalidBlock {
+		t.Fatal("expected a green selection")
+	}
+	if b.canServe(false, 100, 1) {
+		t.Fatal("bucket should be exhausted: no dummies, green budget spent")
+	}
+}
+
+func TestSelectDummyPanicsWhenExhausted(t *testing.T) {
+	src := rng.New(7)
+	b := newBucket(4)
+	for i := 0; i < 4; i++ {
+		b.selectDummy(src, 0, false)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhausted bucket")
+		}
+	}()
+	b.selectDummy(src, 0, false)
+}
+
+func TestSelectDummyNeverReusesSlot(t *testing.T) {
+	err := quick.Check(func(seed uint32) bool {
+		s := rng.New(uint64(seed))
+		b := newBucket(10)
+		b.reshuffle([]BlockID{1, 2, 3}, s)
+		seen := make(map[int]bool)
+		for b.canServe(false, 100, 3) {
+			slot, _ := b.selectDummy(s, 3, false)
+			if seen[slot] {
+				return false
+			}
+			seen[slot] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectDummyUniformUsesGreensEarly(t *testing.T) {
+	// With the uniform policy and plenty of greens, green selections
+	// should happen even while reserved dummies remain.
+	src := rng.New(9)
+	greens := 0
+	for trial := 0; trial < 200; trial++ {
+		b := newBucket(12)
+		b.reshuffle([]BlockID{1, 2, 3, 4, 5, 6, 7, 8}, src)
+		if _, g := b.selectDummy(src, 8, true); g != InvalidBlock {
+			greens++
+		}
+	}
+	if greens == 0 {
+		t.Fatal("uniform policy never selected a green block on the first draw")
+	}
+	if greens == 200 {
+		t.Fatal("uniform policy always selected greens; not uniform")
+	}
+}
+
+func TestCanServe(t *testing.T) {
+	src := rng.New(10)
+	b := newBucket(6) // Z=2 reals below, 4 dummies
+	b.reshuffle([]BlockID{1, 2}, src)
+
+	if !b.canServe(true, 8, 0) {
+		t.Error("bucket with target must serve")
+	}
+	if !b.canServe(false, 8, 0) {
+		t.Error("bucket with valid dummies must serve")
+	}
+	b.Count = 8
+	if b.canServe(true, 8, 2) {
+		t.Error("bucket at access budget S must not serve even with target")
+	}
+	b.Count = 0
+
+	// Exhaust dummies.
+	for i := 0; i < 4; i++ {
+		b.selectDummy(src, 0, false)
+	}
+	if b.canServe(false, 8, 0) {
+		t.Error("no dummies, no green budget: must not serve")
+	}
+	if !b.canServe(false, 8, 1) {
+		t.Error("green budget with resident reals: must serve")
+	}
+	// Consume the reals.
+	b.consumeReal(b.findBlock(1))
+	b.consumeReal(b.findBlock(2))
+	if b.canServe(false, 8, 1) {
+		t.Error("green budget but no resident reals: must not serve")
+	}
+}
+
+func TestResidentBlocks(t *testing.T) {
+	src := rng.New(11)
+	b := newBucket(8)
+	b.reshuffle([]BlockID{5, 6, 7}, src)
+	b.consumeReal(b.findBlock(6))
+	got := b.residentBlocks(nil)
+	if len(got) != 2 {
+		t.Fatalf("residentBlocks = %v, want 2 entries", got)
+	}
+	seen := map[BlockID]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	if !seen[5] || !seen[7] || seen[6] {
+		t.Fatalf("residentBlocks = %v, want {5,7}", got)
+	}
+}

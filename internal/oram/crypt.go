@@ -1,0 +1,123 @@
+package oram
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// Crypt is the controller's encryption/decryption logic (the "E/D Logic"
+// box of Fig. 1). Every block written to memory is encrypted under
+// AES-128-CTR with a fresh per-write counter, so two ciphertexts of the
+// same plaintext differ and real blocks are indistinguishable from
+// dummies on the bus.
+//
+// The sealed layout is: 8-byte write counter (the IV seed) followed by the
+// ciphertext, so sealed blocks are BlockSize+8 bytes.
+type Crypt struct {
+	block     cipher.Block
+	blockSize int
+	writeCtr  uint64
+}
+
+// SealOverhead is the number of bytes Seal adds to a plaintext block.
+const SealOverhead = 8
+
+// NewCrypt returns encryption logic for plaintext blocks of blockSize
+// bytes under the given 16-byte key.
+func NewCrypt(key []byte, blockSize int) (*Crypt, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("oram: key must be 16 bytes, got %d", len(key))
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Crypt{block: b, blockSize: blockSize}, nil
+}
+
+// stream builds the CTR keystream cipher for a given write counter.
+func (c *Crypt) stream(ctr uint64) cipher.Stream {
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[:8], ctr)
+	return cipher.NewCTR(c.block, iv[:])
+}
+
+// dummyDomain marks the IV-counter subspace reserved for deterministic
+// dummy sealing. Sequential write counters stay far below 2^56, so the
+// two domains cannot collide.
+const dummyDomain = uint64(0xDD) << 56
+
+// dummyCounter derives the deterministic IV counter for the dummy block
+// at (bucket, slot, epoch). Determinism is what enables the XOR
+// technique: the controller can re-derive any dummy's exact ciphertext
+// and cancel it out of a combined read. Each (bucket, slot, epoch) is
+// written at most once, so ciphertexts still never repeat on the bus.
+// (The 56-bit space is a simulation simplification; a production sealer
+// would use the full 96-bit CTR IV.)
+func dummyCounter(bucket int64, slot, epoch int) uint64 {
+	h := uint64(bucket)*0x9e3779b97f4a7c15 ^ uint64(slot)*0xbf58476d1ce4e5b9 ^ uint64(epoch)*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 32
+	return dummyDomain | (h & ((1 << 56) - 1))
+}
+
+// Counter exports the write counter for checkpointing.
+func (c *Crypt) Counter() uint64 { return c.writeCtr }
+
+// SetCounter restores a checkpointed write counter. The caller must
+// guarantee monotonicity across the restore, or IVs would repeat.
+func (c *Crypt) SetCounter(ctr uint64) { c.writeCtr = ctr }
+
+// Seal encrypts a plaintext block (or a dummy: pass nil to seal a zero
+// block) and returns the sealed bytes. Each call uses a fresh counter.
+func (c *Crypt) Seal(plaintext []byte) []byte {
+	if plaintext != nil && len(plaintext) != c.blockSize {
+		panic(fmt.Sprintf("oram: Seal with %d-byte plaintext, want %d", len(plaintext), c.blockSize))
+	}
+	c.writeCtr++
+	out := make([]byte, SealOverhead+c.blockSize)
+	binary.BigEndian.PutUint64(out[:8], c.writeCtr)
+	if plaintext == nil {
+		plaintext = make([]byte, c.blockSize)
+	}
+	c.stream(c.writeCtr).XORKeyStream(out[8:], plaintext)
+	return out
+}
+
+// SealDummyAt deterministically seals the zero block for the dummy slot
+// (bucket, slot) in its epoch-th reshuffle generation. Calling it twice
+// with the same arguments yields identical bytes.
+func (c *Crypt) SealDummyAt(bucket int64, slot, epoch int) []byte {
+	ctr := dummyCounter(bucket, slot, epoch)
+	out := make([]byte, SealOverhead+c.blockSize)
+	binary.BigEndian.PutUint64(out[:8], ctr)
+	c.stream(ctr).XORKeyStream(out[8:], make([]byte, c.blockSize))
+	return out
+}
+
+// XORBlocks accumulates src into dst in place (dst ^= src). Both slices
+// must have equal length; it panics otherwise, since mismatched sealed
+// blocks indicate a protocol bug.
+func XORBlocks(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("oram: XOR of %d-byte and %d-byte blocks", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// Open decrypts a sealed block. It returns an error when the sealed bytes
+// have the wrong length.
+func (c *Crypt) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) != SealOverhead+c.blockSize {
+		return nil, fmt.Errorf("oram: sealed block is %d bytes, want %d", len(sealed), SealOverhead+c.blockSize)
+	}
+	ctr := binary.BigEndian.Uint64(sealed[:8])
+	out := make([]byte, c.blockSize)
+	c.stream(ctr).XORKeyStream(out, sealed[8:])
+	return out, nil
+}

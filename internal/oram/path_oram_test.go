@@ -1,0 +1,135 @@
+package oram
+
+import (
+	"bytes"
+	"testing"
+
+	"stringoram/internal/rng"
+)
+
+func newFunctionalPath(t *testing.T, z, levels int, seed uint64) *Path {
+	t.Helper()
+	crypt, err := NewCrypt(testKey(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPath(z, levels, 32, 300, seed, &Options{
+		Store: NewMemStore(z),
+		Crypt: crypt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPathRejectsBadParams(t *testing.T) {
+	cases := []struct{ z, levels, block, stash int }{
+		{0, 8, 64, 100},
+		{4, 1, 64, 100},
+		{4, 50, 64, 100},
+		{4, 8, 0, 100},
+		{4, 8, 64, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewPath(c.z, c.levels, c.block, c.stash, 1, nil); err == nil {
+			t.Errorf("NewPath(%+v) accepted bad params", c)
+		}
+	}
+}
+
+func TestPathFunctionalRoundTrip(t *testing.T) {
+	p := newFunctionalPath(t, 4, 8, 71)
+	src := rng.New(73)
+	ref := make(map[BlockID][]byte)
+	for i := 0; i < 2000; i++ {
+		id := BlockID(src.Intn(64))
+		if src.Bool() {
+			d := make([]byte, 32)
+			for j := range d {
+				d[j] = byte(int(id) + i + j)
+			}
+			if _, err := p.Write(id, d); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			ref[id] = d
+		} else {
+			got, _, err := p.Read(id)
+			if err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			want := ref[id]
+			if want == nil {
+				want = make([]byte, 32)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: block %d corrupted", i, id)
+			}
+		}
+		if i%500 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathAccessShapeIsConstant(t *testing.T) {
+	const z, levels = 4, 8
+	p, err := NewPath(z, levels, 64, 300, 79, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		_, ops, err := p.Access(BlockID(i%40), i%2 == 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) != 1 {
+			t.Fatalf("Path ORAM emitted %d ops, want 1", len(ops))
+		}
+		op := ops[0]
+		if op.Reads() != z*levels || op.Writes() != z*levels {
+			t.Fatalf("access %d: %d reads %d writes, want %d/%d",
+				i, op.Reads(), op.Writes(), z*levels, z*levels)
+		}
+	}
+}
+
+func TestPathStashStaysBounded(t *testing.T) {
+	p, err := NewPath(4, 10, 64, 300, 83, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for i := 0; i < 5000; i++ {
+		if _, _, err := p.Access(BlockID(i%256), false, nil); err != nil {
+			t.Fatal(err)
+		}
+		if p.StashLen() > peak {
+			peak = p.StashLen()
+		}
+	}
+	// Path ORAM stash occupancy is O(log N) w.h.p.; 300 would indicate
+	// a placement bug.
+	if peak > 60 {
+		t.Fatalf("stash peak %d is implausibly high for Z=4", peak)
+	}
+}
+
+func TestPathRejectsNegativeID(t *testing.T) {
+	p, _ := NewPath(4, 8, 64, 300, 1, nil)
+	if _, _, err := p.Access(-1, false, nil); err == nil {
+		t.Fatal("accepted negative id")
+	}
+}
+
+func TestPathRejectsWrongSizeWrite(t *testing.T) {
+	p := newFunctionalPath(t, 4, 6, 3)
+	if _, err := p.Write(1, []byte{1}); err == nil {
+		t.Fatal("accepted wrong-size write")
+	}
+}

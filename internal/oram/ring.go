@@ -1,0 +1,878 @@
+package oram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"stringoram/internal/config"
+	"stringoram/internal/rng"
+)
+
+// ErrStashOverflow is returned when the stash exceeds its capacity and
+// background eviction cannot drain it. With sanely chosen Y and stash
+// sizes (see Fig. 14/15) this does not happen; it indicates an
+// over-aggressive CB rate for the configured stash.
+var ErrStashOverflow = errors.New("oram: stash overflow")
+
+// maxBackgroundRounds bounds the background-eviction loop per access so a
+// pathological configuration reports ErrStashOverflow instead of spinning.
+const maxBackgroundRounds = 4096
+
+// Options configures optional Ring behaviour.
+type Options struct {
+	// Store receives sealed block data; nil selects timing-only mode.
+	Store Store
+	// Crypt seals/opens block data moving through Store. nil with a
+	// non-nil Store stores plaintext (useful for layered tests).
+	Crypt *Crypt
+	// OnStashSample, when set, is invoked with the stash occupancy after
+	// every operation, enabling the Fig. 15 occupancy traces.
+	OnStashSample func(occupancy int)
+	// SlotBalancer, when set, chooses which eligible dummy slot a read
+	// path consumes (imbalance-aware retrieval, Che et al. ICCD'19):
+	// it receives the bucket, its level and the candidate slot indices
+	// and returns the index *into candidates* to use. All candidates
+	// are equally valid protocol-wise, so the choice may optimize
+	// physical placement (e.g. channel balance) without weakening
+	// obliviousness. Overrides UniformSelect.
+	SlotBalancer func(bucket int64, level int, candidates []int) int
+	// XOR enables the Ring ORAM XOR technique (Ren et al., USENIX
+	// Security'15): the read path's L+1 selected ciphertexts are
+	// XOR-combined into a single block and the controller cancels the
+	// deterministically sealed dummies to recover the target, cutting
+	// online bandwidth to one block. Requires Store and Crypt, and is
+	// incompatible with Compact Bucket (Y must be 0: a green block is a
+	// second real block in the combination, which cannot be separated).
+	XOR bool
+}
+
+// Ring is a Ring ORAM controller with the String ORAM Compact Bucket
+// extension. It is not safe for concurrent use; the secure processor
+// serializes ORAM accesses by construction.
+type Ring struct {
+	cfg  config.ORAM
+	tree Tree
+
+	pos     *PositionMap
+	stash   *Stash
+	buckets map[int64]*Bucket
+
+	store Store
+	crypt *Crypt
+
+	selSrc  *rng.Source // dummy-slot selection
+	permSrc *rng.Source // bucket permutations
+
+	evictCount int64 // evictions issued so far (selects reverse-lex path)
+	roundCount int   // read paths since the last eviction, in [0, A)
+
+	warmSeed   uint64  // per-bucket warm-fill derivation seed
+	nextFiller BlockID // next synthetic filler block ID
+
+	uniformSelect bool
+	xor           bool
+	onSample      func(int)
+	balancer      func(bucket int64, level int, candidates []int) int
+
+	stats Stats
+
+	pathBuf []int64 // scratch for path walks
+}
+
+// NewRing returns a Ring ORAM controller for the given configuration.
+// opts may be nil. All randomness derives from seed.
+func NewRing(cfg config.ORAM, seed uint64, opts *Options) (*Ring, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	if opts.XOR {
+		if opts.Store == nil || opts.Crypt == nil {
+			return nil, errors.New("oram: XOR mode requires a Store and a Crypt")
+		}
+		if cfg.Y != 0 {
+			return nil, fmt.Errorf("oram: XOR mode is incompatible with Compact Bucket (Y=%d)", cfg.Y)
+		}
+	}
+	root := rng.New(seed)
+	r := &Ring{
+		cfg:           cfg,
+		tree:          NewTree(cfg.Levels),
+		stash:         NewStash(cfg.StashSize),
+		buckets:       make(map[int64]*Bucket),
+		store:         opts.Store,
+		crypt:         opts.Crypt,
+		selSrc:        root.Fork(),
+		permSrc:       root.Fork(),
+		uniformSelect: cfg.UniformSelect,
+		xor:           opts.XOR,
+		onSample:      opts.OnStashSample,
+		balancer:      opts.SlotBalancer,
+	}
+	r.pos = NewPositionMap(r.tree.Leaves(), root.Fork())
+	r.warmSeed = root.Uint64()
+	r.nextFiller = FillerBase
+	return r, nil
+}
+
+// FillerBase is the first block ID of the synthetic filler space used by
+// tree warming (config.ORAM.WarmFill). Program block IDs must stay below
+// it; Access enforces this when warming is enabled.
+const FillerBase BlockID = 1 << 40
+
+// warmBucket populates a freshly materialized bucket with synthetic
+// steady state: resident "filler" blocks (leaves draw Binomial(Z,
+// WarmFill), interior buckets one block with probability WarmFill) and a
+// uniformly random phase within the bucket's reshuffle period — as if k
+// of its A per-period accesses had already consumed dummy/green budget.
+// Fillers are ordinary real blocks — mapped in the position map,
+// green-fetchable, evictable — just never requested by the program.
+// Everything is deterministic per bucket.
+func (r *Ring) warmBucket(idx int64, b *Bucket) {
+	lvl := r.tree.BucketLevel(idx)
+	src := rng.New(r.warmSeed ^ uint64(idx)*0x9e3779b97f4a7c15)
+	// Occupancy: leaves hold Binomial(Z, WarmFill); interior levels
+	// carry the geometrically decaying overflow load of the subtree
+	// below them (≈ Z*WarmFill/2 one level up, /4 two levels up, ...)
+	// plus a transient block in flight toward the root.
+	n := 0
+	if lvl == r.tree.L {
+		for i := 0; i < r.cfg.Z; i++ {
+			if src.Float64() < r.cfg.WarmFill {
+				n++
+			}
+		}
+	} else {
+		p := r.cfg.WarmFill * math.Pow(0.5, float64(r.tree.L-lvl))
+		for i := 0; i < r.cfg.Z; i++ {
+			if src.Float64() < p {
+				n++
+			}
+		}
+		if src.Float64() < r.cfg.WarmFill && n < r.cfg.Z {
+			n++
+		}
+	}
+	perm := src.Perm(len(b.Slots))
+
+	// Phase: k accesses absorbed since the (synthetic) last reshuffle.
+	// In steady state a bucket at level l is reshuffled every A*2^l
+	// reads and hit by read paths with probability 2^-l, so the number
+	// of accesses per period is Poisson with mean A, and at a uniform
+	// observation instant the consumed count is uniform within the
+	// period's total. Dummies go first in the synthetic history; the
+	// remainder consumed green blocks (bounded by Y and the fillers).
+	k := 0
+	if r.cfg.A > 1 {
+		period := poisson(src, float64(r.cfg.A))
+		if period > 0 {
+			k = src.Intn(period + 1)
+		}
+		if k >= r.cfg.S {
+			k = r.cfg.S - 1
+		}
+	}
+	reserved := len(b.Slots) - n
+	dc := k
+	if dc > reserved {
+		dc = reserved
+	}
+	gc := k - dc
+	if gc > r.cfg.Y {
+		gc = r.cfg.Y
+	}
+	if gc > n {
+		gc = n
+	}
+
+	// Surviving fillers occupy perm[0 : n-gc].
+	span := uint64(1) << uint(r.tree.L-lvl)
+	inLevel := idx - ((int64(1) << uint(lvl)) - 1)
+	for i := 0; i < n-gc; i++ {
+		id := r.nextFiller
+		r.nextFiller++
+		b.Slots[perm[i]] = Slot{Real: true, Valid: true, ID: id}
+		leaf := PathID(uint64(inLevel)*span + src.Uint64n(span))
+		r.pos.Set(id, leaf)
+	}
+	// Consumed green slots (their blocks live elsewhere by now) and
+	// consumed dummies are invalid until the next reshuffle.
+	for i := n - gc; i < n; i++ {
+		b.Slots[perm[i]] = Slot{Valid: false}
+	}
+	for i := n; i < n+dc; i++ {
+		b.Slots[perm[i]] = Slot{Valid: false}
+	}
+	b.Count = dc + gc
+	b.Green = gc
+}
+
+// poisson draws a Poisson(mean) variate (Knuth's method; mean is small —
+// it is the eviction rate A).
+func poisson(src *rng.Source, mean float64) int {
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= src.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+		if k > 20*int(mean+1) {
+			return k // numeric guard; astronomically unlikely
+		}
+	}
+}
+
+// Config returns the controller's configuration.
+func (r *Ring) Config() config.ORAM { return r.cfg }
+
+// Stats returns a snapshot of the protocol counters.
+func (r *Ring) Stats() Stats { return r.stats }
+
+// StashLen returns the current stash occupancy in blocks.
+func (r *Ring) StashLen() int { return r.stash.Len() }
+
+// bucket returns the bucket at the given global index, materializing a
+// fresh all-dummy bucket on first touch.
+func (r *Ring) bucket(idx int64) *Bucket {
+	b, ok := r.buckets[idx]
+	if !ok {
+		b = newBucket(r.cfg.SlotsPerBucket())
+		if r.cfg.WarmFill > 0 {
+			r.warmBucket(idx, b)
+		}
+		r.buckets[idx] = b
+	}
+	return b
+}
+
+// emitFrom returns the first tree level that generates DRAM traffic;
+// levels above it are held in the on-chip tree-top cache.
+func (r *Ring) emitFrom() int { return r.cfg.TreeTopCacheLevels }
+
+// seal encrypts (or copies) plaintext for storage; nil means dummy.
+func (r *Ring) seal(plaintext []byte) []byte {
+	if r.crypt != nil {
+		return r.crypt.Seal(plaintext)
+	}
+	if plaintext == nil {
+		return make([]byte, r.cfg.BlockSize)
+	}
+	out := make([]byte, len(plaintext))
+	copy(out, plaintext)
+	return out
+}
+
+// open decrypts (or copies) sealed slot contents.
+func (r *Ring) open(sealed []byte) ([]byte, error) {
+	if sealed == nil {
+		return make([]byte, r.cfg.BlockSize), nil
+	}
+	if r.crypt != nil {
+		return r.crypt.Open(sealed)
+	}
+	out := make([]byte, len(sealed))
+	copy(out, sealed)
+	return out, nil
+}
+
+// readSlotData pulls a real block's plaintext out of the store; nil store
+// yields nil (timing-only mode).
+func (r *Ring) readSlotData(bucket int64, slot int) ([]byte, error) {
+	if r.store == nil {
+		return nil, nil
+	}
+	return r.open(r.store.ReadSlot(bucket, slot))
+}
+
+// Read fetches a logical block. The returned data is nil in timing-only
+// mode and a zero block for never-written addresses. ops lists the memory
+// transactions the access generated, in issue order.
+func (r *Ring) Read(id BlockID) (data []byte, ops []Op, err error) {
+	return r.Access(id, false, nil)
+}
+
+// Write stores a logical block.
+func (r *Ring) Write(id BlockID, data []byte) (ops []Op, err error) {
+	_, ops, err = r.Access(id, true, data)
+	return ops, err
+}
+
+// Access performs one logical memory request through the full Ring ORAM
+// protocol: early reshuffles where budgets are exhausted, a read path
+// operation, the scheduled eviction at every A-th round, and leakage-free
+// background eviction when the stash crosses its threshold.
+func (r *Ring) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error) {
+	return r.access(id, write, data, nil, nil)
+}
+
+// AccessRemapTo is Access with the remap target chosen by the caller
+// instead of drawn internally. It exists for controllers that manage the
+// position map externally (see RecursiveRing): the caller must store
+// newPath wherever it keeps its map. newPath must be uniformly random for
+// the access-pattern guarantees to hold.
+func (r *Ring) AccessRemapTo(id BlockID, write bool, data []byte, newPath PathID) ([]byte, []Op, error) {
+	return r.access(id, write, data, &newPath, nil)
+}
+
+// Update performs a single-access read-modify-write: fn receives the
+// block's current contents (a zero block for never-written addresses)
+// and returns the new contents. The pre-update data is returned. One
+// Update costs exactly one ORAM access on the bus.
+func (r *Ring) Update(id BlockID, fn func(cur []byte) []byte) ([]byte, []Op, error) {
+	return r.access(id, true, nil, nil, fn)
+}
+
+// UpdateRemapTo combines Update and AccessRemapTo.
+func (r *Ring) UpdateRemapTo(id BlockID, newPath PathID, fn func(cur []byte) []byte) ([]byte, []Op, error) {
+	return r.access(id, true, nil, &newPath, fn)
+}
+
+// PositionOf exposes the block's current path assignment (for
+// consistency checks by external position-map layers).
+func (r *Ring) PositionOf(id BlockID) (PathID, bool) {
+	if p, ok := r.stash.Path(id); ok {
+		return p, true
+	}
+	return r.pos.Lookup(id)
+}
+
+func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, updateFn func([]byte) []byte) ([]byte, []Op, error) {
+	if id < 0 {
+		return nil, nil, fmt.Errorf("oram: negative block id %d", id)
+	}
+	if r.cfg.WarmFill > 0 && id >= FillerBase {
+		return nil, nil, fmt.Errorf("oram: block id %d collides with the warm-fill filler space", id)
+	}
+	if write {
+		if updateFn == nil && r.store != nil && len(data) != r.cfg.BlockSize {
+			return nil, nil, fmt.Errorf("oram: write of %d bytes, want %d", len(data), r.cfg.BlockSize)
+		}
+		r.stats.Writes++
+	} else {
+		r.stats.Reads++
+	}
+
+	var ops []Op
+
+	// Determine the path to read: the block's current path, or a random
+	// one when the block is new or already buffered in the stash. The
+	// bus-visible behaviour is identical in all cases.
+	readPath, haveTarget := r.pos.Lookup(id)
+	if r.stash.Contains(id) {
+		r.stats.StashHits++
+		haveTarget = false
+	}
+	if !haveTarget {
+		readPath = r.pos.RandomPath()
+	}
+
+	ops = r.readPathOp(OpReadPath, readPath, id, haveTarget, ops)
+
+	// Remap-on-access: the block gets a fresh path (drawn internally or
+	// supplied by an external position-map layer) and logically lives
+	// in the stash until an eviction pushes it back into the tree.
+	var newPath PathID
+	if forcedPath != nil {
+		newPath = *forcedPath
+		r.pos.Set(id, newPath)
+	} else {
+		newPath = r.pos.Remap(id)
+	}
+	if !r.stash.Contains(id) {
+		// New block, or a protocol-internal move that did not land it
+		// in the stash (first-ever access): materialize it.
+		r.stash.Put(id, newPath, nil)
+	}
+	r.stash.SetPath(id, newPath)
+
+	var out []byte
+	if r.store != nil {
+		cur := r.stash.Get(id)
+		if cur == nil {
+			cur = make([]byte, r.cfg.BlockSize)
+		}
+		out = make([]byte, len(cur))
+		copy(out, cur)
+	}
+	switch {
+	case updateFn != nil:
+		cur := make([]byte, len(out))
+		copy(cur, out)
+		updated := updateFn(cur)
+		if r.store != nil && len(updated) != r.cfg.BlockSize {
+			return nil, ops, fmt.Errorf("oram: update of block %d returned %d bytes, want %d", id, len(updated), r.cfg.BlockSize)
+		}
+		stored := make([]byte, len(updated))
+		copy(stored, updated)
+		r.stash.Put(id, newPath, stored)
+	case write:
+		var stored []byte
+		if r.store != nil {
+			stored = make([]byte, len(data))
+			copy(stored, data)
+		}
+		r.stash.Put(id, newPath, stored)
+		out = nil
+	}
+
+	r.bumpRound(&ops)
+
+	// Background eviction: when the stash crosses its threshold, halt
+	// and issue dummy read paths until the A-interval boundary, then
+	// evict; repeat until the stash drains. The bus sees only the usual
+	// (A reads, 1 evict) rhythm, so nothing leaks.
+	rounds := 0
+	for r.stash.Len() >= r.cfg.EvictThreshold() {
+		if rounds++; rounds > maxBackgroundRounds {
+			return nil, ops, ErrStashOverflow
+		}
+		p := r.pos.RandomPath()
+		ops = r.readPathOp(OpDummyReadPath, p, InvalidBlock, false, ops)
+		r.stats.BackgroundDummyReads++
+		wasBoundary := r.roundCount == r.cfg.A-1
+		r.bumpRound(&ops)
+		if wasBoundary {
+			r.stats.BackgroundEvictions++
+		}
+	}
+	if r.stash.Len() > r.stash.Cap() {
+		return nil, ops, ErrStashOverflow
+	}
+
+	if n := int64(r.stash.Len()); n > r.stats.StashPeak {
+		r.stats.StashPeak = n
+	}
+	if r.onSample != nil {
+		r.onSample(r.stash.Len())
+	}
+	return out, ops, nil
+}
+
+// bumpRound advances the read-path round counter and issues the scheduled
+// eviction at the A boundary.
+func (r *Ring) bumpRound(ops *[]Op) {
+	r.roundCount++
+	if r.roundCount >= r.cfg.A {
+		r.roundCount = 0
+		*ops = append(*ops, r.evictPathOp())
+	}
+}
+
+// readPathOp performs one read path operation (real or dummy) along path
+// p, appending the early-reshuffle ops it had to issue and the read-path
+// op itself to ops.
+//
+// wantTarget indicates id is mapped and expected in the tree; a dummy read
+// path passes wantTarget=false and id=InvalidBlock.
+func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, ops []Op) []Op {
+	r.pathBuf = r.tree.Path(p, r.pathBuf[:0])
+	path := r.pathBuf
+	emitFrom := r.emitFrom()
+	// Dummy read paths must not consume green blocks: background
+	// eviction exists to shrink the stash, and a green fetch would grow
+	// it. (A normal read path may use greens freely.)
+	greenBudget := r.cfg.Y
+	if kind == OpDummyReadPath {
+		greenBudget = 0
+	}
+
+	// Locate the target along the path, including cached top levels.
+	targetLevel := -1
+	targetSlot := -1
+	if wantTarget {
+		for lvl, idx := range path {
+			if b, ok := r.buckets[idx]; ok {
+				if s := b.findBlock(id); s >= 0 {
+					targetLevel, targetSlot = lvl, s
+					break
+				}
+			}
+		}
+		if targetLevel < 0 {
+			// The position map says the block is in the tree but no
+			// bucket on its path holds it: a protocol invariant is
+			// broken and continuing would return wrong data.
+			panic(fmt.Sprintf("oram: block %d mapped to path %d but absent from it", id, p))
+		}
+	}
+
+	// Pre-pass: reshuffle any uncached bucket that cannot absorb one
+	// more access. (Cached buckets carry no access budget.)
+	for lvl := emitFrom; lvl < len(path); lvl++ {
+		b := r.bucket(path[lvl])
+		hasTarget := lvl == targetLevel
+		if !b.canServe(hasTarget, r.cfg.S, greenBudget) {
+			ops = append(ops, r.earlyReshuffleOp(path[lvl], lvl))
+			if hasTarget {
+				// The reshuffle re-permuted the bucket.
+				targetSlot = b.findBlock(id)
+			}
+		}
+	}
+
+	op := Op{Kind: kind, Path: p}
+
+	// Cached-level target: pull it straight out of the on-chip bucket;
+	// the DRAM path below is then all dummies.
+	if targetLevel >= 0 && targetLevel < emitFrom {
+		b := r.bucket(path[targetLevel])
+		data, err := r.readSlotData(path[targetLevel], targetSlot)
+		if err != nil {
+			panic(err) // corrupt store contents; unreachable with MemStore
+		}
+		b.consumeReal(targetSlot)
+		r.stash.Put(id, p, data)
+		targetLevel = -1
+	}
+
+	// XOR technique: the memory returns one combined block per read
+	// path; the controller cancels the deterministically sealed dummies
+	// and decrypts what remains (the target, or nothing on an all-dummy
+	// path).
+	var xorAcc []byte
+	xorHasTarget := false
+	xorFold := func(idx int64, slot int, isDummy bool, epoch int) {
+		sealed := r.store.ReadSlot(idx, slot)
+		if sealed == nil {
+			// A never-written slot contributes nothing, and the
+			// controller knows it (slot epochs are controller state).
+			return
+		}
+		if xorAcc == nil {
+			xorAcc = make([]byte, len(sealed))
+		}
+		XORBlocks(xorAcc, sealed)
+		if isDummy {
+			XORBlocks(xorAcc, r.crypt.SealDummyAt(idx, slot, epoch))
+		}
+	}
+
+	for lvl := emitFrom; lvl < len(path); lvl++ {
+		idx := path[lvl]
+		b := r.bucket(idx)
+		b.Count++
+		if lvl == targetLevel {
+			if r.xor {
+				xorFold(idx, targetSlot, false, b.Epoch)
+				xorHasTarget = true
+			} else {
+				data, err := r.readSlotData(idx, targetSlot)
+				if err != nil {
+					panic(err)
+				}
+				r.stash.Put(id, p, data)
+			}
+			b.consumeReal(targetSlot)
+			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: targetSlot, Write: false})
+			continue
+		}
+		var slot int
+		var green BlockID
+		if r.balancer != nil {
+			slot, green = b.selectDummyBalanced(func(cands []int) int {
+				return r.balancer(idx, lvl, cands)
+			}, greenBudget)
+		} else {
+			slot, green = b.selectDummy(r.selSrc, greenBudget, r.uniformSelect)
+		}
+		if green != InvalidBlock {
+			// A green block: real data rides along into the stash.
+			gp, known := r.pos.Lookup(green)
+			if !known {
+				panic(fmt.Sprintf("oram: green block %d resident but unmapped", green))
+			}
+			data, err := r.readSlotData(idx, slot)
+			if err != nil {
+				panic(err)
+			}
+			b.consumeReal(slot)
+			r.stash.Put(green, gp, data)
+			r.stats.GreenFetches++
+		} else if r.xor {
+			xorFold(idx, slot, true, b.Epoch)
+		}
+		op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: slot, Write: false})
+	}
+	if r.xor && xorHasTarget {
+		data, err := r.crypt.Open(xorAcc)
+		if err != nil {
+			panic(fmt.Sprintf("oram: XOR decode of block %d: %v", id, err))
+		}
+		r.stash.Put(id, p, data)
+		r.stats.XORDecodes++
+	}
+
+	if kind == OpReadPath {
+		r.stats.ReadPaths++
+	} else {
+		r.stats.DummyReadPaths++
+	}
+	r.stats.ReadPathBlocks += int64(len(op.Accesses))
+	return append(ops, op)
+}
+
+// earlyReshuffleOp reshuffles one bucket in place: Z reads and a full
+// bucket of writes, with fresh metadata and a fresh permutation. Resident
+// real blocks stay in the bucket (re-permuted).
+func (r *Ring) earlyReshuffleOp(idx int64, level int) Op {
+	b := r.bucket(idx)
+	op := Op{Kind: OpEarlyReshuffle, Path: r.tree.PathThrough(idx)}
+
+	// Read phase: the controller reads exactly Z slots; which of them
+	// hold real blocks is invisible to the adversary. Collect resident
+	// reals (with data) and pad with other slots.
+	var res []residentBlock
+	readSlots := make([]int, 0, r.cfg.Z)
+	for s := range b.Slots {
+		if b.Slots[s].Real && b.Slots[s].Valid {
+			data, err := r.readSlotData(idx, s)
+			if err != nil {
+				panic(err)
+			}
+			res = append(res, residentBlock{id: b.Slots[s].ID, data: data})
+			readSlots = append(readSlots, s)
+		}
+	}
+	for s := 0; len(readSlots) < r.cfg.Z && s < len(b.Slots); s++ {
+		if !(b.Slots[s].Real && b.Slots[s].Valid) {
+			readSlots = append(readSlots, s)
+		}
+	}
+	if level >= r.emitFrom() {
+		for _, s := range readSlots {
+			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: level, Slot: s, Write: false})
+		}
+	}
+
+	blocks := make([]BlockID, len(res))
+	for i := range res {
+		blocks[i] = res[i].id
+	}
+	targets := b.reshuffle(blocks, r.permSrc)
+	r.writeBucket(idx, level, b, res2data(res), targets, &op)
+
+	r.stats.EarlyReshuffles++
+	r.stats.ReshuffledBuckets++
+	r.stats.ReshuffleBlocks += int64(len(op.Accesses))
+	return op
+}
+
+// residentBlock pairs a resident block's ID with its plaintext data while
+// a reshuffle is in flight.
+type residentBlock struct {
+	id   BlockID
+	data []byte
+}
+
+// res2data projects resident entries to their data slices.
+func res2data(res []residentBlock) [][]byte {
+	out := make([][]byte, len(res))
+	for i := range res {
+		out[i] = res[i].data
+	}
+	return out
+}
+
+// writeBucket emits the write phase of a reshuffle/eviction for one
+// bucket: every physical slot is rewritten (real slots with re-sealed
+// data, the rest with fresh dummy ciphertext). targets[i] is the slot
+// chosen for blockData[i].
+func (r *Ring) writeBucket(idx int64, level int, b *Bucket, blockData [][]byte, targets []int, op *Op) {
+	if r.store != nil {
+		isReal := make(map[int]int, len(targets))
+		for i, s := range targets {
+			isReal[s] = i
+		}
+		for s := range b.Slots {
+			switch i, ok := isReal[s]; {
+			case ok:
+				r.store.WriteSlot(idx, s, r.seal(blockData[i]))
+			case r.crypt != nil:
+				// Dummies seal deterministically per (bucket, slot,
+				// epoch) so XOR reads can cancel them; each epoch is
+				// written once, so bus-visible ciphertexts are still
+				// always fresh.
+				r.store.WriteSlot(idx, s, r.crypt.SealDummyAt(idx, s, b.Epoch))
+			default:
+				r.store.WriteSlot(idx, s, r.seal(nil))
+			}
+		}
+	}
+	if level >= r.emitFrom() {
+		for s := range b.Slots {
+			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: level, Slot: s, Write: true})
+		}
+	}
+}
+
+// evictPathOp performs the deterministic EvictPath: along the next
+// reverse-lexicographic path, every bucket's resident blocks move to the
+// stash (Z reads per uncached bucket), then each bucket is refilled as
+// deep as possible from the stash and fully rewritten (Z+S-Y writes).
+func (r *Ring) evictPathOp() Op {
+	p := r.tree.EvictPathFor(r.evictCount)
+	r.evictCount++
+	r.pathBuf = r.tree.Path(p, r.pathBuf[:0])
+	path := r.pathBuf
+	emitFrom := r.emitFrom()
+
+	op := Op{Kind: OpEvictPath, Path: p}
+
+	// Read phase: pull every resident block on the path into the stash.
+	for lvl, idx := range path {
+		b := r.bucket(idx)
+		readSlots := make([]int, 0, r.cfg.Z)
+		for s := range b.Slots {
+			if b.Slots[s].Real && b.Slots[s].Valid {
+				id := b.Slots[s].ID
+				data, err := r.readSlotData(idx, s)
+				if err != nil {
+					panic(err)
+				}
+				bp, known := r.pos.Lookup(id)
+				if !known {
+					panic(fmt.Sprintf("oram: resident block %d unmapped", id))
+				}
+				r.stash.Put(id, bp, data)
+				b.consumeReal(s)
+				readSlots = append(readSlots, s)
+			}
+		}
+		if lvl >= emitFrom {
+			// Pad to exactly Z reads so the bus never reveals the
+			// bucket's real occupancy.
+			for s := 0; len(readSlots) < r.cfg.Z && s < len(b.Slots); s++ {
+				dup := false
+				for _, rs := range readSlots {
+					if rs == s {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					readSlots = append(readSlots, s)
+				}
+			}
+			for _, s := range readSlots {
+				op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: s, Write: false})
+			}
+		}
+	}
+
+	// Placement: fill buckets leaf-first. A stash block with assigned
+	// path q may sit at any level <= CommonLevel(p, q) on this path.
+	placed := r.placeForEvict(p, path)
+
+	// Write phase, root to leaf: every bucket on the path is rewritten.
+	for lvl, idx := range path {
+		b := r.bucket(idx)
+		ids := placed[lvl]
+		data := make([][]byte, len(ids))
+		for i, id := range ids {
+			data[i] = r.stash.Remove(id)
+		}
+		targets := b.reshuffle(ids, r.permSrc)
+		r.writeBucket(idx, lvl, b, data, targets, &op)
+	}
+
+	r.stats.EvictPaths++
+	r.stats.EvictBlocks += int64(len(op.Accesses))
+	return op
+}
+
+// placeForEvict assigns stash blocks to path buckets, deepest-first, at
+// most Z per bucket. It returns one ID slice per level.
+func (r *Ring) placeForEvict(p PathID, path []int64) [][]BlockID {
+	L := len(path) - 1
+	byLevel := make([][]BlockID, L+1)
+	r.stash.ForEach(func(id BlockID, q PathID) {
+		lvl := r.tree.CommonLevel(p, q)
+		byLevel[lvl] = append(byLevel[lvl], id)
+	})
+	// Map iteration order is random; sort so runs are reproducible from
+	// the seed alone.
+	for _, ids := range byLevel {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	placed := make([][]BlockID, L+1)
+	var carry []BlockID
+	for lvl := L; lvl >= 0; lvl-- {
+		pool := append(byLevel[lvl], carry...)
+		n := len(pool)
+		if n > r.cfg.Z {
+			n = r.cfg.Z
+		}
+		placed[lvl] = pool[:n]
+		carry = pool[n:]
+	}
+	// Whatever still carries past the root stays in the stash.
+	return placed
+}
+
+// CheckInvariants verifies the protocol invariants and returns the first
+// violation found. It is O(mapped blocks x path length) and intended for
+// tests.
+func (r *Ring) CheckInvariants() error {
+	// Every mapped block is in the stash or in exactly one bucket, and
+	// that bucket lies on the block's assigned path.
+	var err error
+	r.pos.ForEach(func(id BlockID, p PathID) {
+		if err != nil {
+			return
+		}
+		locations := 0
+		if r.stash.Contains(id) {
+			locations++
+		}
+		path := r.tree.Path(p, nil)
+		for _, idx := range path {
+			if b, ok := r.buckets[idx]; ok && b.findBlock(id) >= 0 {
+				locations++
+			}
+		}
+		if locations != 1 {
+			// The block may legitimately be resident in a bucket off
+			// its current path only if... never: remap happens when
+			// the block enters the stash, and eviction re-places it
+			// on its new path. Search the whole touched tree to
+			// distinguish "lost" from "misplaced".
+			where := "nowhere"
+			for idx, b := range r.buckets {
+				if b.findBlock(id) >= 0 {
+					where = fmt.Sprintf("bucket %d (level %d)", idx, r.tree.BucketLevel(idx))
+					break
+				}
+			}
+			err = fmt.Errorf("oram: block %d (path %d) found in %d locations; tree search: %s", id, p, locations, where)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Bucket budgets.
+	for idx, b := range r.buckets {
+		if b.Count > r.cfg.S {
+			return fmt.Errorf("oram: bucket %d count %d exceeds S=%d", idx, b.Count, r.cfg.S)
+		}
+		if b.Green > r.cfg.Y {
+			return fmt.Errorf("oram: bucket %d green %d exceeds Y=%d", idx, b.Green, r.cfg.Y)
+		}
+		if n := b.realBlocks(); n > r.cfg.Z {
+			return fmt.Errorf("oram: bucket %d holds %d real blocks, Z=%d", idx, n, r.cfg.Z)
+		}
+		if len(b.Slots) != r.cfg.SlotsPerBucket() {
+			return fmt.Errorf("oram: bucket %d has %d slots, want %d", idx, len(b.Slots), r.cfg.SlotsPerBucket())
+		}
+	}
+	if r.stash.Len() > r.stash.Cap() {
+		return fmt.Errorf("oram: stash %d over capacity %d", r.stash.Len(), r.stash.Cap())
+	}
+	return nil
+}

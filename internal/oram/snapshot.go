@@ -1,0 +1,206 @@
+package oram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"stringoram/internal/config"
+	"stringoram/internal/rng"
+)
+
+// snapshotVersion guards the checkpoint format.
+const snapshotVersion = 1
+
+// Snapshot structures. gob encodes the exported fields; the types stay
+// package-private so the wire format is an implementation detail.
+
+type stashSnap struct {
+	ID   BlockID
+	Path PathID
+	Data []byte
+}
+
+type posSnap struct {
+	ID   BlockID
+	Path PathID
+}
+
+type bucketSnap struct {
+	Index int64
+	Count int
+	Green int
+	Epoch int
+	Slots []Slot
+}
+
+type storeSnap struct {
+	Bucket int64
+	Slots  [][]byte
+}
+
+type ringSnap struct {
+	Version int
+	Cfg     config.ORAM
+
+	HasStore bool
+	HasCrypt bool
+	XOR      bool
+
+	EvictCount int64
+	RoundCount int
+	NextFiller BlockID
+	WarmSeed   uint64
+
+	SelState  [4]uint64
+	PermState [4]uint64
+	PosState  [4]uint64
+	CryptCtr  uint64
+
+	Stash   []stashSnap
+	PosMap  []posSnap
+	Buckets []bucketSnap
+	Store   []storeSnap
+	Stats   Stats
+}
+
+// Save checkpoints the controller's complete state — configuration,
+// position map, stash (plaintext: the checkpoint itself must be stored
+// inside the trusted boundary or sealed by the caller), bucket metadata,
+// RNG streams, and, when the block store is a MemStore, the sealed slot
+// contents. A Ring restored with Load continues exactly where Save left
+// off, access for access.
+//
+// Save fails for rings with a custom (non-MemStore) store: external
+// storage persists independently and the caller re-attaches it on Load.
+func (r *Ring) Save(w io.Writer) error {
+	snap := ringSnap{
+		Version:    snapshotVersion,
+		Cfg:        r.cfg,
+		HasStore:   r.store != nil,
+		HasCrypt:   r.crypt != nil,
+		XOR:        r.xor,
+		EvictCount: r.evictCount,
+		RoundCount: r.roundCount,
+		NextFiller: r.nextFiller,
+		WarmSeed:   r.warmSeed,
+		SelState:   r.selSrc.State(),
+		PermState:  r.permSrc.State(),
+		PosState:   r.pos.src.State(),
+		Stats:      r.stats,
+	}
+	if r.crypt != nil {
+		snap.CryptCtr = r.crypt.Counter()
+	}
+	r.stash.ForEach(func(id BlockID, p PathID) {
+		snap.Stash = append(snap.Stash, stashSnap{ID: id, Path: p, Data: r.stash.Get(id)})
+	})
+	r.pos.ForEach(func(id BlockID, p PathID) {
+		snap.PosMap = append(snap.PosMap, posSnap{ID: id, Path: p})
+	})
+	for idx, b := range r.buckets {
+		snap.Buckets = append(snap.Buckets, bucketSnap{
+			Index: idx, Count: b.Count, Green: b.Green, Epoch: b.Epoch, Slots: b.Slots,
+		})
+	}
+	switch st := r.store.(type) {
+	case nil:
+		// timing-only: nothing to persist
+	case *MemStore:
+		for bkt, slots := range st.slots {
+			snap.Store = append(snap.Store, storeSnap{Bucket: bkt, Slots: slots})
+		}
+	default:
+		return fmt.Errorf("oram: Save supports nil or MemStore stores, got %T", r.store)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load restores a Ring from a Save checkpoint. The restored ring
+// reconstructs its store from the checkpoint: rings saved with a
+// MemStore come back functional, timing-only rings come back timing-only.
+//
+// key may be nil for timing-only or plaintext-store checkpoints; for
+// encrypted checkpoints it must be the 16-byte AES key the original ring
+// sealed with, or block contents will not decrypt.
+func Load(rd io.Reader, key []byte) (*Ring, error) {
+	var snap ringSnap
+	if err := gob.NewDecoder(rd).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("oram: decoding checkpoint: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("oram: checkpoint version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if err := snap.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("oram: checkpoint config: %w", err)
+	}
+
+	var crypt *Crypt
+	if snap.HasCrypt {
+		if key == nil {
+			return nil, fmt.Errorf("oram: checkpoint was sealed; Load needs the original key")
+		}
+		var err error
+		crypt, err = NewCrypt(key, snap.Cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var store Store
+	if snap.HasStore {
+		ms := NewMemStore(snap.Cfg.SlotsPerBucket())
+		for _, s := range snap.Store {
+			if len(s.Slots) != snap.Cfg.SlotsPerBucket() {
+				return nil, fmt.Errorf("oram: checkpoint bucket %d has %d slots, want %d",
+					s.Bucket, len(s.Slots), snap.Cfg.SlotsPerBucket())
+			}
+			ms.slots[s.Bucket] = s.Slots
+		}
+		store = ms
+	}
+	if crypt != nil {
+		crypt.SetCounter(snap.CryptCtr)
+	}
+
+	r := &Ring{
+		cfg:           snap.Cfg,
+		tree:          NewTree(snap.Cfg.Levels),
+		stash:         NewStash(snap.Cfg.StashSize),
+		buckets:       make(map[int64]*Bucket, len(snap.Buckets)),
+		store:         store,
+		crypt:         crypt,
+		selSrc:        rng.Restore(snap.SelState),
+		permSrc:       rng.Restore(snap.PermState),
+		uniformSelect: snap.Cfg.UniformSelect,
+		xor:           snap.XOR,
+		evictCount:    snap.EvictCount,
+		roundCount:    snap.RoundCount,
+		warmSeed:      snap.WarmSeed,
+		nextFiller:    snap.NextFiller,
+		stats:         snap.Stats,
+	}
+	r.pos = &PositionMap{
+		m:      make(map[BlockID]PathID, len(snap.PosMap)),
+		leaves: r.tree.Leaves(),
+		src:    rng.Restore(snap.PosState),
+	}
+	for _, e := range snap.PosMap {
+		r.pos.m[e.ID] = e.Path
+	}
+	for _, e := range snap.Stash {
+		r.stash.Put(e.ID, e.Path, e.Data)
+	}
+	for _, b := range snap.Buckets {
+		if len(b.Slots) != snap.Cfg.SlotsPerBucket() {
+			return nil, fmt.Errorf("oram: checkpoint bucket %d metadata has %d slots, want %d",
+				b.Index, len(b.Slots), snap.Cfg.SlotsPerBucket())
+		}
+		r.buckets[b.Index] = &Bucket{
+			Slots: b.Slots, Count: b.Count, Green: b.Green, Epoch: b.Epoch,
+		}
+	}
+	if r.stash.Len() > r.stash.Cap() {
+		return nil, fmt.Errorf("oram: checkpoint stash (%d) exceeds capacity (%d)", r.stash.Len(), r.stash.Cap())
+	}
+	return r, nil
+}

@@ -1,0 +1,214 @@
+package oram
+
+import (
+	"bytes"
+	"testing"
+
+	"stringoram/internal/rng"
+)
+
+// TestSaveLoadContinuation is the core checkpoint property: a run that is
+// saved and restored produces exactly the same op stream and data as an
+// uninterrupted run.
+func TestSaveLoadContinuation(t *testing.T) {
+	cfg := smallCfg(2)
+	mk := func() *Ring { return newFunctionalRing(t, cfg, 321) }
+
+	drive := func(r *Ring, from, to int) []Op {
+		var all []Op
+		for i := from; i < to; i++ {
+			id := BlockID(i % 40)
+			var err error
+			var ops []Op
+			if i%3 == 0 {
+				_, ops, err = r.Access(id, true, blockData(cfg, id, i))
+			} else {
+				_, ops, err = r.Access(id, false, nil)
+			}
+			if err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			all = append(all, ops...)
+		}
+		return all
+	}
+
+	// Uninterrupted reference run.
+	ref := mk()
+	refOps := drive(ref, 0, 1000)
+
+	// Interrupted run: 500 accesses, checkpoint, restore, 500 more.
+	r1 := mk()
+	ops1 := drive(r1, 0, 500)
+	var buf bytes.Buffer
+	if err := r1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(&buf, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops2 := drive(r2, 500, 1000)
+
+	got := append(ops1, ops2...)
+	if len(got) != len(refOps) {
+		t.Fatalf("op counts differ: %d vs %d", len(got), len(refOps))
+	}
+	for i := range got {
+		if got[i].Kind != refOps[i].Kind || got[i].Path != refOps[i].Path ||
+			len(got[i].Accesses) != len(refOps[i].Accesses) {
+			t.Fatalf("op %d diverged after restore", i)
+		}
+		for j := range got[i].Accesses {
+			if got[i].Accesses[j] != refOps[i].Accesses[j] {
+				t.Fatalf("op %d access %d diverged after restore", i, j)
+			}
+		}
+	}
+	if err := r2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveLoadDataIntegrity writes data, checkpoints, restores with the
+// key, and reads everything back.
+func TestSaveLoadDataIntegrity(t *testing.T) {
+	cfg := smallCfg(3)
+	r := newFunctionalRing(t, cfg, 77)
+	ref := make(map[BlockID][]byte)
+	src := rng.New(78)
+	for i := 0; i < 800; i++ {
+		id := BlockID(src.Intn(48))
+		d := blockData(cfg, id, i)
+		if _, err := r.Write(id, d); err != nil {
+			t.Fatal(err)
+		}
+		ref[id] = d
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(&buf, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range ref {
+		got, _, err := r2.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d corrupted across checkpoint", id)
+		}
+	}
+	if err := r2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadTimingOnly(t *testing.T) {
+	cfg := smallCfg(0)
+	cfg.WarmFill = 0.4
+	r, err := NewRing(cfg, 55, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, _, err := r.Access(BlockID(i%24), false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both continue identically.
+	for i := 0; i < 200; i++ {
+		_, a, errA := r.Access(BlockID(i%24), false, nil)
+		_, b, errB := r2.Access(BlockID(i%24), false, nil)
+		if errA != nil || errB != nil {
+			t.Fatalf("%v / %v", errA, errB)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("step %d: op counts diverged", i)
+		}
+		for j := range a {
+			if a[j].Path != b[j].Path {
+				t.Fatalf("step %d op %d: paths diverged", i, j)
+			}
+		}
+	}
+	if r2.Stats().ReadPaths != r.Stats().ReadPaths {
+		t.Fatal("stats diverged")
+	}
+}
+
+func TestLoadRejectsSealedWithoutCrypt(t *testing.T) {
+	r := newFunctionalRing(t, smallCfg(0), 1)
+	if _, err := r.Write(1, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, nil); err == nil {
+		t.Fatal("sealed checkpoint loaded without a key")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint")), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveRejectsCustomStore(t *testing.T) {
+	cfg := smallCfg(0)
+	r, err := NewRing(cfg, 2, &Options{Store: customStore{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err == nil {
+		t.Fatal("custom store accepted by Save")
+	}
+}
+
+// customStore is a minimal non-MemStore Store.
+type customStore struct{}
+
+func (customStore) ReadSlot(int64, int) []byte   { return nil }
+func (customStore) WriteSlot(int64, int, []byte) {}
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	a := rng.New(123)
+	for i := 0; i < 10; i++ {
+		a.Uint64()
+	}
+	b := rng.Restore(a.State())
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("restored stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestCryptCounterRoundTrip(t *testing.T) {
+	c, _ := NewCrypt(testKey(), 32)
+	c.Seal(nil)
+	c.Seal(nil)
+	ctr := c.Counter()
+	c2, _ := NewCrypt(testKey(), 32)
+	c2.SetCounter(ctr)
+	a := c.Seal(nil)
+	b := c2.Seal(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("counters restored but seals differ")
+	}
+}

@@ -1,0 +1,86 @@
+package oram
+
+// stashEntry is one block buffered in the on-chip stash. Data is nil in
+// timing-only mode (no Store attached).
+type stashEntry struct {
+	path PathID
+	data []byte
+}
+
+// Stash is the bounded on-chip buffer that holds blocks between a read
+// path and their eviction back into the tree. It lives inside the secure
+// boundary, so its contents are invisible to the memory-bus adversary.
+type Stash struct {
+	entries map[BlockID]*stashEntry
+	cap     int
+}
+
+// NewStash returns an empty stash with the given capacity in blocks.
+func NewStash(capacity int) *Stash {
+	return &Stash{entries: make(map[BlockID]*stashEntry), cap: capacity}
+}
+
+// Len returns the current occupancy in blocks.
+func (s *Stash) Len() int { return len(s.entries) }
+
+// Cap returns the capacity in blocks.
+func (s *Stash) Cap() int { return s.cap }
+
+// Full reports whether the stash is at or beyond capacity.
+func (s *Stash) Full() bool { return len(s.entries) >= s.cap }
+
+// Contains reports whether the block is buffered.
+func (s *Stash) Contains(id BlockID) bool {
+	_, ok := s.entries[id]
+	return ok
+}
+
+// Put inserts or replaces a block. The caller is responsible for capacity
+// policy (background eviction); Put itself never fails so that the
+// protocol can always complete an in-flight operation.
+func (s *Stash) Put(id BlockID, path PathID, data []byte) {
+	s.entries[id] = &stashEntry{path: path, data: data}
+}
+
+// Get returns the buffered data for the block, or nil.
+func (s *Stash) Get(id BlockID) []byte {
+	if e, ok := s.entries[id]; ok {
+		return e.data
+	}
+	return nil
+}
+
+// SetPath updates the assigned path of a buffered block (remap-on-access).
+func (s *Stash) SetPath(id BlockID, path PathID) {
+	if e, ok := s.entries[id]; ok {
+		e.path = path
+	}
+}
+
+// Path returns the assigned path of a buffered block. ok is false when the
+// block is not buffered.
+func (s *Stash) Path(id BlockID) (PathID, bool) {
+	e, ok := s.entries[id]
+	if !ok {
+		return 0, false
+	}
+	return e.path, true
+}
+
+// Remove deletes the block and returns its data (nil in timing mode).
+func (s *Stash) Remove(id BlockID) []byte {
+	e, ok := s.entries[id]
+	if !ok {
+		return nil
+	}
+	delete(s.entries, id)
+	return e.data
+}
+
+// ForEach visits every buffered block. Mutating the stash during the walk
+// is not allowed.
+func (s *Stash) ForEach(fn func(id BlockID, path PathID)) {
+	for id, e := range s.entries {
+		fn(id, e.path)
+	}
+}

@@ -1,0 +1,55 @@
+package oram
+
+// Store is the untrusted block storage behind the ORAM controller: it
+// holds one sealed (encrypted) blob per physical slot and knows nothing
+// about which slots are real. A nil Store puts the controller in
+// timing-only mode: all metadata and access sequences are exact but no
+// data bytes move.
+type Store interface {
+	// ReadSlot returns the sealed bytes last written to the slot, or nil
+	// if the slot was never written.
+	ReadSlot(bucket int64, slot int) []byte
+	// WriteSlot replaces the slot's sealed bytes.
+	WriteSlot(bucket int64, slot int, sealed []byte)
+}
+
+// MemStore is an in-memory Store. Slots are materialized lazily, so huge
+// trees cost memory proportional to the touched region only.
+type MemStore struct {
+	slots   map[int64][][]byte
+	perBkt  int
+	written int64
+}
+
+// NewMemStore returns an empty in-memory store for buckets with the given
+// number of slots.
+func NewMemStore(slotsPerBucket int) *MemStore {
+	return &MemStore{slots: make(map[int64][][]byte), perBkt: slotsPerBucket}
+}
+
+// ReadSlot implements Store.
+func (m *MemStore) ReadSlot(bucket int64, slot int) []byte {
+	b, ok := m.slots[bucket]
+	if !ok {
+		return nil
+	}
+	return b[slot]
+}
+
+// WriteSlot implements Store.
+func (m *MemStore) WriteSlot(bucket int64, slot int, sealed []byte) {
+	b, ok := m.slots[bucket]
+	if !ok {
+		b = make([][]byte, m.perBkt)
+		m.slots[bucket] = b
+	}
+	b[slot] = sealed
+	m.written++
+}
+
+// WrittenSlots returns the total number of slot writes performed, a cheap
+// proxy for write bandwidth in functional tests.
+func (m *MemStore) WrittenSlots() int64 { return m.written }
+
+// TouchedBuckets returns how many buckets have materialized storage.
+func (m *MemStore) TouchedBuckets() int { return len(m.slots) }

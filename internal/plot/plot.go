@@ -1,0 +1,225 @@
+// Package plot renders simple, dependency-free SVG charts — grouped bar
+// charts and line charts — used by the experiment harness to emit the
+// paper's figures as images (cmd/stringoram plot).
+//
+// The renderer is deliberately small: fixed canvas, automatic y-scaling,
+// categorical x-axis, legend. It produces standalone well-formed SVG.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind selects the chart form.
+type Kind int
+
+const (
+	// Bars renders one group of bars per x tick, one bar per series.
+	Bars Kind = iota
+	// Lines renders one polyline per series with point markers.
+	Lines
+)
+
+// Series is one named data series; len(Values) must equal len(XTicks).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	YLabel string
+	XTicks []string
+	Series []Series
+	Kind   Kind
+	// YMax fixes the y-axis maximum; 0 auto-scales to the data.
+	YMax float64
+}
+
+// Canvas geometry (pixels).
+const (
+	width      = 760
+	height     = 420
+	marginL    = 70
+	marginR    = 20
+	marginT    = 48
+	marginB    = 64
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	legendYOff = 18
+)
+
+// palette holds the series colors (color-blind-friendly Okabe-Ito).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00",
+	"#CC79A7", "#56B4E9", "#F0E442", "#000000",
+}
+
+// esc escapes text nodes and attribute values.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Validate reports structural problems before rendering.
+func (c *Chart) Validate() error {
+	if len(c.XTicks) == 0 {
+		return errors.New("plot: chart needs at least one x tick")
+	}
+	if len(c.Series) == 0 {
+		return errors.New("plot: chart needs at least one series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XTicks) {
+			return fmt.Errorf("plot: series %q has %d values for %d ticks", s.Name, len(s.Values), len(c.XTicks))
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plot: series %q contains a non-finite value", s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// yMax computes the y-axis maximum.
+func (c *Chart) yMax() float64 {
+	if c.YMax > 0 {
+		return c.YMax
+	}
+	m := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	// Round up to a tidy value: 1/2/5 x 10^k.
+	k := math.Pow(10, math.Floor(math.Log10(m)))
+	for _, mult := range []float64{1, 2, 5, 10} {
+		if m <= mult*k {
+			return mult * k
+		}
+	}
+	return 10 * k
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	// Title.
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`,
+		marginL, esc(c.Title))
+
+	ymax := c.yMax()
+	xfor := func(i int, frac float64) float64 {
+		step := float64(plotW) / float64(len(c.XTicks))
+		return float64(marginL) + step*(float64(i)+frac)
+	}
+	yfor := func(v float64) float64 {
+		return float64(marginT) + float64(plotH)*(1-v/ymax)
+	}
+
+	// Gridlines + y ticks.
+	for i := 0; i <= 4; i++ {
+		v := ymax * float64(i) / 4
+		y := yfor(v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`,
+			marginL-6, y+4, esc(trimFloat(v)))
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT+plotH, width-marginR, marginT+plotH)
+	// Y label.
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// X ticks.
+	for i, tick := range c.XTicks {
+		x := xfor(i, 0.5)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`,
+			x, marginT+plotH+16, x, marginT+plotH+16, esc(tick))
+	}
+
+	switch c.Kind {
+	case Bars:
+		group := float64(plotW) / float64(len(c.XTicks))
+		barW := group * 0.8 / float64(len(c.Series))
+		for si, s := range c.Series {
+			col := palette[si%len(palette)]
+			for i, v := range s.Values {
+				x := xfor(i, 0.1) + barW*float64(si)
+				y := yfor(v)
+				h := float64(marginT+plotH) - y
+				if h < 0 {
+					h = 0
+				}
+				fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+					x, y, barW*0.92, h, col)
+			}
+		}
+	case Lines:
+		for si, s := range c.Series {
+			col := palette[si%len(palette)]
+			var pts []string
+			for i, v := range s.Values {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", xfor(i, 0.5), yfor(v)))
+			}
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+				strings.Join(pts, " "), col)
+			for i, v := range s.Values {
+				fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`,
+					xfor(i, 0.5), yfor(v), col)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("plot: unknown chart kind %d", int(c.Kind))
+	}
+
+	// Legend (top-right, horizontal).
+	lx := float64(width - marginR - 130)
+	ly := float64(marginT - legendYOff)
+	for si, s := range c.Series {
+		col := palette[si%len(palette)]
+		y := ly + float64(si)*14
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`, lx, y-9, col)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`,
+			lx+14, y, esc(s.Name))
+	}
+
+	sb.WriteString(`</svg>`)
+	return []byte(sb.String()), nil
+}
+
+// trimFloat renders tick labels compactly.
+func trimFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

@@ -1,0 +1,127 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demoChart(kind Kind) *Chart {
+	return &Chart{
+		Title:  "Demo <figure> & friends",
+		YLabel: "normalized time",
+		XTicks: []string{"black", "libq", "mummer"},
+		Series: []Series{
+			{Name: "Baseline", Values: []float64{1, 1, 1}},
+			{Name: "ALL", Values: []float64{0.65, 0.66, 0.64}},
+		},
+		Kind: kind,
+	}
+}
+
+func TestBarsWellFormed(t *testing.T) {
+	svg, err := demoChart(Bars).SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node struct{}
+	if err := xml.Unmarshal(svg, &node); err != nil {
+		t.Fatalf("not well-formed XML: %v\n%s", err, svg)
+	}
+	out := string(svg)
+	for _, want := range []string{"<svg", "<rect", "Baseline", "ALL", "libq", "normalized time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 2 series x 3 ticks = 6 data bars (plus background + 2 legend swatches).
+	if got := strings.Count(out, "<rect"); got != 1+6+2 {
+		t.Errorf("bar count = %d rects, want 9", got)
+	}
+}
+
+func TestLinesWellFormed(t *testing.T) {
+	svg, err := demoChart(Lines).SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node struct{}
+	if err := xml.Unmarshal(svg, &node); err != nil {
+		t.Fatalf("not well-formed XML: %v", err)
+	}
+	out := string(svg)
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 polylines")
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Errorf("want 6 markers")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg, err := demoChart(Bars).SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(svg), "<figure>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(string(svg), "&lt;figure&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []*Chart{
+		{XTicks: nil, Series: []Series{{Name: "a", Values: nil}}},
+		{XTicks: []string{"x"}, Series: nil},
+		{XTicks: []string{"x"}, Series: []Series{{Name: "a", Values: []float64{1, 2}}}},
+	}
+	for i, c := range cases {
+		if _, err := c.SVG(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	bad := demoChart(Bars)
+	bad.Series[0].Values[1] = nan()
+	if _, err := bad.SVG(); err == nil {
+		t.Error("NaN accepted")
+	}
+	unknown := demoChart(Bars)
+	unknown.Kind = Kind(9)
+	if _, err := unknown.SVG(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func TestAutoYMaxTidy(t *testing.T) {
+	cases := map[float64]float64{
+		0.73: 1, 1.4: 2, 3.9: 5, 8.2: 10, 73: 100, 130: 200, 0: 1,
+	}
+	for in, want := range cases {
+		c := &Chart{XTicks: []string{"x"}, Series: []Series{{Name: "s", Values: []float64{in}}}}
+		if got := c.yMax(); got != want {
+			t.Errorf("yMax for %v = %v, want %v", in, got, want)
+		}
+	}
+	fixed := &Chart{YMax: 42, XTicks: []string{"x"}, Series: []Series{{Name: "s", Values: []float64{1}}}}
+	if fixed.yMax() != 42 {
+		t.Error("explicit YMax ignored")
+	}
+}
+
+func TestZeroValuesRenderEmptyBars(t *testing.T) {
+	c := &Chart{
+		Title: "zeros", XTicks: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{0}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(svg), `height="-`) {
+		t.Fatal("negative bar height emitted")
+	}
+}

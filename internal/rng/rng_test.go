@@ -1,0 +1,261 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedSafe(t *testing.T) {
+	src := New(0)
+	// The all-zero xoshiro state is a fixed point at zero; make sure the
+	// zero seed still produces a working stream.
+	sawNonZero := false
+	for i := 0; i < 16; i++ {
+		if src.Uint64() != 0 {
+			sawNonZero = true
+		}
+	}
+	if !sawNonZero {
+		t.Fatal("zero seed produced a stuck all-zero stream")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			t.Fatalf("sibling forks collided at draw %d", i)
+		}
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	mk := func() *Source { return New(99).Fork() }
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("fork of identical parents diverged at draw %d", i)
+		}
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	src := New(3)
+	err := quick.Check(func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := src.Uint64n(n)
+		return v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	src := New(5)
+	for i := 0; i < 10000; i++ {
+		if v := src.Uint64n(8); v >= 8 {
+			t.Fatalf("Uint64n(8) = %d out of range", v)
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	src := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[src.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	src := New(13)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := src.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermVaries(t *testing.T) {
+	src := New(17)
+	identical := 0
+	first := src.Perm(20)
+	for i := 0; i < 50; i++ {
+		p := src.Perm(20)
+		same := true
+		for j := range p {
+			if p[j] != first[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			identical++
+		}
+	}
+	if identical > 1 {
+		t.Fatalf("%d/50 permutations identical to the first; shuffle looks broken", identical)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(19)
+	for i := 0; i < 10000; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	src := New(23)
+	const draws = 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += src.Float64()
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	src := New(29)
+	const draws = 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		v := src.Exp()
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	src := New(31)
+	for i := 0; i < 10000; i++ {
+		if src.Int63() < 0 {
+			t.Fatal("Int63 returned a negative value")
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	src := New(37)
+	const draws = 100000
+	trues := 0
+	for i := 0; i < draws; i++ {
+		if src.Bool() {
+			trues++
+		}
+	}
+	if trues < draws*45/100 || trues > draws*55/100 {
+		t.Fatalf("Bool returned true %d/%d times; badly unbalanced", trues, draws)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	src := New(41)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	src.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed the multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Uint64()
+	}
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Uint64n(20)
+	}
+}

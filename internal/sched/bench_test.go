@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+	"stringoram/internal/dram"
+)
+
+// drainBench runs a workload to completion without testing.T plumbing.
+func drainBench(c *Controller, txns [][]*Request) {
+	now := int64(0)
+	ti, ri := 0, 0
+	for {
+		for ti < len(txns) {
+			for ri < len(txns[ti]) && c.Enqueue(txns[ti][ri], now) {
+				ri++
+			}
+			if ri < len(txns[ti]) {
+				break
+			}
+			c.CloseTxn(int64(ti))
+			ti++
+			ri = 0
+		}
+		if c.Pending() == 0 && ti >= len(txns) {
+			return
+		}
+		next := c.Tick(now)
+		if next == dram.Never || next <= now {
+			now++
+		} else {
+			now = next
+		}
+	}
+}
+
+// BenchmarkControllerTransaction measures end-to-end scheduling
+// throughput (requests/sec) under the baseline scheduler.
+func BenchmarkControllerTransaction(b *testing.B) {
+	d := config.Default().DRAM
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		txns := randomTxns(uint64(i)+1, 100, d)
+		c := New(d, config.SchedTransaction)
+		b.StartTimer()
+		drainBench(c, txns)
+	}
+}
+
+// BenchmarkControllerPB measures the PB scheduler's throughput (it scans
+// the next transaction too).
+func BenchmarkControllerPB(b *testing.B) {
+	d := config.Default().DRAM
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		txns := randomTxns(uint64(i)+1, 100, d)
+		c := New(d, config.SchedProactiveBank)
+		b.StartTimer()
+		drainBench(c, txns)
+	}
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+)
+
+func closePageDRAM() config.DRAM {
+	d := testDRAM()
+	d.Policy = config.ClosePage
+	return d
+}
+
+func TestClosePageCompletesAllRequests(t *testing.T) {
+	c := New(closePageDRAM(), config.SchedTransaction)
+	txns := randomTxns(21, 150, testDRAM())
+	drain(t, c, txns)
+	for _, txn := range txns {
+		for _, r := range txn {
+			if r.Done == 0 {
+				t.Fatalf("request %+v never completed under close-page", r.Coord)
+			}
+		}
+	}
+}
+
+func TestClosePagePrechargesIdleBanks(t *testing.T) {
+	c := New(closePageDRAM(), config.SchedTransaction)
+	r := req(0, 0, 0, 5, 0, false, TagReadPath)
+	end := drain(t, c, [][]*Request{{r}})
+	// After draining, the controller keeps closing banks; tick a few
+	// more cycles and the bank must be precharged.
+	now := end
+	for i := 0; i < 100; i++ {
+		c.Tick(now)
+		now++
+	}
+	if _, open := c.Channel(0).OpenRow(0, 0); open {
+		t.Fatal("close-page policy left a row open with an empty queue")
+	}
+}
+
+func TestOpenPageKeepsRowsOpen(t *testing.T) {
+	c := New(testDRAM(), config.SchedTransaction)
+	r := req(0, 0, 0, 5, 0, false, TagReadPath)
+	end := drain(t, c, [][]*Request{{r}})
+	now := end
+	for i := 0; i < 100; i++ {
+		c.Tick(now)
+		now++
+	}
+	if _, open := c.Channel(0).OpenRow(0, 0); !open {
+		t.Fatal("open-page policy closed a row without a conflict")
+	}
+}
+
+// TestClosePageTurnsConflictsIntoMisses shows the policy's effect on the
+// classification: with idle time between scattered same-bank
+// different-row accesses, open-page classifies them as conflicts while
+// close-page has already precharged, leaving plain misses. (Back-to-back
+// traffic shows no difference — the PRE is merely attributed earlier.)
+func TestClosePageTurnsConflictsIntoMisses(t *testing.T) {
+	run := func(d config.DRAM) *Stats {
+		c := New(d, config.SchedTransaction)
+		now := int64(0)
+		for i := 0; i < 20; i++ {
+			r := req(int64(i), 0, 0, i, 0, false, TagReadPath)
+			for !c.Enqueue(r, now) {
+				now++
+			}
+			c.CloseTxn(int64(i))
+			// Drain this request, then idle long enough for a
+			// close-page precharge to land.
+			for r.Done == 0 || now < r.Done+100 {
+				c.Tick(now)
+				now++
+			}
+		}
+		return c.Stats()
+	}
+	open := run(testDRAM())
+	closed := run(closePageDRAM())
+	if open.Conflicts[TagReadPath] == 0 {
+		t.Fatal("open-page saw no conflicts on a conflict-only workload")
+	}
+	if closed.Conflicts[TagReadPath] >= open.Conflicts[TagReadPath] {
+		t.Fatalf("close-page conflicts (%d) not below open-page (%d)",
+			closed.Conflicts[TagReadPath], open.Conflicts[TagReadPath])
+	}
+}
+
+// TestStarvationGuard: with the guard, a stream of younger row hits
+// cannot indefinitely defer an aged conflicting request within one
+// transaction.
+func TestStarvationGuard(t *testing.T) {
+	run := func(limit int) (conflictIssue int64) {
+		d := testDRAM()
+		d.StarvationLimit = limit
+		c := New(d, config.SchedTransaction)
+		// One big transaction: an early conflicting request to bank 0
+		// row 99, then a long run of row hits to bank 0 row 1.
+		var txn []*Request
+		warm := req(0, 0, 0, 1, 0, false, TagReadPath)
+		txn = append(txn, warm)
+		victim := req(0, 0, 0, 99, 0, false, TagReadPath)
+		txn = append(txn, victim)
+		for i := 0; i < 30; i++ {
+			txn = append(txn, req(0, 0, 0, 1, i+1, false, TagReadPath))
+		}
+		drain(t, c, [][]*Request{txn})
+		return victim.Issued
+	}
+	unguarded := run(0)
+	guarded := run(50)
+	if guarded >= unguarded {
+		t.Fatalf("starvation guard did not advance the aged request: %d vs %d", guarded, unguarded)
+	}
+}
+
+func TestStarvationGuardCompletesWorkloads(t *testing.T) {
+	d := testDRAM()
+	d.StarvationLimit = 64
+	for _, kind := range []config.SchedulerKind{config.SchedTransaction, config.SchedProactiveBank} {
+		c := New(d, kind)
+		txns := randomTxns(31, 100, d)
+		drain(t, c, txns)
+		for _, txn := range txns {
+			for _, r := range txn {
+				if r.Done == 0 {
+					t.Fatalf("%v: request starved WITH the guard on", kind)
+				}
+			}
+		}
+	}
+}
+
+func TestClosePageNeverClosesWantedRow(t *testing.T) {
+	c := New(closePageDRAM(), config.SchedTransaction)
+	// Two same-row requests in consecutive transactions: the second
+	// must still classify as a hit (its row stays open because it is
+	// wanted).
+	r1 := req(0, 0, 0, 5, 0, false, TagReadPath)
+	r2 := req(1, 0, 0, 5, 1, false, TagReadPath)
+	drain(t, c, [][]*Request{{r1}, {r2}})
+	if r2.Class != RowHit {
+		t.Fatalf("wanted row was closed: r2 class = %v", r2.Class)
+	}
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"stringoram/internal/config"
+	"stringoram/internal/rng"
+)
+
+// TestFuzzSchedulers drains many random workloads through every
+// (scheduler, page-policy) combination and asserts the accounting
+// invariants that any correct controller must maintain:
+//
+//   - every request completes and is classified exactly once;
+//   - per-channel data commands never cross transaction boundaries;
+//   - request Done >= Issued >= Enqueued;
+//   - the controller ends empty.
+func TestFuzzSchedulers(t *testing.T) {
+	seeds := []uint64{3, 17, 91, 1234}
+	kinds := []config.SchedulerKind{config.SchedTransaction, config.SchedProactiveBank}
+	policies := []config.PagePolicy{config.OpenPage, config.ClosePage}
+	for _, seed := range seeds {
+		for _, kind := range kinds {
+			for _, policy := range policies {
+				d := testDRAM()
+				d.Policy = policy
+				txns := randomTxns(seed, 80, d)
+				c := New(d, kind)
+				drain(t, c, txns)
+
+				total := int64(0)
+				for _, txn := range txns {
+					for _, r := range txn {
+						total++
+						if r.Done == 0 || r.Issued == 0 {
+							t.Fatalf("seed %d %v/%v: request never serviced", seed, kind, policy)
+						}
+						if r.Done < r.Issued || r.Issued < r.Enqueued {
+							t.Fatalf("seed %d: time order broken: enq %d issue %d done %d",
+								seed, r.Enqueued, r.Issued, r.Done)
+						}
+					}
+				}
+				s := c.Stats()
+				if s.ReadReqs+s.WriteReqs != total {
+					t.Fatalf("seed %d %v/%v: %d requests accounted, want %d",
+						seed, kind, policy, s.ReadReqs+s.WriteReqs, total)
+				}
+				var classified int64
+				for tag := Tag(0); tag < NumTags; tag++ {
+					classified += s.Hits[tag] + s.Misses[tag] + s.Conflicts[tag]
+				}
+				if classified != total {
+					t.Fatalf("seed %d: classified %d, want %d", seed, classified, total)
+				}
+				if c.Pending() != 0 {
+					t.Fatalf("seed %d: %d requests still queued", seed, c.Pending())
+				}
+				// Data commands grouped by transaction, in order.
+				ord, _ := dataTxnSequence(txns)
+				for ch, seq := range ord {
+					for i := 1; i < len(seq); i++ {
+						if seq[i] < seq[i-1] {
+							t.Fatalf("seed %d %v: channel %d issued txn %d after %d",
+								seed, kind, ch, seq[i], seq[i-1])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPBNeverSlower compares PB against the baseline over many random
+// workloads: the paper's Claim (and common sense) is that hoisting
+// PRE/ACT cannot hurt, since data scheduling is unchanged.
+func TestPBNeverSlower(t *testing.T) {
+	for _, seed := range []uint64{5, 55, 555, 5555, 55555} {
+		d := testDRAM()
+		base := New(d, config.SchedTransaction)
+		endBase := drain(t, base, randomTxns(seed, 100, d))
+		pb := New(d, config.SchedProactiveBank)
+		endPB := drain(t, pb, randomTxns(seed, 100, d))
+		// Allow a tiny epsilon: a hoisted ACT can in principle delay a
+		// refresh by a cycle or two.
+		if endPB > endBase+endBase/100 {
+			t.Fatalf("seed %d: PB (%d) more than 1%% slower than baseline (%d)", seed, endPB, endBase)
+		}
+	}
+}
+
+// TestBackpressureNeverDeadlocks floods tiny queues with large
+// transactions; the txn-ordered feeder must always drain.
+func TestBackpressureNeverDeadlocks(t *testing.T) {
+	d := testDRAM()
+	d.ReadQueue = 4
+	d.WriteQueue = 4
+	src := rng.New(9)
+	var txns [][]*Request
+	for i := 0; i < 25; i++ {
+		var txn []*Request
+		// Transactions far larger than the queues.
+		for j := 0; j < 20; j++ {
+			txn = append(txn, req(int64(i), src.Intn(d.Channels), src.Intn(d.Banks),
+				src.Intn(32), src.Intn(d.Columns), j%4 == 0, TagEvict))
+		}
+		txns = append(txns, txn)
+	}
+	for _, kind := range []config.SchedulerKind{config.SchedTransaction, config.SchedProactiveBank} {
+		c := New(d, kind)
+		drain(t, c, txns)
+		for _, txn := range txns {
+			for _, r := range txn {
+				if r.Done == 0 {
+					t.Fatalf("%v: request starved under backpressure", kind)
+				}
+				r.Done, r.Issued, r.Enqueued, r.classified = 0, 0, 0, false // reset for next kind
+			}
+		}
+	}
+}
+
+// TestTickOnEmptyControllerIsNever ensures an idle controller reports
+// "nothing to do" so callers can sleep.
+func TestTickOnEmptyControllerIsNever(t *testing.T) {
+	c := New(testDRAM(), config.SchedTransaction)
+	if next := c.Tick(0); next != int64(1<<63-1) {
+		t.Fatalf("idle Tick hinted %d, want Never", next)
+	}
+}

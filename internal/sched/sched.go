@@ -1,0 +1,713 @@
+// Package sched implements the ORAM-aware memory controller: per-channel
+// read/write queues, FR-FCFS command selection, and the two transaction
+// scheduling policies of the paper — the baseline transaction-based
+// scheduler (Algorithm 1) and the Proactive Bank scheduler (Algorithm 2).
+//
+// A "transaction" is the set of memory requests belonging to one ORAM
+// operation. Correctness and security require all commands of transaction
+// i to issue before any command of transaction i+1; PB relaxes this for
+// PRE and ACT only, when the row-buffer conflict is inter-transaction
+// (the bank is not needed by any pending request of the current
+// transaction), which hides row-miss latency without changing the data
+// command sequence.
+package sched
+
+import (
+	"fmt"
+
+	"stringoram/internal/addrmap"
+	"stringoram/internal/config"
+	"stringoram/internal/dram"
+)
+
+// Tag groups requests for statistics; the simulator uses it to separate
+// the ORAM phases of Fig. 5(b) and Fig. 10.
+type Tag uint8
+
+const (
+	// TagReadPath marks read-path (and dummy read-path) traffic.
+	TagReadPath Tag = iota
+	// TagEvict marks eviction traffic.
+	TagEvict
+	// TagReshuffle marks early-reshuffle traffic.
+	TagReshuffle
+	// NumTags sizes per-tag stat arrays.
+	NumTags
+)
+
+// String implements fmt.Stringer.
+func (t Tag) String() string {
+	switch t {
+	case TagReadPath:
+		return "read-path"
+	case TagEvict:
+		return "evict"
+	case TagReshuffle:
+		return "reshuffle"
+	default:
+		return fmt.Sprintf("Tag(%d)", int(t))
+	}
+}
+
+// RowClass classifies a request's row-buffer outcome.
+type RowClass uint8
+
+const (
+	// RowHit: the needed row was already open.
+	RowHit RowClass = iota
+	// RowMiss: the bank was precharged; an ACT sufficed.
+	RowMiss
+	// RowConflict: another row was open; PRE then ACT were needed.
+	RowConflict
+)
+
+// Request is one block transfer submitted to the controller. The caller
+// allocates it; the controller fills the outcome fields.
+type Request struct {
+	Txn   int64 // ORAM transaction number (global, monotonically increasing)
+	Coord addrmap.Coord
+	Write bool
+	Tag   Tag
+
+	Enqueued int64 // cycle the request entered the queue (set by Enqueue)
+	Issued   int64 // cycle its RD/WR issued
+	Done     int64 // cycle its data burst completed
+
+	Class RowClass
+
+	seq        int64 // global age for FCFS
+	hadPre     bool
+	hadAct     bool
+	classified bool
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	ReadReqs  int64
+	WriteReqs int64
+
+	// Queuing time sums (enqueue -> RD/WR issue), split by queue.
+	ReadQueueWait  int64
+	WriteQueueWait int64
+
+	// Row-buffer outcomes, per tag.
+	Hits      [NumTags]int64
+	Misses    [NumTags]int64
+	Conflicts [NumTags]int64
+
+	// Command counts.
+	PREs int64
+	ACTs int64
+	REFs int64
+	// PB early issues (commands hoisted ahead of their transaction).
+	EarlyPREs int64
+	EarlyACTs int64
+}
+
+// ConflictRate returns the fraction of accesses with the given tag that
+// required closing an open row (the Fig. 5(b) metric). Misses on
+// precharged banks are counted in the denominator only.
+func (s *Stats) ConflictRate(tag Tag) float64 {
+	total := s.Hits[tag] + s.Misses[tag] + s.Conflicts[tag]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Conflicts[tag]) / float64(total)
+}
+
+// AvgReadWait returns the mean read-queue wait in cycles.
+func (s *Stats) AvgReadWait() float64 {
+	if s.ReadReqs == 0 {
+		return 0
+	}
+	return float64(s.ReadQueueWait) / float64(s.ReadReqs)
+}
+
+// AvgWriteWait returns the mean write-queue wait in cycles.
+func (s *Stats) AvgWriteWait() float64 {
+	if s.WriteReqs == 0 {
+		return 0
+	}
+	return float64(s.WriteQueueWait) / float64(s.WriteReqs)
+}
+
+// EarlyPREFrac returns the fraction of PREs issued ahead of their
+// transaction (Fig. 12(b)).
+func (s *Stats) EarlyPREFrac() float64 {
+	if s.PREs == 0 {
+		return 0
+	}
+	return float64(s.EarlyPREs) / float64(s.PREs)
+}
+
+// EarlyACTFrac returns the fraction of ACTs issued ahead of their
+// transaction (Fig. 12(b)).
+func (s *Stats) EarlyACTFrac() float64 {
+	if s.ACTs == 0 {
+		return 0
+	}
+	return float64(s.EarlyACTs) / float64(s.ACTs)
+}
+
+// EnergyNJ estimates total DRAM energy in nanojoules for a run of the
+// given length: the commands this controller issued at the per-operation
+// energies plus background power integrated over the run across all
+// ranks. First-order accounting — no per-bank power-down states.
+func (s *Stats) EnergyNJ(e config.DRAMEnergy, cycles int64, totalRanks int) float64 {
+	dynamic := float64(s.ACTs)*e.ACT +
+		float64(s.PREs)*e.PRE +
+		float64(s.ReadReqs)*e.RD +
+		float64(s.WriteReqs)*e.WR +
+		float64(s.REFs)*e.REF
+	seconds := float64(cycles) * e.CycleNS * 1e-9
+	background := e.BackgroundW * seconds * float64(totalRanks) * 1e9
+	return dynamic + background
+}
+
+// chanState holds one channel's queues in age order.
+type chanState struct {
+	idx    int
+	dev    *dram.Channel
+	readQ  []*Request
+	writeQ []*Request
+
+	// Scratch bank-flag arrays (ranks*banks wide), reused across ticks
+	// to avoid per-cycle allocation.
+	seenBank    []bool
+	busyBank    []bool
+	starvedBank []bool
+}
+
+// resetFlags zeroes a scratch flag array.
+func resetFlags(f []bool) {
+	for i := range f {
+		f[i] = false
+	}
+}
+
+// CommandEvent describes one DRAM command issue, for tracing (the
+// paper's Fig. 6/8 timelines).
+type CommandEvent struct {
+	Cycle   int64
+	Channel int
+	Kind    dram.CmdKind
+	Rank    int
+	Bank    int
+	Row     int
+	// Txn is the transaction the command serves (-1 for refresh and
+	// close-page maintenance).
+	Txn int64
+	// Early marks PB-hoisted commands.
+	Early bool
+}
+
+// Controller is the ORAM-aware memory controller.
+type Controller struct {
+	cfg  config.DRAM
+	kind config.SchedulerKind
+
+	chans []chanState
+
+	curTxn      int64
+	outstanding map[int64]int
+	closedUpTo  int64 // all txns < closedUpTo are fully enqueued
+
+	seq   int64
+	stats Stats
+
+	// OnCommand, when set, observes every issued command.
+	OnCommand func(CommandEvent)
+}
+
+// emit reports a command to the tracer, if any.
+func (c *Controller) emit(chIdx int, k dram.CmdKind, rank, bank, row int, cycle, txn int64, early bool) {
+	if c.OnCommand != nil {
+		c.OnCommand(CommandEvent{
+			Cycle: cycle, Channel: chIdx, Kind: k,
+			Rank: rank, Bank: bank, Row: row, Txn: txn, Early: early,
+		})
+	}
+}
+
+// New returns a controller with fresh DRAM channel devices.
+func New(cfg config.DRAM, kind config.SchedulerKind) *Controller {
+	c := &Controller{
+		cfg:         cfg,
+		kind:        kind,
+		outstanding: make(map[int64]int),
+	}
+	c.chans = make([]chanState, cfg.Channels)
+	for i := range c.chans {
+		c.chans[i].idx = i
+		c.chans[i].dev = dram.NewChannel(cfg)
+		c.chans[i].seenBank = make([]bool, cfg.Ranks*cfg.Banks)
+		c.chans[i].busyBank = make([]bool, cfg.Ranks*cfg.Banks)
+		c.chans[i].starvedBank = make([]bool, cfg.Ranks*cfg.Banks)
+	}
+	return c
+}
+
+// Channel exposes the underlying device of one channel (for statistics
+// such as bank busy cycles).
+func (c *Controller) Channel(i int) *dram.Channel { return c.chans[i].dev }
+
+// Stats returns the controller counters. The pointer stays valid and
+// live-updating for the controller's lifetime.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// CurrentTxn returns the transaction currently allowed to issue data
+// commands.
+func (c *Controller) CurrentTxn() int64 { return c.curTxn }
+
+// Pending returns the total number of queued (un-issued) requests.
+func (c *Controller) Pending() int {
+	n := 0
+	for i := range c.chans {
+		n += len(c.chans[i].readQ) + len(c.chans[i].writeQ)
+	}
+	return n
+}
+
+// CanEnqueue reports whether the target queue for the request's channel
+// and direction has a free entry.
+func (c *Controller) CanEnqueue(coordChannel int, write bool) bool {
+	ch := &c.chans[coordChannel]
+	if write {
+		return len(ch.writeQ) < c.cfg.WriteQueue
+	}
+	return len(ch.readQ) < c.cfg.ReadQueue
+}
+
+// Enqueue submits a request at the given cycle. It returns false when the
+// target queue is full (backpressure; the caller retries later).
+// Transactions must be enqueued in non-decreasing Txn order.
+func (c *Controller) Enqueue(r *Request, now int64) bool {
+	if r.Txn < c.curTxn {
+		panic(fmt.Sprintf("sched: request for past transaction %d (current %d)", r.Txn, c.curTxn))
+	}
+	if !c.CanEnqueue(r.Coord.Channel, r.Write) {
+		return false
+	}
+	ch := &c.chans[r.Coord.Channel]
+	r.Enqueued = now
+	r.seq = c.seq
+	c.seq++
+	if r.Write {
+		ch.writeQ = append(ch.writeQ, r)
+	} else {
+		ch.readQ = append(ch.readQ, r)
+	}
+	c.outstanding[r.Txn]++
+	return true
+}
+
+// CloseTxn declares that every request of all transactions up to and
+// including txn has been enqueued, allowing the controller to advance
+// past them once they drain.
+func (c *Controller) CloseTxn(txn int64) {
+	if txn+1 > c.closedUpTo {
+		c.closedUpTo = txn + 1
+	}
+	c.advance()
+}
+
+// advance moves curTxn past fully drained, fully enqueued transactions.
+func (c *Controller) advance() {
+	for c.curTxn < c.closedUpTo && c.outstanding[c.curTxn] == 0 {
+		delete(c.outstanding, c.curTxn)
+		c.curTxn++
+	}
+}
+
+// neededCmd determines the command a request needs next given the bank
+// state: RD/WR when its row is open, ACT when the bank is precharged,
+// PRE when another row is open.
+func neededCmd(dev *dram.Channel, r *Request) dram.CmdKind {
+	row, open := dev.OpenRow(r.Coord.Rank, r.Coord.Bank)
+	switch {
+	case !open:
+		return dram.CmdACT
+	case row != r.Coord.Row:
+		return dram.CmdPRE
+	case r.Write:
+		return dram.CmdWR
+	default:
+		return dram.CmdRD
+	}
+}
+
+// Tick runs one scheduling step at cycle now: each channel issues at most
+// one command. It returns the earliest future cycle at which another
+// command might become issuable (dram.Never when all queues are empty and
+// no refresh is pending).
+func (c *Controller) Tick(now int64) int64 {
+	next := dram.Never
+	for i := range c.chans {
+		if n := c.tickChannel(&c.chans[i], now); n < next {
+			next = n
+		}
+	}
+	c.advance()
+	return next
+}
+
+// tickChannel issues at most one command on one channel and returns the
+// channel's next-event hint.
+func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
+	// Refresh has absolute priority: past the deadline the rank must be
+	// closed and refreshed before anything else touches it.
+	if n, handled := c.tickRefresh(ch, now); handled {
+		return n
+	}
+
+	next := dram.Never
+	// Starvation guard: a bank whose oldest pending request has waited
+	// past the limit for a row change stops serving younger hits, so
+	// the pending PRE can land once tRTP expires.
+	resetFlags(ch.starvedBank)
+	if lim := int64(c.cfg.StarvationLimit); lim > 0 {
+		resetFlags(ch.seenBank)
+		ch.forEachInTxn(c.curTxn, func(r *Request) bool {
+			bankKey := r.Coord.Rank*c.cfg.Banks + r.Coord.Bank
+			if ch.seenBank[bankKey] {
+				return true
+			}
+			ch.seenBank[bankKey] = true
+			if neededCmd(ch.dev, r) == dram.CmdPRE && now-r.Enqueued >= lim {
+				ch.starvedBank[bankKey] = true
+			}
+			return true
+		})
+	}
+	// Pass 1 (FR-FCFS "first ready"): oldest row-hit column command of
+	// the current transaction.
+	if n, issued := c.tryColumnHit(ch, now); issued {
+		return now + 1
+	} else if n < next {
+		next = n
+	}
+	// Pass 2 (FCFS): oldest request of the current transaction gets its
+	// PRE/ACT/column command; younger requests on other idle banks may
+	// proceed too.
+	if n, issued := c.tryInTxn(ch, now); issued {
+		return now + 1
+	} else if n < next {
+		next = n
+	}
+	// Pass 3 (PB only): hoist PRE/ACT for transaction curTxn+1 on banks
+	// the current transaction no longer needs.
+	if c.kind == config.SchedProactiveBank {
+		if n, issued := c.tryProactive(ch, now); issued {
+			return now + 1
+		} else if n < next {
+			next = n
+		}
+	}
+	// Pass 4 (close-page policy only): precharge banks whose open row
+	// no queued request wants.
+	if c.cfg.Policy == config.ClosePage {
+		if n, issued := c.tryClosePage(ch, now); issued {
+			return now + 1
+		} else if n < next {
+			next = n
+		}
+	}
+	return next
+}
+
+// tryClosePage implements the close-page ablation: any bank whose open
+// row is not wanted by a queued request gets precharged eagerly.
+func (c *Controller) tryClosePage(ch *chanState, now int64) (int64, bool) {
+	next := dram.Never
+	for rank := 0; rank < c.cfg.Ranks; rank++ {
+		for bank := 0; bank < c.cfg.Banks; bank++ {
+			row, open := ch.dev.OpenRow(rank, bank)
+			if !open {
+				continue
+			}
+			wanted := false
+			for _, q := range [2][]*Request{ch.readQ, ch.writeQ} {
+				for _, r := range q {
+					if r.Coord.Rank == rank && r.Coord.Bank == bank && r.Coord.Row == row {
+						wanted = true
+						break
+					}
+				}
+				if wanted {
+					break
+				}
+			}
+			if wanted {
+				continue
+			}
+			e := ch.dev.EarliestIssue(dram.CmdPRE, rank, bank, 0, now)
+			if e == dram.Never {
+				continue
+			}
+			if e <= now {
+				ch.dev.Issue(dram.CmdPRE, rank, bank, 0, now)
+				c.stats.PREs++
+				c.emit(ch.idx, dram.CmdPRE, rank, bank, 0, now, -1, false)
+				return now + 1, true
+			}
+			if e < next {
+				next = e
+			}
+		}
+	}
+	return next, false
+}
+
+// tickRefresh closes and refreshes any rank past its tREFI deadline.
+// handled reports that refresh work preempted the channel this cycle.
+func (c *Controller) tickRefresh(ch *chanState, now int64) (int64, bool) {
+	for rank := 0; rank < c.cfg.Ranks; rank++ {
+		if !ch.dev.RefreshDue(rank, now) {
+			continue
+		}
+		// Try REF directly; otherwise precharge open banks first.
+		if e := ch.dev.EarliestIssue(dram.CmdREF, rank, 0, 0, now); e != dram.Never {
+			if e <= now {
+				ch.dev.Issue(dram.CmdREF, rank, 0, 0, now)
+				c.stats.REFs++
+				c.emit(ch.idx, dram.CmdREF, rank, 0, 0, now, -1, false)
+				return now + 1, true
+			}
+			return e, true
+		}
+		next := dram.Never
+		for bank := 0; bank < c.cfg.Banks; bank++ {
+			if _, open := ch.dev.OpenRow(rank, bank); !open {
+				continue
+			}
+			e := ch.dev.EarliestIssue(dram.CmdPRE, rank, bank, 0, now)
+			if e <= now {
+				ch.dev.Issue(dram.CmdPRE, rank, bank, 0, now)
+				c.stats.PREs++
+				c.emit(ch.idx, dram.CmdPRE, rank, bank, 0, now, -1, false)
+				return now + 1, true
+			}
+			if e < next {
+				next = e
+			}
+		}
+		return next, true
+	}
+	return dram.Never, false
+}
+
+// forEachInTxn visits the channel's queued requests with Txn == txn in
+// age order.
+func (ch *chanState) forEachInTxn(txn int64, fn func(r *Request) bool) {
+	ri, wi := 0, 0
+	for ri < len(ch.readQ) || wi < len(ch.writeQ) {
+		var pick *Request
+		switch {
+		case ri >= len(ch.readQ):
+			pick = ch.writeQ[wi]
+			wi++
+		case wi >= len(ch.writeQ):
+			pick = ch.readQ[ri]
+			ri++
+		case ch.readQ[ri].seq < ch.writeQ[wi].seq:
+			pick = ch.readQ[ri]
+			ri++
+		default:
+			pick = ch.writeQ[wi]
+			wi++
+		}
+		if pick.Txn != txn {
+			continue
+		}
+		if !fn(pick) {
+			return
+		}
+	}
+}
+
+// tryColumnHit issues the oldest current-transaction column command whose
+// row is already open.
+func (c *Controller) tryColumnHit(ch *chanState, now int64) (int64, bool) {
+	next := dram.Never
+	issued := false
+	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
+		if ch.starvedBank[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank] {
+			return true // bank paused for an aged row-change request
+		}
+		cmd := neededCmd(ch.dev, r)
+		if cmd != dram.CmdRD && cmd != dram.CmdWR {
+			return true
+		}
+		e := ch.dev.EarliestIssue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+		if e == dram.Never {
+			return true
+		}
+		if e <= now {
+			c.issueColumn(ch, r, cmd, now)
+			issued = true
+			return false
+		}
+		if e < next {
+			next = e
+		}
+		return true
+	})
+	return next, issued
+}
+
+// tryInTxn walks current-transaction requests in age order and issues the
+// first legal command (PRE, ACT, or column) it finds. Only the first
+// request per bank is considered, so a younger request cannot close a row
+// an older same-bank request still needs. FR-FCFS deferral: a PRE is held
+// back while pending requests can still hit the bank's open row, unless
+// the conflicting request has waited past the starvation limit.
+func (c *Controller) tryInTxn(ch *chanState, now int64) (int64, bool) {
+	// Mark banks whose open row still has pending same-row requests.
+	resetFlags(ch.busyBank) // reused as "open-row still wanted" flags here
+	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
+		row, open := ch.dev.OpenRow(r.Coord.Rank, r.Coord.Bank)
+		if open && row == r.Coord.Row {
+			ch.busyBank[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank] = true
+		}
+		return true
+	})
+	next := dram.Never
+	issued := false
+	resetFlags(ch.seenBank)
+	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
+		bankKey := r.Coord.Rank*c.cfg.Banks + r.Coord.Bank
+		if ch.seenBank[bankKey] {
+			return true
+		}
+		ch.seenBank[bankKey] = true
+		cmd := neededCmd(ch.dev, r)
+		if cmd == dram.CmdPRE && ch.busyBank[bankKey] && !ch.starvedBank[bankKey] {
+			return true // let pass 1 drain the open row's hits first
+		}
+		e := ch.dev.EarliestIssue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+		if e == dram.Never {
+			return true
+		}
+		if e <= now {
+			switch cmd {
+			case dram.CmdPRE:
+				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, 0, now)
+				c.stats.PREs++
+				r.hadPre = true
+				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, 0, now, r.Txn, false)
+			case dram.CmdACT:
+				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+				c.stats.ACTs++
+				r.hadAct = true
+				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now, r.Txn, false)
+			default:
+				c.issueColumn(ch, r, cmd, now)
+			}
+			issued = true
+			return false
+		}
+		if e < next {
+			next = e
+		}
+		return true
+	})
+	return next, issued
+}
+
+// tryProactive implements Algorithm 2's extension: for requests of
+// transaction curTxn+1, issue PRE/ACT ahead of time when the conflict is
+// inter-transaction, i.e. no pending current-transaction request needs
+// the same bank. Data commands are never hoisted.
+func (c *Controller) tryProactive(ch *chanState, now int64) (int64, bool) {
+	// Banks still needed by the current transaction are off limits.
+	resetFlags(ch.busyBank)
+	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
+		ch.busyBank[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank] = true
+		return true
+	})
+	next := dram.Never
+	issued := false
+	resetFlags(ch.seenBank)
+	ch.forEachInTxn(c.curTxn+1, func(r *Request) bool {
+		bankKey := r.Coord.Rank*c.cfg.Banks + r.Coord.Bank
+		if ch.busyBank[bankKey] || ch.seenBank[bankKey] {
+			return true
+		}
+		ch.seenBank[bankKey] = true
+		cmd := neededCmd(ch.dev, r)
+		if cmd != dram.CmdPRE && cmd != dram.CmdACT {
+			return true // row already open: nothing to prepare
+		}
+		e := ch.dev.EarliestIssue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+		if e == dram.Never {
+			return true
+		}
+		if e <= now {
+			if cmd == dram.CmdPRE {
+				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, 0, now)
+				c.stats.PREs++
+				c.stats.EarlyPREs++
+				r.hadPre = true
+				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, 0, now, r.Txn, true)
+			} else {
+				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+				c.stats.ACTs++
+				c.stats.EarlyACTs++
+				r.hadAct = true
+				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now, r.Txn, true)
+			}
+			issued = true
+			return false
+		}
+		if e < next {
+			next = e
+		}
+		return true
+	})
+	return next, issued
+}
+
+// issueColumn issues the RD/WR for a request, records its statistics and
+// removes it from its queue.
+func (c *Controller) issueColumn(ch *chanState, r *Request, cmd dram.CmdKind, now int64) {
+	done := ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+	r.Issued = now
+	r.Done = done
+	c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now, r.Txn, false)
+	if !r.classified {
+		r.classified = true
+		switch {
+		case r.hadPre:
+			r.Class = RowConflict
+			c.stats.Conflicts[r.Tag]++
+		case r.hadAct:
+			r.Class = RowMiss
+			c.stats.Misses[r.Tag]++
+		default:
+			r.Class = RowHit
+			c.stats.Hits[r.Tag]++
+		}
+	}
+	wait := now - r.Enqueued
+	if r.Write {
+		c.stats.WriteReqs++
+		c.stats.WriteQueueWait += wait
+		ch.writeQ = removeReq(ch.writeQ, r)
+	} else {
+		c.stats.ReadReqs++
+		c.stats.ReadQueueWait += wait
+		ch.readQ = removeReq(ch.readQ, r)
+	}
+	c.outstanding[r.Txn]--
+}
+
+// removeReq removes the first occurrence of r, preserving order.
+func removeReq(q []*Request, r *Request) []*Request {
+	for i, x := range q {
+		if x == r {
+			copy(q[i:], q[i+1:])
+			return q[:len(q)-1]
+		}
+	}
+	panic("sched: request not in queue")
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkGenerate measures synthetic-trace generation throughput
+// (records/sec).
+func BenchmarkGenerate(b *testing.B) {
+	p := Suite()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, 1000, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecRoundTrip measures trace file encode+decode throughput.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	tr, err := Generate(Suite()[1], 2000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCodec feeds arbitrary bytes to the trace decoder: it must
+// never panic, and whatever it accepts must re-encode to an equivalent
+// trace.
+func FuzzReadCodec(f *testing.F) {
+	// Seed with a real encoding and a few corruptions of it.
+	tr, err := Generate(Suite()[0], 50, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	f.Add([]byte("SORAMTR1garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if again.Name != got.Name || len(again.Records) != len(got.Records) {
+			t.Fatal("re-encode round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Package stringoram is a library implementation of String ORAM
+// ("Streamline Ring ORAM Accesses through Spatial and Temporal
+// Optimization", HPCA 2021): Ring ORAM with the Compact Bucket (CB)
+// spatial optimization and the Proactive Bank (PB) DRAM scheduler, plus
+// the full evaluation substrate — a cycle-accurate DDR3 memory-system
+// simulator, subtree address mapping, trace-driven cores, and the
+// experiment harness that regenerates every table and figure in the
+// paper.
+//
+// Three entry points cover the common uses:
+//
+//   - Protocol: NewRing / NewPathORAM give functional, encrypted ORAM
+//     controllers you can read and write through. Each access also
+//     returns the physical operation list, so the protocol layer can be
+//     embedded in other memory-system simulators.
+//   - Simulation: Simulate runs a workload trace through the full system
+//     (cores -> LLC -> ORAM -> scheduler -> DRAM) and returns timing,
+//     queuing, row-buffer and stash statistics.
+//   - Experiments: NewExperiments regenerates the paper's figures;
+//     cmd/stringoram wraps it as a CLI.
+//
+// The package is a facade: implementation lives in internal/ packages
+// and is re-exported here via type aliases, so the full API surface of
+// the underlying types is available to importers.
+package stringoram
+
+import (
+	"io"
+
+	"stringoram/internal/config"
+	"stringoram/internal/experiments"
+	"stringoram/internal/oram"
+	"stringoram/internal/sim"
+	"stringoram/internal/trace"
+)
+
+// Configuration types (see internal/config for field documentation).
+type (
+	// SystemConfig bundles the ORAM, DRAM, CPU and cache parameters of
+	// one simulated system.
+	SystemConfig = config.System
+	// ORAMConfig holds the Ring ORAM / String ORAM protocol parameters
+	// (Z, S, Y, A, tree height, stash size, ...).
+	ORAMConfig = config.ORAM
+	// DRAMConfig describes the memory organization and DDR timing.
+	DRAMConfig = config.DRAM
+	// SchedulerKind selects transaction-based or Proactive Bank
+	// scheduling.
+	SchedulerKind = config.SchedulerKind
+)
+
+// Scheduler kinds.
+const (
+	// SchedTransaction is the baseline transaction-based scheduler
+	// (paper Algorithm 1).
+	SchedTransaction = config.SchedTransaction
+	// SchedProactiveBank is the PB scheduler (paper Algorithm 2).
+	SchedProactiveBank = config.SchedProactiveBank
+)
+
+// DefaultConfig returns the paper's default system (Tables I-III):
+// Z=8, S=12, Y=8, 24-level tree, stash 500, DDR3-1600 4ch x 8 banks.
+func DefaultConfig() SystemConfig { return config.Default() }
+
+// ScaledConfig returns the default system shrunk to a tree with the
+// given number of levels, for fast experimentation.
+func ScaledConfig(levels int) SystemConfig { return config.ScaledDefault(levels) }
+
+// Protocol types.
+type (
+	// Ring is the Ring ORAM controller with Compact Bucket support.
+	Ring = oram.Ring
+	// PathORAM is the Path ORAM baseline controller.
+	PathORAM = oram.Path
+	// RingOptions configures optional Ring/Path behaviour (functional
+	// store, selection policy, stash sampling).
+	RingOptions = oram.Options
+	// BlockID identifies a logical data block.
+	BlockID = oram.BlockID
+	// Op is one ORAM operation with its physical slot accesses.
+	Op = oram.Op
+	// ProtocolStats aggregates protocol-level counters.
+	ProtocolStats = oram.Stats
+)
+
+// ErrStashOverflow is returned when background eviction cannot keep the
+// stash within capacity (an over-aggressive CB rate for the stash size).
+var ErrStashOverflow = oram.ErrStashOverflow
+
+// Recursive position-map types.
+type (
+	// RecursiveRing stores the position map in recursively smaller
+	// Ring ORAMs (an extension beyond the paper's on-chip map).
+	RecursiveRing = oram.RecursiveRing
+	// RecursiveConfig parameterizes NewRecursiveRing.
+	RecursiveConfig = oram.RecursiveConfig
+)
+
+// NewRecursiveRing builds a Ring ORAM whose position map is itself
+// ORAM-protected; see oram.RecursiveRing for the cost model.
+func NewRecursiveRing(rc RecursiveConfig, seed uint64, opts *RingOptions) (*RecursiveRing, error) {
+	return oram.NewRecursiveRing(rc, seed, opts)
+}
+
+// NewRing returns a timing-only Ring ORAM controller (no data movement;
+// every access still returns its exact physical operation list).
+func NewRing(cfg ORAMConfig, seed uint64) (*Ring, error) {
+	return oram.NewRing(cfg, seed, nil)
+}
+
+// NewFunctionalRing returns a Ring ORAM controller that moves real data
+// through an encrypted in-memory store under the given 16-byte AES key.
+func NewFunctionalRing(cfg ORAMConfig, seed uint64, key []byte) (*Ring, error) {
+	crypt, err := oram.NewCrypt(key, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	return oram.NewRing(cfg, seed, &oram.Options{
+		Store: oram.NewMemStore(cfg.SlotsPerBucket()),
+		Crypt: crypt,
+	})
+}
+
+// NewPathORAM returns a Path ORAM baseline controller with Z-slot
+// buckets; pass a nil options for timing-only mode.
+func NewPathORAM(z, levels, blockSize, stashSize int, seed uint64, opts *RingOptions) (*PathORAM, error) {
+	return oram.NewPath(z, levels, blockSize, stashSize, seed, opts)
+}
+
+// LoadRing restores a Ring from a checkpoint written by Ring.Save. For
+// encrypted checkpoints, key must be the original 16-byte AES key; pass
+// nil for timing-only checkpoints.
+func LoadRing(r io.Reader, key []byte) (*Ring, error) {
+	return oram.Load(r, key)
+}
+
+// Workload types.
+type (
+	// Trace is a named memory-access trace.
+	Trace = trace.Trace
+	// TraceProfile parameterizes the synthetic trace generator.
+	TraceProfile = trace.Profile
+)
+
+// WorkloadSuite returns the paper's Table IV workload profiles.
+func WorkloadSuite() []TraceProfile { return trace.Suite() }
+
+// WorkloadByName looks up one Table IV profile.
+func WorkloadByName(name string) (TraceProfile, error) { return trace.ByName(name) }
+
+// GenerateTrace synthesizes a trace of n accesses from a profile.
+func GenerateTrace(p TraceProfile, n int, seed uint64) (*Trace, error) {
+	return trace.Generate(p, n, seed)
+}
+
+// Simulation types.
+type (
+	// SimOptions tunes one simulation run.
+	SimOptions = sim.Options
+	// SimResult carries the timing and statistics of one run.
+	SimResult = sim.Result
+)
+
+// Simulate runs a trace through the full String ORAM system.
+func Simulate(sys SystemConfig, tr *Trace, opts SimOptions) (*SimResult, error) {
+	return sim.Run(sys, tr, opts)
+}
+
+// SimulateMix runs a heterogeneous multiprogrammed mix: one trace per
+// core, repeating round-robin when fewer traces than cores.
+func SimulateMix(sys SystemConfig, trs []*Trace, opts SimOptions) (*SimResult, error) {
+	return sim.RunMulti(sys, trs, opts)
+}
+
+// Experiment types.
+type (
+	// Experiments regenerates the paper's tables and figures.
+	Experiments = experiments.Runner
+	// ExperimentScale sizes the simulated experiment runs.
+	ExperimentScale = experiments.Scale
+)
+
+// QuickScale is the seconds-per-experiment scale.
+func QuickScale() ExperimentScale { return experiments.Quick() }
+
+// FullScale is the minutes-per-experiment scale used for EXPERIMENTS.md.
+func FullScale() ExperimentScale { return experiments.Full() }
+
+// NewExperiments returns an experiment runner at the given scale.
+func NewExperiments(s ExperimentScale) *Experiments { return experiments.NewRunner(s) }
