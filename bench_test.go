@@ -27,6 +27,7 @@ func benchScale() experiments.Scale {
 // BenchmarkFig4SpaceUtilization regenerates Fig. 4 (analytic) and
 // reports Config-4's space efficiency (paper: 35.56%).
 func BenchmarkFig4SpaceUtilization(b *testing.B) {
+	b.ReportAllocs()
 	var eff float64
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig4()
@@ -39,6 +40,7 @@ func BenchmarkFig4SpaceUtilization(b *testing.B) {
 // BenchmarkTableVCBSpace regenerates Table V and reports the Y=8 total
 // footprint in GB (paper: 12 GB, down from 20 GB).
 func BenchmarkTableVCBSpace(b *testing.B) {
+	b.ReportAllocs()
 	var gbTotal float64
 	for i := 0; i < b.N; i++ {
 		_ = experiments.TableV()
@@ -52,6 +54,7 @@ func BenchmarkTableVCBSpace(b *testing.B) {
 // and reports the read-path and eviction conflict rates (paper: ~0.74 vs
 // ~0.10).
 func BenchmarkFig5bRowBufferConflict(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	p, err := trace.ByName("libq")
 	if err != nil {
@@ -109,6 +112,7 @@ func runScheme(b *testing.B, scale experiments.Scale, workload string, scheme ex
 // execution time of CB, PB and ALL on a representative workload
 // (paper avg: CB 0.883, PB 0.811, ALL 0.700).
 func BenchmarkFig10ExecutionTime(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	var cb, pb, all float64
 	for i := 0; i < b.N; i++ {
@@ -125,6 +129,7 @@ func BenchmarkFig10ExecutionTime(b *testing.B) {
 // BenchmarkFig11QueuingTime regenerates Fig. 11: normalized read/write
 // queuing time under ALL (paper avg: read 0.671, write 0.687).
 func BenchmarkFig11QueuingTime(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	var readN, writeN float64
 	for i := 0; i < b.N; i++ {
@@ -141,6 +146,7 @@ func BenchmarkFig11QueuingTime(b *testing.B) {
 // baseline vs PB (paper: 0.660 -> 0.407) and the early PRE/ACT fractions
 // (paper: 0.593 / 0.569).
 func BenchmarkFig12BankIdle(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	var baseIdle, pbIdle, earlyPre, earlyAct float64
 	for i := 0; i < b.N; i++ {
@@ -159,6 +165,7 @@ func BenchmarkFig12BankIdle(b *testing.B) {
 // per read path across CB rates (paper: 0.167, 0.652, 1.638, 3.255 for
 // Y=2,4,6,8).
 func BenchmarkFig13CBSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	greens := make([]float64, 0, 4)
 	for i := 0; i < b.N; i++ {
@@ -185,6 +192,7 @@ func BenchmarkFig13CBSensitivity(b *testing.B) {
 // evictions appear with a small stash and an aggressive Y, and disappear
 // at stash 500 (paper: stash 200 + Y>=6 triggers; stash 500 + Y=8 none).
 func BenchmarkFig14StashEviction(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	var smallStashEvicts, bigStashEvicts float64
 	p := trace.Profile{
@@ -218,6 +226,7 @@ func BenchmarkFig14StashEviction(b *testing.B) {
 // stash occupancy at Y=0 and Y=8 (occupancy grows with Y but stays
 // bounded).
 func BenchmarkFig15StashOccupancy(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	var mean0, mean8 float64
 	p := trace.Profile{
@@ -254,6 +263,7 @@ func BenchmarkFig15StashOccupancy(b *testing.B) {
 // comparison (paper: Ring cuts overall bandwidth 2.3-4x, online >60x with
 // the XOR technique).
 func BenchmarkRingVsPathBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	var overallRatio, onlineRatio float64
 	for i := 0; i < b.N; i++ {
 		path := oram.PathBandwidth(4, 24)
@@ -271,6 +281,7 @@ func BenchmarkRingVsPathBandwidth(b *testing.B) {
 // execution-time ratio of the flat layout over the subtree layout
 // (the Fig. 5(a) motivation; expect > 1).
 func BenchmarkAblationLayout(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	p, _ := trace.ByName("ferret")
 	var ratio float64
@@ -295,6 +306,7 @@ func BenchmarkAblationLayout(b *testing.B) {
 // BenchmarkAblationPagePolicy compares open-page (the paper's
 // assumption) with an eager close-page policy under ORAM traffic.
 func BenchmarkAblationPagePolicy(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	p, _ := trace.ByName("ferret")
 	var ratio float64
@@ -320,6 +332,7 @@ func BenchmarkAblationPagePolicy(b *testing.B) {
 // overhead: read paths per logical access across the ORAM hierarchy
 // (flat on-chip map costs exactly 1).
 func BenchmarkRecursivePositionMap(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default().ORAM
 	cfg.Levels = 14
 	cfg.TreeTopCacheLevels = 4
@@ -347,6 +360,7 @@ func BenchmarkRecursivePositionMap(b *testing.B) {
 // BenchmarkXORDecode measures functional XOR-read throughput: accesses
 // per second with single-block online transfers and dummy cancellation.
 func BenchmarkXORDecode(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default().ORAM
 	cfg.Levels = 12
 	cfg.TreeTopCacheLevels = 3
@@ -380,6 +394,7 @@ func BenchmarkXORDecode(b *testing.B) {
 // BenchmarkORAMAccess measures raw protocol throughput (accesses/sec of
 // the Ring controller in timing-only mode), a library-level metric.
 func BenchmarkORAMAccess(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default().ORAM
 	cfg.Levels = 16
 	r, err := oram.NewRing(cfg, 1, nil)
@@ -397,6 +412,7 @@ func BenchmarkORAMAccess(b *testing.B) {
 // BenchmarkSimulatedCyclesPerSecond measures simulator speed: simulated
 // memory cycles per wall-clock second on the default workload.
 func BenchmarkSimulatedCyclesPerSecond(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	var cycles int64
 	for i := 0; i < b.N; i++ {

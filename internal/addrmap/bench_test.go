@@ -9,6 +9,7 @@ import (
 // BenchmarkMapAccess measures the per-access mapping cost (subtree
 // layout + bit slicing), which sits on the simulator's hot path.
 func BenchmarkMapAccess(b *testing.B) {
+	b.ReportAllocs()
 	s := config.Default()
 	m, err := New(s.ORAM, s.DRAM)
 	if err != nil {
@@ -23,6 +24,7 @@ func BenchmarkMapAccess(b *testing.B) {
 
 // BenchmarkMapAccessFlat compares the flat layout's mapping cost.
 func BenchmarkMapAccessFlat(b *testing.B) {
+	b.ReportAllocs()
 	s := config.Default()
 	m, err := NewLayout(s.ORAM, s.DRAM, config.LayoutFlat)
 	if err != nil {

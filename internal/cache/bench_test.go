@@ -8,6 +8,7 @@ import (
 
 // BenchmarkAccessHit measures the LLC hot path.
 func BenchmarkAccessHit(b *testing.B) {
+	b.ReportAllocs()
 	c, err := New(config.Cache{SizeBytes: 4 << 20, LineSize: 64, Ways: 16})
 	if err != nil {
 		b.Fatal(err)
@@ -21,6 +22,7 @@ func BenchmarkAccessHit(b *testing.B) {
 
 // BenchmarkAccessMissStream measures the miss/replacement path.
 func BenchmarkAccessMissStream(b *testing.B) {
+	b.ReportAllocs()
 	c, err := New(config.Cache{SizeBytes: 256 << 10, LineSize: 64, Ways: 8})
 	if err != nil {
 		b.Fatal(err)

@@ -9,6 +9,7 @@ import (
 // BenchmarkHitSequence measures pure row-hit throughput of the device
 // model (the hot path during evictions).
 func BenchmarkHitSequence(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default().DRAM
 	ch := NewChannel(cfg)
 	at := ch.EarliestIssue(CmdACT, 0, 0, 1, 0)
@@ -23,6 +24,7 @@ func BenchmarkHitSequence(b *testing.B) {
 // BenchmarkConflictSequence measures the PRE/ACT/RD conflict path (the
 // hot path during Ring ORAM read paths).
 func BenchmarkConflictSequence(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default().DRAM
 	ch := NewChannel(cfg)
 	at := int64(0)
@@ -43,6 +45,7 @@ func BenchmarkConflictSequence(b *testing.B) {
 
 // BenchmarkEarliestIssue measures the constraint-evaluation cost itself.
 func BenchmarkEarliestIssue(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default().DRAM
 	ch := NewChannel(cfg)
 	ch.Issue(CmdACT, 0, 0, 1, 0)

@@ -123,6 +123,14 @@ func (ch *Channel) RefreshDue(rank int, now int64) bool {
 	return now >= ch.ranks[rank].nextRefresh
 }
 
+// NextRefresh returns the cycle at which the rank's refresh becomes due.
+// Schedulers use it as a next-ready hint: until that cycle, RefreshDue
+// stays false, so a cached scheduling decision cannot be preempted by a
+// refresh.
+func (ch *Channel) NextRefresh(rank int) int64 {
+	return ch.ranks[rank].nextRefresh
+}
+
 // BankBusyCycles returns the accumulated busy time of a bank, for the
 // idle-time statistics of Fig. 12(a).
 func (ch *Channel) BankBusyCycles(rank, bank int) int64 {

@@ -29,6 +29,7 @@ func benchRing(b *testing.B, functional bool) *Ring {
 // BenchmarkAccessTimingOnly measures protocol-only access throughput
 // (metadata, selection, eviction bookkeeping; no data bytes).
 func BenchmarkAccessTimingOnly(b *testing.B) {
+	b.ReportAllocs()
 	r := benchRing(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -41,6 +42,7 @@ func BenchmarkAccessTimingOnly(b *testing.B) {
 // BenchmarkAccessFunctional measures full functional throughput with
 // AES-CTR sealing on every block moved.
 func BenchmarkAccessFunctional(b *testing.B) {
+	b.ReportAllocs()
 	r := benchRing(b, true)
 	payload := make([]byte, r.Config().BlockSize)
 	b.ResetTimer()
@@ -59,6 +61,7 @@ func BenchmarkAccessFunctional(b *testing.B) {
 
 // BenchmarkSeal measures the sealing layer alone.
 func BenchmarkSeal(b *testing.B) {
+	b.ReportAllocs()
 	c, err := NewCrypt([]byte("bench-key-16byte"), 64)
 	if err != nil {
 		b.Fatal(err)
@@ -73,6 +76,7 @@ func BenchmarkSeal(b *testing.B) {
 // BenchmarkEvictPath isolates the eviction cost (reads, placement,
 // reshuffles) by running at A=1.
 func BenchmarkEvictPath(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default().ORAM
 	cfg.Levels = 16
 	cfg.A = 1

@@ -247,6 +247,7 @@ func TestShuffleKeepsElements(t *testing.T) {
 }
 
 func BenchmarkUint64(b *testing.B) {
+	b.ReportAllocs()
 	src := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = src.Uint64()
@@ -254,6 +255,7 @@ func BenchmarkUint64(b *testing.B) {
 }
 
 func BenchmarkUint64n(b *testing.B) {
+	b.ReportAllocs()
 	src := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = src.Uint64n(20)

@@ -62,7 +62,9 @@ const (
 )
 
 // Request is one block transfer submitted to the controller. The caller
-// allocates it; the controller fills the outcome fields.
+// allocates it; the controller fills the outcome fields. Requests may be
+// recycled through a freelist: Enqueue resets the bookkeeping a previous
+// use left behind.
 type Request struct {
 	Txn   int64 // ORAM transaction number (global, monotonically increasing)
 	Coord addrmap.Coord
@@ -79,6 +81,9 @@ type Request struct {
 	hadPre     bool
 	hadAct     bool
 	classified bool
+
+	// Intrusive per-(rank, bank) FIFO links; see bankList.
+	next, prev *Request
 }
 
 // Stats aggregates controller-level counters.
@@ -164,26 +169,107 @@ func (s *Stats) EnergyNJ(e config.DRAMEnergy, cycles int64, totalRanks int) floa
 	return dynamic + background
 }
 
-// chanState holds one channel's queues in age order.
-type chanState struct {
-	idx    int
-	dev    *dram.Channel
-	readQ  []*Request
-	writeQ []*Request
-
-	// Scratch bank-flag arrays (ranks*banks wide), reused across ticks
-	// to avoid per-cycle allocation.
-	seenBank    []bool
-	busyBank    []bool
-	starvedBank []bool
+// bankList is an intrusive FIFO of queued requests for one (rank, bank),
+// linked through Request.next/prev. Requests append at Enqueue time in
+// global age order, so each list is sorted by seq — and, because
+// transactions must enqueue in non-decreasing order, by Txn as well: a
+// bank's current-transaction requests always form a prefix of its list,
+// and the list head is the bank's oldest pending request.
+type bankList struct {
+	head, tail *Request
+	rank, bank int
 }
 
-// resetFlags zeroes a scratch flag array.
-func resetFlags(f []bool) {
-	for i := range f {
-		f[i] = false
+func (l *bankList) pushBack(r *Request) {
+	r.prev = l.tail
+	r.next = nil
+	if l.tail != nil {
+		l.tail.next = r
+	} else {
+		l.head = r
 	}
+	l.tail = r
 }
+
+func (l *bankList) remove(r *Request) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		l.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		l.tail = r.prev
+	}
+	r.next, r.prev = nil, nil
+}
+
+// chanState holds one channel's request index and its next-event cache.
+type chanState struct {
+	idx int
+	dev *dram.Channel
+
+	// banks indexes queued requests per (rank, bank); scheduling passes
+	// consult list heads instead of re-walking age-ordered queues, so a
+	// tick costs work proportional to banks with pending requests.
+	banks      []bankList
+	readCount  int
+	writeCount int
+
+	// starved flags banks whose oldest current-transaction request has
+	// waited past the starvation limit for a row change (scratch, rebuilt
+	// every recomputed tick).
+	starved []bool
+
+	// Next-event cache: when hintOK, no command can issue on this channel
+	// before hint, provided the controller generation still matches and
+	// now has not reached hintUntil (the earliest refresh deadline or
+	// starvation-limit crossing, whichever comes first). Invalidated by
+	// Enqueue, by issuing any command, and by transaction advancement.
+	hint      int64
+	hintUntil int64
+	hintGen   uint64
+	hintOK    bool
+}
+
+// invalidateHint drops the channel's cached next-event hint.
+func (ch *chanState) invalidateHint() { ch.hintOK = false }
+
+// txnWindow counts outstanding requests per transaction over a sliding
+// window of transaction ids, replacing a map[int64]int on the hot path.
+// Slots are addressed id&mask; the growth rule keeps every live id within
+// one window span, so distinct live ids can never alias.
+type txnWindow struct {
+	counts []int32
+	mask   int64
+}
+
+func newTxnWindow() txnWindow {
+	const initial = 1024 // power of two
+	return txnWindow{counts: make([]int32, initial), mask: initial - 1}
+}
+
+// ensure grows the window until ids in [lo, hi] are alias-free, copying
+// the live span across.
+func (w *txnWindow) ensure(lo, hi int64) {
+	if hi-lo < int64(len(w.counts)) {
+		return
+	}
+	n := len(w.counts)
+	for int64(n) <= hi-lo {
+		n *= 2
+	}
+	counts := make([]int32, n)
+	for id := lo; id <= hi; id++ {
+		counts[id&int64(n-1)] = w.counts[id&w.mask]
+	}
+	w.counts = counts
+	w.mask = int64(n - 1)
+}
+
+func (w *txnWindow) get(id int64) int32    { return w.counts[id&w.mask] }
+func (w *txnWindow) add(id int64, d int32) { w.counts[id&w.mask] += d }
 
 // CommandEvent describes one DRAM command issue, for tracing (the
 // paper's Fig. 6/8 timelines).
@@ -209,8 +295,10 @@ type Controller struct {
 	chans []chanState
 
 	curTxn      int64
-	outstanding map[int64]int
+	outstanding txnWindow
+	maxTxn      int64 // highest transaction id ever enqueued
 	closedUpTo  int64 // all txns < closedUpTo are fully enqueued
+	txnGen      uint64
 
 	seq   int64
 	stats Stats
@@ -234,15 +322,19 @@ func New(cfg config.DRAM, kind config.SchedulerKind) *Controller {
 	c := &Controller{
 		cfg:         cfg,
 		kind:        kind,
-		outstanding: make(map[int64]int),
+		outstanding: newTxnWindow(),
 	}
 	c.chans = make([]chanState, cfg.Channels)
 	for i := range c.chans {
-		c.chans[i].idx = i
-		c.chans[i].dev = dram.NewChannel(cfg)
-		c.chans[i].seenBank = make([]bool, cfg.Ranks*cfg.Banks)
-		c.chans[i].busyBank = make([]bool, cfg.Ranks*cfg.Banks)
-		c.chans[i].starvedBank = make([]bool, cfg.Ranks*cfg.Banks)
+		ch := &c.chans[i]
+		ch.idx = i
+		ch.dev = dram.NewChannel(cfg)
+		ch.banks = make([]bankList, cfg.Ranks*cfg.Banks)
+		for k := range ch.banks {
+			ch.banks[k].rank = k / cfg.Banks
+			ch.banks[k].bank = k % cfg.Banks
+		}
+		ch.starved = make([]bool, cfg.Ranks*cfg.Banks)
 	}
 	return c
 }
@@ -263,7 +355,7 @@ func (c *Controller) CurrentTxn() int64 { return c.curTxn }
 func (c *Controller) Pending() int {
 	n := 0
 	for i := range c.chans {
-		n += len(c.chans[i].readQ) + len(c.chans[i].writeQ)
+		n += c.chans[i].readCount + c.chans[i].writeCount
 	}
 	return n
 }
@@ -273,31 +365,43 @@ func (c *Controller) Pending() int {
 func (c *Controller) CanEnqueue(coordChannel int, write bool) bool {
 	ch := &c.chans[coordChannel]
 	if write {
-		return len(ch.writeQ) < c.cfg.WriteQueue
+		return ch.writeCount < c.cfg.WriteQueue
 	}
-	return len(ch.readQ) < c.cfg.ReadQueue
+	return ch.readCount < c.cfg.ReadQueue
 }
 
 // Enqueue submits a request at the given cycle. It returns false when the
 // target queue is full (backpressure; the caller retries later).
-// Transactions must be enqueued in non-decreasing Txn order.
+// Transactions must be enqueued in non-decreasing Txn order (the per-bank
+// index depends on it).
 func (c *Controller) Enqueue(r *Request, now int64) bool {
 	if r.Txn < c.curTxn {
 		panic(fmt.Sprintf("sched: request for past transaction %d (current %d)", r.Txn, c.curTxn))
+	}
+	if r.Txn < c.maxTxn {
+		panic(fmt.Sprintf("sched: out-of-order enqueue for transaction %d (already saw %d)", r.Txn, c.maxTxn))
 	}
 	if !c.CanEnqueue(r.Coord.Channel, r.Write) {
 		return false
 	}
 	ch := &c.chans[r.Coord.Channel]
 	r.Enqueued = now
+	r.Issued, r.Done = 0, 0
+	r.hadPre, r.hadAct, r.classified = false, false, false
 	r.seq = c.seq
 	c.seq++
 	if r.Write {
-		ch.writeQ = append(ch.writeQ, r)
+		ch.writeCount++
 	} else {
-		ch.readQ = append(ch.readQ, r)
+		ch.readCount++
 	}
-	c.outstanding[r.Txn]++
+	ch.banks[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank].pushBack(r)
+	if r.Txn > c.maxTxn {
+		c.maxTxn = r.Txn
+	}
+	c.outstanding.ensure(c.curTxn, c.maxTxn)
+	c.outstanding.add(r.Txn, 1)
+	ch.invalidateHint()
 	return true
 }
 
@@ -312,10 +416,16 @@ func (c *Controller) CloseTxn(txn int64) {
 }
 
 // advance moves curTxn past fully drained, fully enqueued transactions.
+// Any movement bumps the generation, invalidating every channel's cached
+// next-event hint (new current-transaction requests may now be ready).
 func (c *Controller) advance() {
-	for c.curTxn < c.closedUpTo && c.outstanding[c.curTxn] == 0 {
-		delete(c.outstanding, c.curTxn)
+	moved := false
+	for c.curTxn < c.closedUpTo && c.outstanding.get(c.curTxn) == 0 {
 		c.curTxn++
+		moved = true
+	}
+	if moved {
+		c.txnGen++
 	}
 }
 
@@ -339,7 +449,10 @@ func neededCmd(dev *dram.Channel, r *Request) dram.CmdKind {
 // Tick runs one scheduling step at cycle now: each channel issues at most
 // one command. It returns the earliest future cycle at which another
 // command might become issuable (dram.Never when all queues are empty and
-// no refresh is pending).
+// no refresh is pending). Successive calls must use non-decreasing now
+// (the per-channel next-event cache depends on time moving forward); Tick
+// may be called later than the returned hint, but never needs to be
+// called earlier.
 func (c *Controller) Tick(now int64) int64 {
 	next := dram.Never
 	for i := range c.chans {
@@ -354,6 +467,15 @@ func (c *Controller) Tick(now int64) int64 {
 // tickChannel issues at most one command on one channel and returns the
 // channel's next-event hint.
 func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
+	// Next-event cache: between enqueues, issues, transaction advances,
+	// refresh deadlines and starvation-limit crossings, channel state is
+	// frozen, so a previously computed hint remains exact and the whole
+	// scheduling scan can be skipped.
+	if ch.hintOK && ch.hintGen == c.txnGen && now < ch.hint && now < ch.hintUntil {
+		return ch.hint
+	}
+	ch.hintOK = false
+
 	// Refresh has absolute priority: past the deadline the rank must be
 	// closed and refreshed before anything else touches it.
 	if n, handled := c.tickRefresh(ch, now); handled {
@@ -363,21 +485,23 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 	next := dram.Never
 	// Starvation guard: a bank whose oldest pending request has waited
 	// past the limit for a row change stops serving younger hits, so
-	// the pending PRE can land once tRTP expires.
-	resetFlags(ch.starvedBank)
+	// the pending PRE can land once tRTP expires. starveHorizon is the
+	// earliest future cycle at which an un-starved bank crosses the
+	// limit, bounding how long the computed hint stays valid.
+	starveHorizon := dram.Never
+	clear(ch.starved)
 	if lim := int64(c.cfg.StarvationLimit); lim > 0 {
-		resetFlags(ch.seenBank)
-		ch.forEachInTxn(c.curTxn, func(r *Request) bool {
-			bankKey := r.Coord.Rank*c.cfg.Banks + r.Coord.Bank
-			if ch.seenBank[bankKey] {
-				return true
+		for k := range ch.banks {
+			r := ch.banks[k].head
+			if r == nil || r.Txn != c.curTxn || neededCmd(ch.dev, r) != dram.CmdPRE {
+				continue
 			}
-			ch.seenBank[bankKey] = true
-			if neededCmd(ch.dev, r) == dram.CmdPRE && now-r.Enqueued >= lim {
-				ch.starvedBank[bankKey] = true
+			if cross := r.Enqueued + lim; cross <= now {
+				ch.starved[k] = true
+			} else if cross < starveHorizon {
+				starveHorizon = cross
 			}
-			return true
-		})
+		}
 	}
 	// Pass 1 (FR-FCFS "first ready"): oldest row-hit column command of
 	// the current transaction.
@@ -412,47 +536,55 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 			next = n
 		}
 	}
+	// Nothing issued: cache the hint. It stays exact until the earliest
+	// refresh deadline or starvation crossing, or until an enqueue /
+	// issue / transaction advance invalidates it.
+	until := starveHorizon
+	for rank := 0; rank < c.cfg.Ranks; rank++ {
+		if nr := ch.dev.NextRefresh(rank); nr < until {
+			until = nr
+		}
+	}
+	ch.hint = next
+	ch.hintUntil = until
+	ch.hintGen = c.txnGen
+	ch.hintOK = true
 	return next
 }
 
 // tryClosePage implements the close-page ablation: any bank whose open
-// row is not wanted by a queued request gets precharged eagerly.
+// row is not wanted by a queued request gets precharged eagerly. Banks
+// are scanned in (rank, bank) index order, matching the list layout.
 func (c *Controller) tryClosePage(ch *chanState, now int64) (int64, bool) {
 	next := dram.Never
-	for rank := 0; rank < c.cfg.Ranks; rank++ {
-		for bank := 0; bank < c.cfg.Banks; bank++ {
-			row, open := ch.dev.OpenRow(rank, bank)
-			if !open {
-				continue
+	for k := range ch.banks {
+		l := &ch.banks[k]
+		row, open := ch.dev.OpenRow(l.rank, l.bank)
+		if !open {
+			continue
+		}
+		wanted := false
+		for r := l.head; r != nil; r = r.next {
+			if r.Coord.Row == row {
+				wanted = true
+				break
 			}
-			wanted := false
-			for _, q := range [2][]*Request{ch.readQ, ch.writeQ} {
-				for _, r := range q {
-					if r.Coord.Rank == rank && r.Coord.Bank == bank && r.Coord.Row == row {
-						wanted = true
-						break
-					}
-				}
-				if wanted {
-					break
-				}
-			}
-			if wanted {
-				continue
-			}
-			e := ch.dev.EarliestIssue(dram.CmdPRE, rank, bank, 0, now)
-			if e == dram.Never {
-				continue
-			}
-			if e <= now {
-				ch.dev.Issue(dram.CmdPRE, rank, bank, 0, now)
-				c.stats.PREs++
-				c.emit(ch.idx, dram.CmdPRE, rank, bank, 0, now, -1, false)
-				return now + 1, true
-			}
-			if e < next {
-				next = e
-			}
+		}
+		if wanted {
+			continue
+		}
+		e := ch.dev.EarliestIssue(dram.CmdPRE, l.rank, l.bank, 0, now)
+		if e == dram.Never {
+			continue
+		}
+		if e <= now {
+			ch.dev.Issue(dram.CmdPRE, l.rank, l.bank, 0, now)
+			c.stats.PREs++
+			c.emit(ch.idx, dram.CmdPRE, l.rank, l.bank, 0, now, -1, false)
+			return now + 1, true
+		}
+		if e < next {
+			next = e
 		}
 	}
 	return next, false
@@ -496,175 +628,180 @@ func (c *Controller) tickRefresh(ch *chanState, now int64) (int64, bool) {
 	return dram.Never, false
 }
 
-// forEachInTxn visits the channel's queued requests with Txn == txn in
-// age order.
-func (ch *chanState) forEachInTxn(txn int64, fn func(r *Request) bool) {
-	ri, wi := 0, 0
-	for ri < len(ch.readQ) || wi < len(ch.writeQ) {
-		var pick *Request
-		switch {
-		case ri >= len(ch.readQ):
-			pick = ch.writeQ[wi]
-			wi++
-		case wi >= len(ch.writeQ):
-			pick = ch.readQ[ri]
-			ri++
-		case ch.readQ[ri].seq < ch.writeQ[wi].seq:
-			pick = ch.readQ[ri]
-			ri++
-		default:
-			pick = ch.writeQ[wi]
-			wi++
-		}
-		if pick.Txn != txn {
-			continue
-		}
-		if !fn(pick) {
-			return
-		}
-	}
-}
-
 // tryColumnHit issues the oldest current-transaction column command whose
-// row is already open.
+// row is already open. Candidates reduce per bank to the oldest same-row
+// read and the oldest same-row write: all younger same-direction requests
+// share their EarliestIssue, so these two are the only requests the full
+// age-order scan could have issued or drawn a hint from.
 func (c *Controller) tryColumnHit(ch *chanState, now int64) (int64, bool) {
 	next := dram.Never
-	issued := false
-	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
-		if ch.starvedBank[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank] {
-			return true // bank paused for an aged row-change request
+	var best *Request
+	var bestCmd dram.CmdKind
+	for k := range ch.banks {
+		l := &ch.banks[k]
+		if l.head == nil || l.head.Txn != c.curTxn || ch.starved[k] {
+			continue // no current-txn work, or bank paused for an aged row change
 		}
-		cmd := neededCmd(ch.dev, r)
-		if cmd != dram.CmdRD && cmd != dram.CmdWR {
-			return true
+		row, open := ch.dev.OpenRow(l.rank, l.bank)
+		if !open {
+			continue
 		}
-		e := ch.dev.EarliestIssue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
-		if e == dram.Never {
-			return true
+		var rd, wr *Request
+		for r := l.head; r != nil && r.Txn == c.curTxn; r = r.next {
+			if r.Coord.Row != row {
+				continue
+			}
+			if r.Write {
+				if wr == nil {
+					wr = r
+				}
+			} else if rd == nil {
+				rd = r
+			}
+			if rd != nil && wr != nil {
+				break
+			}
 		}
-		if e <= now {
-			c.issueColumn(ch, r, cmd, now)
-			issued = true
-			return false
+		if rd != nil {
+			e := ch.dev.EarliestIssue(dram.CmdRD, l.rank, l.bank, row, now)
+			if e <= now {
+				if best == nil || rd.seq < best.seq {
+					best, bestCmd = rd, dram.CmdRD
+				}
+			} else if e < next {
+				next = e
+			}
 		}
-		if e < next {
-			next = e
+		if wr != nil {
+			e := ch.dev.EarliestIssue(dram.CmdWR, l.rank, l.bank, row, now)
+			if e <= now {
+				if best == nil || wr.seq < best.seq {
+					best, bestCmd = wr, dram.CmdWR
+				}
+			} else if e < next {
+				next = e
+			}
 		}
-		return true
-	})
-	return next, issued
+	}
+	if best == nil {
+		return next, false
+	}
+	c.issueColumn(ch, best, bestCmd, now)
+	return now + 1, true
 }
 
-// tryInTxn walks current-transaction requests in age order and issues the
-// first legal command (PRE, ACT, or column) it finds. Only the first
-// request per bank is considered, so a younger request cannot close a row
-// an older same-bank request still needs. FR-FCFS deferral: a PRE is held
-// back while pending requests can still hit the bank's open row, unless
-// the conflicting request has waited past the starvation limit.
+// tryInTxn considers the oldest current-transaction request of each bank
+// (the list head, since transactions enqueue in order) and issues the
+// oldest legal command (PRE, ACT, or column) among them, so a younger
+// request cannot close a row an older same-bank request still needs.
+// FR-FCFS deferral: a PRE is held back while pending requests can still
+// hit the bank's open row, unless the conflicting request has waited past
+// the starvation limit.
 func (c *Controller) tryInTxn(ch *chanState, now int64) (int64, bool) {
-	// Mark banks whose open row still has pending same-row requests.
-	resetFlags(ch.busyBank) // reused as "open-row still wanted" flags here
-	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
-		row, open := ch.dev.OpenRow(r.Coord.Rank, r.Coord.Bank)
-		if open && row == r.Coord.Row {
-			ch.busyBank[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank] = true
-		}
-		return true
-	})
 	next := dram.Never
-	issued := false
-	resetFlags(ch.seenBank)
-	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
-		bankKey := r.Coord.Rank*c.cfg.Banks + r.Coord.Bank
-		if ch.seenBank[bankKey] {
-			return true
+	var best *Request
+	var bestCmd dram.CmdKind
+	for k := range ch.banks {
+		l := &ch.banks[k]
+		r := l.head
+		if r == nil || r.Txn != c.curTxn {
+			continue
 		}
-		ch.seenBank[bankKey] = true
 		cmd := neededCmd(ch.dev, r)
-		if cmd == dram.CmdPRE && ch.busyBank[bankKey] && !ch.starvedBank[bankKey] {
-			return true // let pass 1 drain the open row's hits first
+		if cmd == dram.CmdPRE && !ch.starved[k] {
+			row, _ := ch.dev.OpenRow(l.rank, l.bank)
+			wanted := false
+			for n := r; n != nil && n.Txn == c.curTxn; n = n.next {
+				if n.Coord.Row == row {
+					wanted = true
+					break
+				}
+			}
+			if wanted {
+				continue // let pass 1 drain the open row's hits first
+			}
 		}
-		e := ch.dev.EarliestIssue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
+		e := ch.dev.EarliestIssue(cmd, l.rank, l.bank, r.Coord.Row, now)
 		if e == dram.Never {
-			return true
+			continue
 		}
 		if e <= now {
-			switch cmd {
-			case dram.CmdPRE:
-				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, 0, now)
-				c.stats.PREs++
-				r.hadPre = true
-				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, 0, now, r.Txn, false)
-			case dram.CmdACT:
-				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
-				c.stats.ACTs++
-				r.hadAct = true
-				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now, r.Txn, false)
-			default:
-				c.issueColumn(ch, r, cmd, now)
+			if best == nil || r.seq < best.seq {
+				best, bestCmd = r, cmd
 			}
-			issued = true
-			return false
-		}
-		if e < next {
+		} else if e < next {
 			next = e
 		}
-		return true
-	})
-	return next, issued
+	}
+	if best == nil {
+		return next, false
+	}
+	switch bestCmd {
+	case dram.CmdPRE:
+		ch.dev.Issue(bestCmd, best.Coord.Rank, best.Coord.Bank, 0, now)
+		c.stats.PREs++
+		best.hadPre = true
+		c.emit(ch.idx, bestCmd, best.Coord.Rank, best.Coord.Bank, 0, now, best.Txn, false)
+	case dram.CmdACT:
+		ch.dev.Issue(bestCmd, best.Coord.Rank, best.Coord.Bank, best.Coord.Row, now)
+		c.stats.ACTs++
+		best.hadAct = true
+		c.emit(ch.idx, bestCmd, best.Coord.Rank, best.Coord.Bank, best.Coord.Row, now, best.Txn, false)
+	default:
+		c.issueColumn(ch, best, bestCmd, now)
+	}
+	return now + 1, true
 }
 
 // tryProactive implements Algorithm 2's extension: for requests of
 // transaction curTxn+1, issue PRE/ACT ahead of time when the conflict is
 // inter-transaction, i.e. no pending current-transaction request needs
-// the same bank. Data commands are never hoisted.
+// the same bank. Data commands are never hoisted. A bank still needed by
+// the current transaction has head.Txn == curTxn (transactions enqueue in
+// order), so such banks are excluded simply by requiring the head to
+// belong to curTxn+1.
 func (c *Controller) tryProactive(ch *chanState, now int64) (int64, bool) {
-	// Banks still needed by the current transaction are off limits.
-	resetFlags(ch.busyBank)
-	ch.forEachInTxn(c.curTxn, func(r *Request) bool {
-		ch.busyBank[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank] = true
-		return true
-	})
 	next := dram.Never
-	issued := false
-	resetFlags(ch.seenBank)
-	ch.forEachInTxn(c.curTxn+1, func(r *Request) bool {
-		bankKey := r.Coord.Rank*c.cfg.Banks + r.Coord.Bank
-		if ch.busyBank[bankKey] || ch.seenBank[bankKey] {
-			return true
+	var best *Request
+	var bestCmd dram.CmdKind
+	for k := range ch.banks {
+		r := ch.banks[k].head
+		if r == nil || r.Txn != c.curTxn+1 {
+			continue
 		}
-		ch.seenBank[bankKey] = true
 		cmd := neededCmd(ch.dev, r)
 		if cmd != dram.CmdPRE && cmd != dram.CmdACT {
-			return true // row already open: nothing to prepare
+			continue // row already open: nothing to prepare
 		}
 		e := ch.dev.EarliestIssue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
 		if e == dram.Never {
-			return true
+			continue
 		}
 		if e <= now {
-			if cmd == dram.CmdPRE {
-				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, 0, now)
-				c.stats.PREs++
-				c.stats.EarlyPREs++
-				r.hadPre = true
-				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, 0, now, r.Txn, true)
-			} else {
-				ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
-				c.stats.ACTs++
-				c.stats.EarlyACTs++
-				r.hadAct = true
-				c.emit(ch.idx, cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now, r.Txn, true)
+			if best == nil || r.seq < best.seq {
+				best, bestCmd = r, cmd
 			}
-			issued = true
-			return false
-		}
-		if e < next {
+		} else if e < next {
 			next = e
 		}
-		return true
-	})
-	return next, issued
+	}
+	if best == nil {
+		return next, false
+	}
+	if bestCmd == dram.CmdPRE {
+		ch.dev.Issue(bestCmd, best.Coord.Rank, best.Coord.Bank, 0, now)
+		c.stats.PREs++
+		c.stats.EarlyPREs++
+		best.hadPre = true
+		c.emit(ch.idx, bestCmd, best.Coord.Rank, best.Coord.Bank, 0, now, best.Txn, true)
+	} else {
+		ch.dev.Issue(bestCmd, best.Coord.Rank, best.Coord.Bank, best.Coord.Row, now)
+		c.stats.ACTs++
+		c.stats.EarlyACTs++
+		best.hadAct = true
+		c.emit(ch.idx, bestCmd, best.Coord.Rank, best.Coord.Bank, best.Coord.Row, now, best.Txn, true)
+	}
+	return now + 1, true
 }
 
 // issueColumn issues the RD/WR for a request, records its statistics and
@@ -692,22 +829,12 @@ func (c *Controller) issueColumn(ch *chanState, r *Request, cmd dram.CmdKind, no
 	if r.Write {
 		c.stats.WriteReqs++
 		c.stats.WriteQueueWait += wait
-		ch.writeQ = removeReq(ch.writeQ, r)
+		ch.writeCount--
 	} else {
 		c.stats.ReadReqs++
 		c.stats.ReadQueueWait += wait
-		ch.readQ = removeReq(ch.readQ, r)
+		ch.readCount--
 	}
-	c.outstanding[r.Txn]--
-}
-
-// removeReq removes the first occurrence of r, preserving order.
-func removeReq(q []*Request, r *Request) []*Request {
-	for i, x := range q {
-		if x == r {
-			copy(q[i:], q[i+1:])
-			return q[:len(q)-1]
-		}
-	}
-	panic("sched: request not in queue")
+	ch.banks[r.Coord.Rank*c.cfg.Banks+r.Coord.Bank].remove(r)
+	c.outstanding.add(r.Txn, -1)
 }

@@ -114,6 +114,55 @@ type waiter struct {
 	txn  int64
 }
 
+// tagWindow maps transaction ids to their phase tag over the sliding
+// window [base, nextTxn), replacing a map[int64]sched.Tag on the per-tick
+// attribution path. Slots are addressed id&mask; growth keeps the live
+// span alias-free.
+type tagWindow struct {
+	tags []sched.Tag
+	base int64
+	mask int64
+}
+
+func newTagWindow() tagWindow {
+	const initial = 1024 // power of two
+	return tagWindow{tags: make([]sched.Tag, initial), mask: initial - 1}
+}
+
+// set records the tag of transaction id (ids arrive in increasing order).
+func (w *tagWindow) set(id int64, tag sched.Tag) {
+	if id-w.base >= int64(len(w.tags)) {
+		n := len(w.tags)
+		for int64(n) <= id-w.base {
+			n *= 2
+		}
+		tags := make([]sched.Tag, n)
+		for i := w.base; i < id; i++ {
+			tags[i&int64(n-1)] = w.tags[i&w.mask]
+		}
+		w.tags = tags
+		w.mask = int64(n - 1)
+	}
+	w.tags[id&w.mask] = tag
+}
+
+// get returns the tag of transaction id and whether id is inside the
+// window (ids below base have been pruned; ids at or above hi were never
+// assigned).
+func (w *tagWindow) get(id, hi int64) (sched.Tag, bool) {
+	if id < w.base || id >= hi {
+		return 0, false
+	}
+	return w.tags[id&w.mask], true
+}
+
+// prune forgets all transactions below cur.
+func (w *tagWindow) prune(cur int64) {
+	if cur > w.base {
+		w.base = cur
+	}
+}
+
 // Sim is one configured simulation instance.
 type Sim struct {
 	sys    config.System
@@ -125,13 +174,46 @@ type Sim struct {
 	llc    *cache.Cache
 	clus   *cpu.Cluster
 
+	// pending and inflight are FIFOs with explicit heads so their backing
+	// arrays (and the txnWork/Request objects flowing through them, via
+	// the freelists) are recycled instead of reallocated: steady-state
+	// simulation performs no per-transaction heap allocation here.
 	pending  []*txnWork
-	txnTag   map[int64]sched.Tag
+	pendHead int
+	inflight []*txnWork
+	inflHead int
+	freeReq  []*sched.Request
+	freeWork []*txnWork
+
+	tags     tagWindow
 	nextTxn  int64
 	waiters  []waiter
 	accesses int64
 
 	res *Result
+}
+
+// getWork returns a recycled (or new) txnWork.
+func (s *Sim) getWork(id int64, tag sched.Tag) *txnWork {
+	if n := len(s.freeWork); n > 0 {
+		w := s.freeWork[n-1]
+		s.freeWork = s.freeWork[:n-1]
+		w.id, w.tag, w.next = id, tag, 0
+		w.reqs = w.reqs[:0]
+		return w
+	}
+	return &txnWork{id: id, tag: tag}
+}
+
+// getReq returns a recycled (or new) request, zeroed.
+func (s *Sim) getReq() *sched.Request {
+	if n := len(s.freeReq); n > 0 {
+		r := s.freeReq[n-1]
+		s.freeReq = s.freeReq[:n-1]
+		*r = sched.Request{}
+		return r
+	}
+	return &sched.Request{}
 }
 
 // New builds a simulation of the given system over the given trace.
@@ -233,7 +315,7 @@ func newSim(sys config.System, trs []*trace.Trace, name string, opts Options) (*
 		ctrl:   ctrl,
 		llc:    llc,
 		clus:   clus,
-		txnTag: make(map[int64]sched.Tag),
+		tags:   newTagWindow(),
 		res:    res,
 	}, nil
 }
@@ -252,8 +334,8 @@ func (s *Sim) oramAccess(blockID oram.BlockID, write bool) (int64, error) {
 		id := s.nextTxn
 		s.nextTxn++
 		tag := PhaseFor(op.Kind)
-		s.txnTag[id] = tag
-		w := &txnWork{id: id, tag: tag}
+		s.tags.set(id, tag)
+		w := s.getWork(id, tag)
 		for _, a := range op.Accesses {
 			// The tree-top cache absorbs the shallow levels; the Ring
 			// engine filters them itself but the Path engine emits the
@@ -261,13 +343,12 @@ func (s *Sim) oramAccess(blockID oram.BlockID, write bool) (int64, error) {
 			if a.Level < s.sys.ORAM.TreeTopCacheLevels {
 				continue
 			}
-			coord := s.mapper.MapAccess(a.Bucket, a.Slot)
-			w.reqs = append(w.reqs, &sched.Request{
-				Txn:   id,
-				Coord: coord,
-				Write: a.Write,
-				Tag:   tag,
-			})
+			r := s.getReq()
+			r.Txn = id
+			r.Coord = s.mapper.MapAccess(a.Bucket, a.Slot)
+			r.Write = a.Write
+			r.Tag = tag
+			w.reqs = append(w.reqs, r)
 		}
 		s.pending = append(s.pending, w)
 		if op.Kind == oram.OpReadPath && dataTxn < 0 {
@@ -283,10 +364,11 @@ func (s *Sim) oramAccess(blockID oram.BlockID, write bool) (int64, error) {
 }
 
 // feed streams pending transactions into the controller, in order, as
-// queue space allows.
+// queue space allows. Fully enqueued transactions move to the inflight
+// FIFO, where they stay until drained and their requests can be recycled.
 func (s *Sim) feed(now int64) {
-	for len(s.pending) > 0 {
-		w := s.pending[0]
+	for s.pendHead < len(s.pending) {
+		w := s.pending[s.pendHead]
 		for w.next < len(w.reqs) && s.ctrl.Enqueue(w.reqs[w.next], now) {
 			w.next++
 		}
@@ -294,11 +376,15 @@ func (s *Sim) feed(now int64) {
 			return
 		}
 		s.ctrl.CloseTxn(w.id)
-		s.pending = s.pending[1:]
+		s.pendHead++
+		s.inflight = append(s.inflight, w)
 	}
+	s.pending = s.pending[:0]
+	s.pendHead = 0
 }
 
-// completeWaiters unblocks cores whose data transaction has drained.
+// completeWaiters unblocks cores whose data transaction has drained and
+// recycles the memory of fully drained transactions.
 func (s *Sim) completeWaiters() {
 	cur := s.ctrl.CurrentTxn()
 	kept := s.waiters[:0]
@@ -310,11 +396,18 @@ func (s *Sim) completeWaiters() {
 		}
 	}
 	s.waiters = kept
-	// Prune the phase map of drained transactions.
-	for id := range s.txnTag {
-		if id < cur {
-			delete(s.txnTag, id)
-		}
+	// Prune the phase window and return drained transactions' requests
+	// to the freelists.
+	s.tags.prune(cur)
+	for s.inflHead < len(s.inflight) && s.inflight[s.inflHead].id < cur {
+		w := s.inflight[s.inflHead]
+		s.freeReq = append(s.freeReq, w.reqs...)
+		s.freeWork = append(s.freeWork, w)
+		s.inflHead++
+	}
+	if s.inflHead == len(s.inflight) {
+		s.inflight = s.inflight[:0]
+		s.inflHead = 0
 	}
 }
 
@@ -389,7 +482,7 @@ func (s *Sim) run(opts Options) (*Result, error) {
 		next := s.ctrl.Tick(now)
 		s.completeWaiters()
 
-		memDone := len(s.pending) == 0 && s.ctrl.Pending() == 0
+		memDone := s.pendHead == len(s.pending) && s.ctrl.Pending() == 0
 		if !tracing && memDone {
 			// Account the final cycle (the Tick that drained the last
 			// command) before stopping.
@@ -429,11 +522,11 @@ func (s *Sim) attribute(from, to int64) {
 		return
 	}
 	delta := to - from
-	if s.ctrl.Pending() == 0 && len(s.pending) == 0 {
+	if s.ctrl.Pending() == 0 && s.pendHead == len(s.pending) {
 		s.res.OtherCycles += delta
 		return
 	}
-	if tag, ok := s.txnTag[s.ctrl.CurrentTxn()]; ok {
+	if tag, ok := s.tags.get(s.ctrl.CurrentTxn(), s.nextTxn); ok {
 		s.res.PhaseCycles[tag] += delta
 		return
 	}

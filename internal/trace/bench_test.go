@@ -8,6 +8,7 @@ import (
 // BenchmarkGenerate measures synthetic-trace generation throughput
 // (records/sec).
 func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
 	p := Suite()[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -19,6 +20,7 @@ func BenchmarkGenerate(b *testing.B) {
 
 // BenchmarkCodecRoundTrip measures trace file encode+decode throughput.
 func BenchmarkCodecRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	tr, err := Generate(Suite()[1], 2000, 7)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — record the scheduler-perf trajectory.
+#
+# Runs the memory-controller microbenchmarks and the Fig. 10 end-to-end
+# benchmark, then appends one labelled entry (ns/op, allocs/op per
+# benchmark) to BENCH_sched.json at the repo root. Later PRs run this
+# again to see whether the hot path got faster or slower.
+#
+# Usage: scripts/bench.sh [label]   (default label: git short hash)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+out=BENCH_sched.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== scheduler microbenchmarks =="
+go test -run '^$' -bench 'BenchmarkSchedTick$|BenchmarkControllerTransaction$|BenchmarkControllerPB$' \
+    -benchmem -benchtime 2s ./internal/sched | tee -a "$tmp"
+
+echo "== Fig. 10 end-to-end benchmark =="
+go test -run '^$' -bench 'BenchmarkFig10ExecutionTime$' -benchmem -benchtime 5x . | tee -a "$tmp"
+
+python3 - "$label" "$tmp" "$out" <<'EOF'
+import json, re, sys
+
+label, raw_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+benches = {}
+pat = re.compile(
+    r'^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) B/op\s+(\d+) allocs/op)?')
+for line in open(raw_path):
+    m = pat.match(line.strip())
+    if not m:
+        continue
+    entry = {"ns_per_op": float(m.group(2))}
+    if m.group(4) is not None:
+        entry["bytes_per_op"] = int(m.group(3))
+        entry["allocs_per_op"] = int(m.group(4))
+    benches[m.group(1)] = entry
+
+try:
+    runs = json.load(open(out_path))
+except (FileNotFoundError, json.JSONDecodeError):
+    runs = []
+runs.append({"label": label, "benchmarks": benches})
+json.dump(runs, open(out_path, "w"), indent=2)
+print(f"appended run {label!r} with {len(benches)} benchmarks to {out_path}")
+EOF

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# check.sh — the CI gate. Everything a PR must pass before merge:
+# vet, build, the full test suite, and the race detector over the
+# packages with scheduler/simulator concurrency-sensitive state.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (sched, sim, experiments) =="
+go test -race ./internal/sched ./internal/sim ./internal/experiments
+
+echo "check.sh: all gates passed"
