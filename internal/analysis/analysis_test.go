@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture loader is shared across tests: type-checking standard
+// library packages from source is the expensive part, and the Loader
+// caches packages by path.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// wantRe matches expectation markers: `// want rule1 rule2` at end of
+// line. Each listed rule must produce at least one finding on that
+// line, and every finding must land on a marked line with its rule.
+var wantRe = regexp.MustCompile(`// want((?: [a-z-]+)+)\s*$`)
+
+type expectation struct {
+	file string
+	line int
+	rule string
+}
+
+func scanWants(t *testing.T, pkg *Package) map[expectation]bool {
+	t.Helper()
+	wants := make(map[expectation]bool)
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		fh, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(fh)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			for _, rule := range strings.Fields(m[1]) {
+				wants[expectation{file: name, line: line, rule: rule}] = false
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+	}
+	return wants
+}
+
+// checkFixture runs the analyzers over a fixture package and diffs the
+// findings against the package's want markers.
+func checkFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := fixture(t, name)
+	findings, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	wants := scanWants(t, pkg)
+	for _, f := range findings {
+		key := expectation{file: f.Pos.Filename, line: f.Pos.Line, rule: f.Rule}
+		if _, ok := wants[key]; !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[key] = true
+	}
+	for key, hit := range wants {
+		if !hit {
+			t.Errorf("missing finding: %s:%d: [%s]", key.file, key.line, key.rule)
+		}
+	}
+}
+
+func TestDeterminismPositive(t *testing.T) {
+	checkFixture(t, "detpos", []*Analyzer{Determinism})
+}
+
+func TestDeterminismNegative(t *testing.T) {
+	checkFixture(t, "detneg", []*Analyzer{Determinism})
+}
+
+func TestObliviousPositive(t *testing.T) {
+	checkFixture(t, "oblpos", []*Analyzer{DefaultOblivious})
+}
+
+func TestObliviousNegative(t *testing.T) {
+	checkFixture(t, "oblneg", []*Analyzer{DefaultOblivious})
+}
+
+func TestAllowContract(t *testing.T) {
+	checkFixture(t, "allowcase", []*Analyzer{Determinism})
+}
+
+func TestMalformedAllow(t *testing.T) {
+	pkg := fixture(t, "allowbad")
+	findings, err := RunPackage(pkg, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(findings), findings)
+	}
+	if findings[0].Rule != "allow" || !strings.Contains(findings[0].Msg, "malformed") {
+		t.Fatalf("unexpected finding: %s", findings[0])
+	}
+}

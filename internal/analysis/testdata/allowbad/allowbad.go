@@ -1,0 +1,6 @@
+// Package allowbad carries a malformed allow directive (rule with no
+// reason); the framework must reject it.
+package allowbad
+
+//oramlint:allow gostmt
+func nothing() {}

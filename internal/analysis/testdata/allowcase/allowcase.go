@@ -1,0 +1,31 @@
+// Package allowcase exercises the //oramlint:allow contract: trailing
+// and stacked allows suppress their finding; a stale allow is itself
+// an error.
+package allowcase
+
+import "time"
+
+// Stamp returns a human-facing timestamp; the trailing allow on the
+// offending line suppresses the time finding.
+func Stamp() time.Time {
+	return time.Now() //oramlint:allow time human-facing banner only, never reaches sim state
+}
+
+// FanOut joins before returning; the allow stacked directly above the
+// go statement suppresses the gostmt finding.
+func FanOut(res []int) {
+	done := make(chan struct{})
+	//oramlint:allow gostmt goroutine closes a channel and is joined on the next line
+	go func() { close(done) }()
+	<-done
+	_ = res
+}
+
+// Quiet carries a stale allow: the clock read it once covered is gone,
+// so the directive itself must be reported.
+func Quiet() int {
+	n := 0
+	//oramlint:allow time the clock read below was removed // want allow
+	n++
+	return n
+}

@@ -1,0 +1,97 @@
+// Package detneg contains determinism-clean counterparts of the
+// positive cases; the analyzer must report nothing here.
+package detneg
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seededDraw uses an explicitly seeded source; methods on *rand.Rand
+// are reproducible.
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// timeArithmetic uses time values without reading the wall clock.
+func timeArithmetic(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}
+
+// sortedKeys is the collect-then-sort idiom: the append runs in map
+// order, but the sort restores determinism.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// invert writes one map entry per key: order-insensitive.
+func invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// tally accumulates commutatively into outer integers.
+type tally struct{ total int }
+
+func (t *tally) sum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		t.total += v
+		n++
+	}
+	return n
+}
+
+// pruneZeros deletes per key while ranging: order-insensitive.
+func pruneZeros(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// nestedBreak breaks out of the inner slice loop only; the map range
+// itself always runs to completion.
+func nestedBreak(m map[int][]int) int {
+	hits := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v == 0 {
+				break
+			}
+			hits++
+		}
+	}
+	return hits
+}
+
+// localWork mutates only loop-local state and converts types.
+func localWork(m map[int]uint64) uint64 {
+	var acc uint64
+	for _, v := range m {
+		shifted := uint64(v) >> 1
+		acc |= shifted
+	}
+	return acc
+}
+
+// blockingSelect has no default clause: it waits, it does not race.
+func blockingSelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

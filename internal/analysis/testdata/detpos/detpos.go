@@ -1,0 +1,87 @@
+// Package detpos exercises every determinism rule; each marked line
+// must be reported.
+package detpos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// State is outer mutable state the map-range bodies touch.
+type State struct {
+	order []int
+}
+
+func wallClock() time.Time {
+	return time.Now() // want time
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want time
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want globalrand
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrand
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want gostmt
+}
+
+func poll(ch chan int) int {
+	select { // want selectdefault
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func appendToField(m map[int]int, s *State) {
+	for k := range m {
+		s.order = append(s.order, k) // want maprange
+	}
+}
+
+func firstKey(m map[int]int) (int, bool) {
+	for k := range m {
+		return k, true // want maprange
+	}
+	return 0, false
+}
+
+func printAll(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want maprange
+	}
+}
+
+func stopEarly(m map[int]int, limit int) int {
+	n := 0
+	for range m {
+		n++
+		if n >= limit {
+			break // want maprange
+		}
+	}
+	return n
+}
+
+func fillByCursor(m map[int]int, out []int) {
+	j := 0
+	for k := range m {
+		out[j] = k // want maprange
+		j++
+	}
+}
+
+func overwriteLast(m map[int]int, s *State) {
+	for k := range m {
+		s.order = []int{k} // want maprange
+	}
+}

@@ -1,0 +1,49 @@
+// Package oblneg contains oblivious-clean counterparts: secret reads
+// outside address paths, and public-only branches inside them. The
+// analyzer must report nothing here.
+package oblneg
+
+// Access is the configured emit type.
+type Access struct {
+	Addr uint64
+}
+
+// Slot carries one secret field and one public field.
+type Slot struct {
+	Valid bool
+	Real  bool `oramlint:"secret"`
+}
+
+// Ring issues accesses onto the bus.
+type Ring struct {
+	slots    []Slot
+	Accesses []Access
+}
+
+// stats branches on the secret but never reaches an emit site;
+// statistics and invariant checks are allowed to look.
+func (r *Ring) stats() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Real {
+			n++
+		}
+	}
+	return n
+}
+
+// sweep emits on every slot and branches only on public state.
+func (r *Ring) sweep(n int) {
+	for i := 0; i < n; i++ {
+		if r.slots[i].Valid {
+			r.Accesses = append(r.Accesses, Access{Addr: uint64(i)})
+		}
+	}
+}
+
+// straightLine reads the secret without branching on it: data flow is
+// fine, only control flow leaks onto the bus.
+func (r *Ring) straightLine(i int) bool {
+	r.Accesses = append(r.Accesses, Access{Addr: uint64(i)})
+	return r.slots[i].Real
+}

@@ -1,0 +1,93 @@
+// Package oblpos exercises the oblivious analyzer: secret-dependent
+// branches inside address-emitting code paths must be reported.
+package oblpos
+
+// Access is one bus-visible physical access (the emit type the
+// analyzer is configured with).
+type Access struct {
+	Addr uint64
+	Read bool
+}
+
+// Slot is one bucket slot; the real/dummy identity is secret.
+type Slot struct {
+	Valid bool
+	Real  bool `oramlint:"secret"`
+	ID    int  `oramlint:"secret"`
+}
+
+// Bucket holds slots plus the secret green-block counter.
+type Bucket struct {
+	Slots []Slot
+	Green int `oramlint:"secret"`
+}
+
+// Ring issues accesses onto the bus.
+type Ring struct {
+	Accesses []Access
+}
+
+func (r *Ring) emit(addr uint64) {
+	r.Accesses = append(r.Accesses, Access{Addr: addr, Read: true})
+}
+
+// readBucket branches directly on the secret Real bit while emitting.
+func (r *Ring) readBucket(b *Bucket, base uint64) {
+	for i := range b.Slots {
+		if b.Slots[i].Real { // want secret-branch
+			r.emit(base + uint64(i))
+		}
+	}
+}
+
+// isReal reads the secret but emits nothing itself; it taints callers.
+func (r *Ring) isReal(b *Bucket, i int) bool {
+	return b.Slots[i].Real
+}
+
+// viaHelper branches on a secret-reading helper call while emitting.
+func (r *Ring) viaHelper(b *Bucket, base uint64) {
+	for i := range b.Slots {
+		if r.isReal(b, i) { // want secret-branch
+			r.emit(base)
+		}
+	}
+}
+
+// viaSwitch branches on the secret green counter in a case expression.
+func (r *Ring) viaSwitch(b *Bucket, base uint64) {
+	switch {
+	case b.Green > 0: // want secret-branch
+		r.emit(base)
+	default:
+		r.emit(base + 1)
+	}
+}
+
+// viaInit hides the secret read in the if-init statement.
+func (r *Ring) viaInit(b *Bucket, base uint64) {
+	if id := b.Slots[0].ID; id >= 0 { // want secret-branch
+		r.emit(base)
+	}
+}
+
+// transitive emits only through a callee, but branches on a secret:
+// address relevance must propagate up the call chain.
+func (r *Ring) transitive(b *Bucket, base uint64) {
+	if b.Green > 0 { // want secret-branch
+		r.readBucket(b, base)
+	}
+}
+
+// Stash holds secret contents; its occupancy must not steer emission.
+type Stash struct {
+	entries map[int]uint64 `oramlint:"secret"`
+}
+
+// drain iterates the secret stash, emitting once per entry: the trip
+// count leaks the occupancy.
+func (r *Ring) drain(s *Stash, base uint64) {
+	for range s.entries { // want secret-branch
+		r.emit(base)
+	}
+}

@@ -98,15 +98,22 @@ func TestORAMValidateRejections(t *testing.T) {
 	}{
 		{"zero Z", func(o *ORAM) { o.Z = 0 }, "Z must be positive"},
 		{"negative S", func(o *ORAM) { o.S = -1 }, "S must be positive"},
+		{"negative Y", func(o *ORAM) { o.Y = -1 }, "Y must be in"},
 		{"Y above S", func(o *ORAM) { o.Y = o.S + 1 }, "Y must be in"},
 		{"Y above Z", func(o *ORAM) { o.Z = 4; o.Y = 5 }, "cannot exceed Z"},
 		{"zero A", func(o *ORAM) { o.A = 0 }, "A must be positive"},
 		{"S below A", func(o *ORAM) { o.A = o.S + 1 }, "must be >= A"},
 		{"tiny tree", func(o *ORAM) { o.Levels = 1 }, "Levels must be in"},
+		{"huge tree", func(o *ORAM) { o.Levels = 41 }, "Levels must be in"},
+		{"negative top cache", func(o *ORAM) { o.TreeTopCacheLevels = -1 }, "TreeTopCacheLevels"},
 		{"cache whole tree", func(o *ORAM) { o.TreeTopCacheLevels = o.Levels }, "TreeTopCacheLevels"},
+		{"zero block size", func(o *ORAM) { o.BlockSize = 0 }, "power of two"},
 		{"odd block size", func(o *ORAM) { o.BlockSize = 48 }, "power of two"},
 		{"zero stash", func(o *ORAM) { o.StashSize = 0 }, "StashSize must be positive"},
+		{"negative threshold", func(o *ORAM) { o.BackgroundEvictThreshold = -1 }, "BackgroundEvictThreshold"},
 		{"threshold above stash", func(o *ORAM) { o.BackgroundEvictThreshold = o.StashSize + 1 }, "BackgroundEvictThreshold"},
+		{"negative warm fill", func(o *ORAM) { o.WarmFill = -0.1 }, "WarmFill"},
+		{"warm fill too high", func(o *ORAM) { o.WarmFill = 0.95 }, "WarmFill"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -130,11 +137,19 @@ func TestDRAMValidateRejections(t *testing.T) {
 		mutate func(*DRAM)
 	}{
 		{"zero channels", func(d *DRAM) { d.Channels = 0 }},
-		{"non-pow2 banks", func(d *DRAM) { d.Banks = 6 }},
-		{"zero queue", func(d *DRAM) { d.ReadQueue = 0 }},
+		{"zero ranks", func(d *DRAM) { d.Ranks = 0 }},
+		{"zero banks", func(d *DRAM) { d.Banks = 0 }},
+		{"zero rows", func(d *DRAM) { d.Rows = 0 }},
+		{"zero columns", func(d *DRAM) { d.Columns = 0 }},
+		{"zero read queue", func(d *DRAM) { d.ReadQueue = 0 }},
+		{"zero write queue", func(d *DRAM) { d.WriteQueue = 0 }},
 		{"zero clock mul", func(d *DRAM) { d.CPUClockMul = 0 }},
+		{"non-pow2 channels", func(d *DRAM) { d.Channels = 3 }},
+		{"non-pow2 ranks", func(d *DRAM) { d.Ranks = 3 }},
+		{"non-pow2 banks", func(d *DRAM) { d.Banks = 6 }},
+		{"non-pow2 rows", func(d *DRAM) { d.Rows = 1000 }},
+		{"non-pow2 columns", func(d *DRAM) { d.Columns = 100 }},
 		{"bad tRC", func(d *DRAM) { d.Timing.TRC = d.Timing.TRAS }},
-		{"zero CL", func(d *DRAM) { d.Timing.CL = 0 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -144,6 +159,153 @@ func TestDRAMValidateRejections(t *testing.T) {
 				t.Fatal("expected validation error, got nil")
 			}
 		})
+	}
+}
+
+// TestDRAMTimingValidateRejections zeroes each timing field in turn: every
+// constraint in the Validate loop must trip and name the field.
+func TestDRAMTimingValidateRejections(t *testing.T) {
+	fields := []struct {
+		name string
+		zero func(*DRAMTiming)
+	}{
+		{"CL", func(tm *DRAMTiming) { tm.CL = 0 }},
+		{"CWL", func(tm *DRAMTiming) { tm.CWL = 0 }},
+		{"TRCD", func(tm *DRAMTiming) { tm.TRCD = 0 }},
+		{"TRP", func(tm *DRAMTiming) { tm.TRP = 0 }},
+		{"TRAS", func(tm *DRAMTiming) { tm.TRAS = 0 }},
+		{"TRC", func(tm *DRAMTiming) { tm.TRC = 0 }},
+		{"TCCD", func(tm *DRAMTiming) { tm.TCCD = 0 }},
+		{"TRRD", func(tm *DRAMTiming) { tm.TRRD = 0 }},
+		{"TFAW", func(tm *DRAMTiming) { tm.TFAW = 0 }},
+		{"TWTR", func(tm *DRAMTiming) { tm.TWTR = 0 }},
+		{"TWR", func(tm *DRAMTiming) { tm.TWR = 0 }},
+		{"TRTP", func(tm *DRAMTiming) { tm.TRTP = 0 }},
+		{"TBUS", func(tm *DRAMTiming) { tm.TBUS = 0 }},
+		{"TRFC", func(tm *DRAMTiming) { tm.TRFC = 0 }},
+		{"REFI", func(tm *DRAMTiming) { tm.REFI = 0 }},
+	}
+	for _, f := range fields {
+		t.Run(f.name, func(t *testing.T) {
+			tm := DDR31600Timing()
+			f.zero(&tm)
+			err := tm.Validate()
+			if err == nil {
+				t.Fatalf("expected error for zero %s, got nil", f.name)
+			}
+			if !strings.Contains(err.Error(), f.name) {
+				t.Fatalf("error %q does not name field %s", err, f.name)
+			}
+		})
+	}
+	if err := DDR31600Timing().Validate(); err != nil {
+		t.Fatalf("DDR3-1600 timing invalid: %v", err)
+	}
+}
+
+func TestCPUValidateRejections(t *testing.T) {
+	base := Default().CPU
+	cases := []struct {
+		name   string
+		mutate func(*CPU)
+		want   string
+	}{
+		{"zero cores", func(c *CPU) { c.Cores = 0 }, "Cores"},
+		{"zero rob", func(c *CPU) { c.ROBSize = 0 }, "ROBSize"},
+		{"zero retire width", func(c *CPU) { c.RetireWidth = 0 }, "RetireWidth"},
+		{"zero max misses", func(c *CPU) { c.MaxMisses = 0 }, "MaxMisses"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCacheValidateRejections(t *testing.T) {
+	base := Default().Cache
+	cases := []struct {
+		name   string
+		mutate func(*Cache)
+		want   string
+	}{
+		{"zero size", func(c *Cache) { c.SizeBytes = 0 }, "SizeBytes"},
+		{"zero line size", func(c *Cache) { c.LineSize = 0 }, "LineSize"},
+		{"non-pow2 line size", func(c *Cache) { c.LineSize = 48 }, "LineSize"},
+		{"zero ways", func(c *Cache) { c.Ways = 0 }, "Ways"},
+		{"non-pow2 sets", func(c *Cache) { c.SizeBytes = 3 << 20 }, "sets"},
+		{"zero sets", func(c *Cache) { c.SizeBytes = 512 }, "sets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := base
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSystemEnumValidation covers the unknown-enum branches of
+// System.Validate: scheduler kind, layout kind, and page policy.
+func TestSystemEnumValidation(t *testing.T) {
+	s := Default()
+	s.Scheduler = SchedulerKind(42)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "scheduler") {
+		t.Fatalf("expected unknown-scheduler error, got %v", err)
+	}
+
+	s = Default()
+	s.Layout = LayoutKind(42)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "layout") {
+		t.Fatalf("expected unknown-layout error, got %v", err)
+	}
+
+	s = Default()
+	s.DRAM.Policy = PagePolicy(42)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "page policy") {
+		t.Fatalf("expected unknown-page-policy error, got %v", err)
+	}
+}
+
+// TestSystemSubValidationPropagates checks that System.Validate surfaces
+// errors from each sub-config's Validate.
+func TestSystemSubValidationPropagates(t *testing.T) {
+	s := Default()
+	s.ORAM.Z = 0
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "Z must be positive") {
+		t.Fatalf("expected ORAM error, got %v", err)
+	}
+
+	s = Default()
+	s.DRAM.Channels = 0
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "Channels") {
+		t.Fatalf("expected DRAM error, got %v", err)
+	}
+
+	s = Default()
+	s.CPU.Cores = 0
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "Cores") {
+		t.Fatalf("expected CPU error, got %v", err)
+	}
+
+	s = Default()
+	s.Cache.Ways = 0
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "Ways") {
+		t.Fatalf("expected cache error, got %v", err)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"stringoram/internal/config"
+	"stringoram/internal/invariant"
 )
 
 // CmdKind enumerates DRAM commands.
@@ -239,6 +240,16 @@ func (ch *Channel) Issue(k CmdKind, rank, bank, row int, now int64) int64 {
 		b.earliestPRE = now + int64(ch.t.TRAS)
 		b.earliestACT = now + int64(ch.t.TRC)
 		rk.lastACT = now
+		if invariant.Enabled {
+			// actIdx always points at the oldest of the last four ACTs,
+			// so overwriting it preserves the tFAW sliding window; the
+			// ring holds ACT times in nondecreasing order.
+			invariant.Assertf(rk.actIdx >= 0 && rk.actIdx < len(rk.actTimes), "tFAW ring index %d out of bounds [0, %d)", rk.actIdx, len(rk.actTimes))
+			for i := range rk.actTimes {
+				invariant.Assertf(rk.actTimes[rk.actIdx] <= rk.actTimes[i], "tFAW ring slot %d holds ACT time %d older than slot %d's %d marked oldest", i, rk.actTimes[i], rk.actIdx, rk.actTimes[rk.actIdx])
+				invariant.Assertf(rk.actTimes[i] <= now, "tFAW ring slot %d holds ACT time %d in the future of cycle %d", i, rk.actTimes[i], now)
+			}
+		}
 		rk.actTimes[rk.actIdx] = now
 		rk.actIdx = (rk.actIdx + 1) % len(rk.actTimes)
 		b.markBusy(now, now+int64(ch.t.TRCD))

@@ -1,0 +1,44 @@
+//go:build invariants
+
+// Package invariant provides always-on runtime assertions for the
+// protocol and scheduler properties the simulator's security and
+// reproducibility arguments rest on (Compact Bucket green bound,
+// Proactive Bank data-command ordering, next-event hint exactness,
+// sliding-window aliasing freedom).
+//
+// The package has two build flavours selected by the `invariants` build
+// tag:
+//
+//   - default build: every function is an inlinable no-op and Enabled is
+//     the constant false, so call sites guarded by `if invariant.Enabled`
+//     are eliminated entirely — zero cost on the PR-1 alloc-free hot
+//     path.
+//   - `-tags=invariants`: Enabled is true and a failed assertion panics
+//     with an "invariant:" prefix, turning any silent protocol drift
+//     into an immediate, attributable test failure.
+//
+// CI runs the full test suite in both flavours (scripts/check.sh).
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant so that `if invariant.Enabled { ... }` blocks are dead-code
+// eliminated in the default build.
+const Enabled = true
+
+// Assert panics with the given message when cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant: " + msg)
+	}
+}
+
+// Assertf panics with the formatted message when cond is false. The
+// variadic arguments may allocate even when cond holds; hot paths should
+// guard the call with `if invariant.Enabled`.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("invariant: "+format, args...))
+	}
+}

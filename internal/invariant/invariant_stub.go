@@ -1,0 +1,15 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. See the
+// package comment in invariant.go; this is the no-op flavour.
+const Enabled = false
+
+// Assert is a no-op in the default build.
+func Assert(bool, string) {}
+
+// Assertf is a no-op in the default build. Hot paths must still guard
+// calls with `if invariant.Enabled` so the argument list itself costs
+// nothing.
+func Assertf(bool, string, ...any) {}

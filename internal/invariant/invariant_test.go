@@ -1,0 +1,62 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and reports whether it panicked, returning the
+// panic value's string form.
+func mustPanic(fn func()) (panicked bool, msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			if s, ok := r.(string); ok {
+				msg = s
+			}
+		}
+	}()
+	fn()
+	return false, ""
+}
+
+func TestAssertHolds(t *testing.T) {
+	// A true condition never panics in either build flavour.
+	if p, _ := mustPanic(func() { Assert(true, "unreachable") }); p {
+		t.Fatal("Assert(true) panicked")
+	}
+	if p, _ := mustPanic(func() { Assertf(true, "unreachable %d", 1) }); p {
+		t.Fatal("Assertf(true) panicked")
+	}
+}
+
+func TestAssertFails(t *testing.T) {
+	p, msg := mustPanic(func() { Assert(false, "green counter exceeded Y") })
+	if Enabled {
+		if !p {
+			t.Fatal("Assert(false) did not panic with invariants enabled")
+		}
+		if !strings.HasPrefix(msg, "invariant: ") {
+			t.Fatalf("panic message %q lacks the invariant: prefix", msg)
+		}
+		if !strings.Contains(msg, "green counter") {
+			t.Fatalf("panic message %q lost the caller's message", msg)
+		}
+	} else if p {
+		t.Fatal("Assert(false) panicked in the stub build")
+	}
+}
+
+func TestAssertfFails(t *testing.T) {
+	p, msg := mustPanic(func() { Assertf(false, "txn %d after %d", 3, 7) })
+	if Enabled {
+		if !p {
+			t.Fatal("Assertf(false) did not panic with invariants enabled")
+		}
+		if !strings.Contains(msg, "txn 3 after 7") {
+			t.Fatalf("panic message %q did not format arguments", msg)
+		}
+	} else if p {
+		t.Fatal("Assertf(false) panicked in the stub build")
+	}
+}

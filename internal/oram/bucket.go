@@ -1,15 +1,22 @@
 package oram
 
-import "stringoram/internal/rng"
+import (
+	"stringoram/internal/invariant"
+	"stringoram/internal/rng"
+)
 
 // Slot is one physical block slot in a bucket. A slot is either real
 // (holding the block identified by ID) or a reserved dummy. Valid means the
 // slot has not been touched since the bucket's last reshuffle; Ring ORAM
 // never reads the same slot twice between reshuffles.
+// Real and ID are secret: which slots hold real blocks — and which
+// blocks — must never steer the bus-visible access sequence (enforced
+// by oramlint's oblivious analyzer). Valid is public: the adversary
+// sees which slots have been touched since the last reshuffle.
 type Slot struct {
-	Real  bool
+	Real  bool `oramlint:"secret"`
 	Valid bool
-	ID    BlockID
+	ID    BlockID `oramlint:"secret"`
 }
 
 // Bucket is one tree node: Z real slots plus S-Y reserved dummy slots,
@@ -21,8 +28,9 @@ type Bucket struct {
 	// never exceed S.
 	Count int
 	// Green is the number of real blocks consumed as dummies since the
-	// last reshuffle; must never exceed Y.
-	Green int
+	// last reshuffle; must never exceed Y. Secret: it is a function of
+	// real-vs-dummy identity, which the bus must not learn.
+	Green int `oramlint:"secret"`
 	// Epoch counts reshuffles of this bucket. Dummy ciphertexts are
 	// sealed deterministically per (bucket, slot, epoch), which lets
 	// the XOR technique cancel them out of a combined read.
@@ -127,6 +135,9 @@ func (b *Bucket) selectDummy(src *rng.Source, y int, uniform bool) (slot int, gr
 		id := b.Slots[i].ID
 		b.Slots[i].Valid = false
 		b.Green++
+		if invariant.Enabled {
+			invariant.Assertf(b.Green <= y, "bucket green counter %d exceeds CB budget Y=%d", b.Green, y)
+		}
 		return i, id
 	}
 	i := dummies[src.Intn(len(dummies))]
@@ -170,6 +181,9 @@ func (b *Bucket) selectDummyBalanced(pick func(candidates []int) int, y int) (sl
 		id := b.Slots[i].ID
 		b.Slots[i].Valid = false
 		b.Green++
+		if invariant.Enabled {
+			invariant.Assertf(b.Green <= y, "bucket green counter %d exceeds CB budget Y=%d", b.Green, y)
+		}
 		return i, id
 	}
 	b.Slots[i].Valid = false
@@ -220,5 +234,10 @@ func (b *Bucket) reshuffle(blocks []BlockID, src *rng.Source) []int {
 	b.Count = 0
 	b.Green = 0
 	b.Epoch++
+	if invariant.Enabled {
+		// Reshuffle resets the CB metadata and must preserve every block
+		// it was handed.
+		invariant.Assertf(b.realBlocks() == len(blocks), "reshuffle placed %d of %d blocks", b.realBlocks(), len(blocks))
+	}
 	return target
 }

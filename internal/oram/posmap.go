@@ -11,7 +11,7 @@ import "stringoram/internal/rng"
 // assigns it a uniformly random path, modeling an ORAM whose tree starts
 // empty and fills as the program touches memory.
 type PositionMap struct {
-	m      map[BlockID]PathID
+	m      map[BlockID]PathID `oramlint:"secret"`
 	leaves int64
 	src    *rng.Source
 }
@@ -54,6 +54,6 @@ func (pm *PositionMap) RandomPath() PathID {
 // ForEach visits every mapping.
 func (pm *PositionMap) ForEach(fn func(id BlockID, path PathID)) {
 	for id, p := range pm.m {
-		fn(id, p)
+		fn(id, p) //oramlint:allow maprange visit order is unspecified by contract; order-sensitive callers must collect and sort (see Ring.Save)
 	}
 }

@@ -31,7 +31,7 @@ type RecursiveRing struct {
 
 	capacity int64 // data blocks addressable
 	fanout   int64
-	onChip   map[BlockID]PathID // labels of maps[len(maps)-1] blocks
+	onChip   map[BlockID]PathID `oramlint:"secret"` // labels of maps[len(maps)-1] blocks
 	src      *rng.Source
 }
 
@@ -224,7 +224,7 @@ func (rr *RecursiveRing) Access(id BlockID, write bool, data []byte) ([]byte, []
 	// metadata (blocks carry their leaf label in a real system; a
 	// mismatch means the recursion desynchronized).
 	if len(rr.maps) > 0 && expectedKnown {
-		if got, ok := rr.data.PositionOf(id); !ok || got != expected {
+		if got, ok := rr.data.PositionOf(id); !ok || got != expected { //oramlint:allow secret-branch consistency cross-check; a mismatch panics the simulation rather than emitting anything
 			panic(fmt.Sprintf("oram: recursive map says block %d is on path %d, data ring says %v (known=%v)",
 				id, expected, got, ok))
 		}

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"stringoram/internal/config"
+	"stringoram/internal/invariant"
 	"stringoram/internal/rng"
 )
 
@@ -365,7 +367,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	// one when the block is new or already buffered in the stash. The
 	// bus-visible behaviour is identical in all cases.
 	readPath, haveTarget := r.pos.Lookup(id)
-	if r.stash.Contains(id) {
+	if r.stash.Contains(id) { //oramlint:allow secret-branch both arms issue one full read path; a stash hit only redirects it to a fresh random path, indistinguishable on the bus
 		r.stats.StashHits++
 		haveTarget = false
 	}
@@ -385,7 +387,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	} else {
 		newPath = r.pos.Remap(id)
 	}
-	if !r.stash.Contains(id) {
+	if !r.stash.Contains(id) { //oramlint:allow secret-branch stash materialization only; neither arm emits accesses
 		// New block, or a protocol-internal move that did not land it
 		// in the stash (first-ever access): materialize it.
 		r.stash.Put(id, newPath, nil)
@@ -429,7 +431,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	// evict; repeat until the stash drains. The bus sees only the usual
 	// (A reads, 1 evict) rhythm, so nothing leaks.
 	rounds := 0
-	for r.stash.Len() >= r.cfg.EvictThreshold() {
+	for r.stash.Len() >= r.cfg.EvictThreshold() { //oramlint:allow secret-branch the extra ops are dummy read paths on random paths plus scheduled evictions, all in the public (A reads, 1 evict) rhythm; occupancy only stalls the CPU, it never shapes an op
 		if rounds++; rounds > maxBackgroundRounds {
 			return nil, ops, ErrStashOverflow
 		}
@@ -442,11 +444,17 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 			r.stats.BackgroundEvictions++
 		}
 	}
-	if r.stash.Len() > r.stash.Cap() {
+	if invariant.Enabled {
+		// The background loop only exits (without overflow) once
+		// eviction has drained the stash below the threshold; a future
+		// early break here would silently void the occupancy bound.
+		invariant.Assertf(r.stash.Len() < r.cfg.EvictThreshold(), "background eviction left stash at %d, threshold %d", r.stash.Len(), r.cfg.EvictThreshold())
+	}
+	if r.stash.Len() > r.stash.Cap() { //oramlint:allow secret-branch overflow detection aborts the run after all ops are emitted; it never alters the trace
 		return nil, ops, ErrStashOverflow
 	}
 
-	if n := int64(r.stash.Len()); n > r.stats.StashPeak {
+	if n := int64(r.stash.Len()); n > r.stats.StashPeak { //oramlint:allow secret-branch statistics only, after all ops are emitted
 		r.stats.StashPeak = n
 	}
 	if r.onSample != nil {
@@ -489,7 +497,7 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 	if wantTarget {
 		for lvl, idx := range path {
 			if b, ok := r.buckets[idx]; ok {
-				if s := b.findBlock(id); s >= 0 {
+				if s := b.findBlock(id); s >= 0 { //oramlint:allow secret-branch target lookup; the emitted path still reads exactly one untouched slot per level, and slot positions are a secret uniform permutation (Ring ORAM Sec. 3.2)
 					targetLevel, targetSlot = lvl, s
 					break
 				}
@@ -508,7 +516,7 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 	for lvl := emitFrom; lvl < len(path); lvl++ {
 		b := r.bucket(path[lvl])
 		hasTarget := lvl == targetLevel
-		if !b.canServe(hasTarget, r.cfg.S, greenBudget) {
+		if !b.canServe(hasTarget, r.cfg.S, greenBudget) { //oramlint:allow secret-branch reshuffle scheduling follows bucket metadata whose evolution is driven by the public access sequence and uniform dummy selection, not by which blocks are real (paper Sec. IV)
 			ops = append(ops, r.earlyReshuffleOp(path[lvl], lvl))
 			if hasTarget {
 				// The reshuffle re-permuted the bucket.
@@ -558,6 +566,9 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 		idx := path[lvl]
 		b := r.bucket(idx)
 		b.Count++
+		if invariant.Enabled {
+			invariant.Assertf(b.Count <= r.cfg.S, "bucket %d count %d exceeds access budget S=%d", idx, b.Count, r.cfg.S)
+		}
 		if lvl == targetLevel {
 			if r.xor {
 				xorFold(idx, targetSlot, false, b.Epoch)
@@ -631,7 +642,7 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) Op {
 	var res []residentBlock
 	readSlots := make([]int, 0, r.cfg.Z)
 	for s := range b.Slots {
-		if b.Slots[s].Real && b.Slots[s].Valid {
+		if b.Slots[s].Real && b.Slots[s].Valid { //oramlint:allow secret-branch exactly Z slots are read (padded below); which physical slots hold reals is a secret uniform permutation refreshed every epoch, so the read set leaks nothing
 			data, err := r.readSlotData(idx, s)
 			if err != nil {
 				panic(err)
@@ -641,7 +652,7 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) Op {
 		}
 	}
 	for s := 0; len(readSlots) < r.cfg.Z && s < len(b.Slots); s++ {
-		if !(b.Slots[s].Real && b.Slots[s].Valid) {
+		if !(b.Slots[s].Real && b.Slots[s].Valid) { //oramlint:allow secret-branch padding the read phase to exactly Z slots; the combined read set stays a uniform secret-permutation draw
 			readSlots = append(readSlots, s)
 		}
 	}
@@ -654,6 +665,9 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) Op {
 	blocks := make([]BlockID, len(res))
 	for i := range res {
 		blocks[i] = res[i].id
+	}
+	if invariant.Enabled {
+		invariant.Assertf(len(res) <= r.cfg.Z, "bucket %d holds %d real blocks, Z=%d", idx, len(res), r.cfg.Z)
 	}
 	targets := b.reshuffle(blocks, r.permSrc)
 	r.writeBucket(idx, level, b, res2data(res), targets, &op)
@@ -730,7 +744,7 @@ func (r *Ring) evictPathOp() Op {
 		b := r.bucket(idx)
 		readSlots := make([]int, 0, r.cfg.Z)
 		for s := range b.Slots {
-			if b.Slots[s].Real && b.Slots[s].Valid {
+			if b.Slots[s].Real && b.Slots[s].Valid { //oramlint:allow secret-branch eviction reads exactly Z slots per bucket (padded below); slot positions are a secret uniform permutation, so the read set leaks nothing
 				id := b.Slots[s].ID
 				data, err := r.readSlotData(idx, s)
 				if err != nil {
@@ -844,8 +858,8 @@ func (r *Ring) CheckInvariants() error {
 			// on its new path. Search the whole touched tree to
 			// distinguish "lost" from "misplaced".
 			where := "nowhere"
-			for idx, b := range r.buckets {
-				if b.findBlock(id) >= 0 {
+			for _, idx := range sortedBucketIndices(r.buckets) {
+				if r.buckets[idx].findBlock(id) >= 0 {
 					where = fmt.Sprintf("bucket %d (level %d)", idx, r.tree.BucketLevel(idx))
 					break
 				}
@@ -856,8 +870,10 @@ func (r *Ring) CheckInvariants() error {
 	if err != nil {
 		return err
 	}
-	// Bucket budgets.
-	for idx, b := range r.buckets {
+	// Bucket budgets. Sorted order makes the first reported violation
+	// deterministic run to run.
+	for _, idx := range sortedBucketIndices(r.buckets) {
+		b := r.buckets[idx]
 		if b.Count > r.cfg.S {
 			return fmt.Errorf("oram: bucket %d count %d exceeds S=%d", idx, b.Count, r.cfg.S)
 		}
@@ -875,4 +891,16 @@ func (r *Ring) CheckInvariants() error {
 		return fmt.Errorf("oram: stash %d over capacity %d", r.stash.Len(), r.stash.Cap())
 	}
 	return nil
+}
+
+// sortedBucketIndices returns the touched bucket indices in ascending
+// order, for deterministic iteration over the lazily-populated bucket
+// map (checkpointing, invariant reporting).
+func sortedBucketIndices(m map[int64]*Bucket) []int64 {
+	idxs := make([]int64, 0, len(m))
+	for idx := range m {
+		idxs = append(idxs, idx)
+	}
+	slices.Sort(idxs)
+	return idxs
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"slices"
+	"sort"
 
 	"stringoram/internal/config"
 	"stringoram/internal/rng"
@@ -92,13 +94,18 @@ func (r *Ring) Save(w io.Writer) error {
 	if r.crypt != nil {
 		snap.CryptCtr = r.crypt.Counter()
 	}
+	// The walks below visit maps; sort every snapshot slice so the gob
+	// stream is byte-identical across runs of the same simulation.
 	r.stash.ForEach(func(id BlockID, p PathID) {
 		snap.Stash = append(snap.Stash, stashSnap{ID: id, Path: p, Data: r.stash.Get(id)})
 	})
+	sort.Slice(snap.Stash, func(i, j int) bool { return snap.Stash[i].ID < snap.Stash[j].ID })
 	r.pos.ForEach(func(id BlockID, p PathID) {
 		snap.PosMap = append(snap.PosMap, posSnap{ID: id, Path: p})
 	})
-	for idx, b := range r.buckets {
+	sort.Slice(snap.PosMap, func(i, j int) bool { return snap.PosMap[i].ID < snap.PosMap[j].ID })
+	for _, idx := range sortedBucketIndices(r.buckets) {
+		b := r.buckets[idx]
 		snap.Buckets = append(snap.Buckets, bucketSnap{
 			Index: idx, Count: b.Count, Green: b.Green, Epoch: b.Epoch, Slots: b.Slots,
 		})
@@ -107,8 +114,13 @@ func (r *Ring) Save(w io.Writer) error {
 	case nil:
 		// timing-only: nothing to persist
 	case *MemStore:
-		for bkt, slots := range st.slots {
-			snap.Store = append(snap.Store, storeSnap{Bucket: bkt, Slots: slots})
+		bkts := make([]int64, 0, len(st.slots))
+		for bkt := range st.slots {
+			bkts = append(bkts, bkt)
+		}
+		slices.Sort(bkts)
+		for _, bkt := range bkts {
+			snap.Store = append(snap.Store, storeSnap{Bucket: bkt, Slots: st.slots[bkt]})
 		}
 	default:
 		return fmt.Errorf("oram: Save supports nil or MemStore stores, got %T", r.store)

@@ -3,7 +3,7 @@ package oram
 // stashEntry is one block buffered in the on-chip stash. Data is nil in
 // timing-only mode (no Store attached).
 type stashEntry struct {
-	path PathID
+	path PathID `oramlint:"secret"`
 	data []byte
 }
 
@@ -11,7 +11,7 @@ type stashEntry struct {
 // path and their eviction back into the tree. It lives inside the secure
 // boundary, so its contents are invisible to the memory-bus adversary.
 type Stash struct {
-	entries map[BlockID]*stashEntry
+	entries map[BlockID]*stashEntry `oramlint:"secret"`
 	cap     int
 }
 
@@ -81,6 +81,6 @@ func (s *Stash) Remove(id BlockID) []byte {
 // is not allowed.
 func (s *Stash) ForEach(fn func(id BlockID, path PathID)) {
 	for id, e := range s.entries {
-		fn(id, e.path)
+		fn(id, e.path) //oramlint:allow maprange visit order is unspecified by contract; order-sensitive callers must collect and sort (see Ring.placeForEvict, Ring.Save)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"stringoram/internal/addrmap"
 	"stringoram/internal/config"
 	"stringoram/internal/dram"
+	"stringoram/internal/invariant"
 )
 
 // Tag groups requests for statistics; the simulator uses it to separate
@@ -243,6 +244,9 @@ func (ch *chanState) invalidateHint() { ch.hintOK = false }
 type txnWindow struct {
 	counts []int32
 	mask   int64
+	// lo/hi record the span last passed to ensure; maintained only in
+	// the invariants build, where get/add verify their id against it.
+	lo, hi int64
 }
 
 func newTxnWindow() txnWindow {
@@ -253,6 +257,9 @@ func newTxnWindow() txnWindow {
 // ensure grows the window until ids in [lo, hi] are alias-free, copying
 // the live span across.
 func (w *txnWindow) ensure(lo, hi int64) {
+	if invariant.Enabled {
+		w.lo, w.hi = lo, hi
+	}
 	if hi-lo < int64(len(w.counts)) {
 		return
 	}
@@ -268,8 +275,19 @@ func (w *txnWindow) ensure(lo, hi int64) {
 	w.mask = int64(n - 1)
 }
 
-func (w *txnWindow) get(id int64) int32    { return w.counts[id&w.mask] }
-func (w *txnWindow) add(id int64, d int32) { w.counts[id&w.mask] += d }
+func (w *txnWindow) get(id int64) int32 {
+	if invariant.Enabled {
+		invariant.Assertf(id >= w.lo && id <= w.hi, "txn window read of id %d outside ensured span [%d, %d]: slot may alias another live transaction", id, w.lo, w.hi)
+	}
+	return w.counts[id&w.mask]
+}
+
+func (w *txnWindow) add(id int64, d int32) {
+	if invariant.Enabled {
+		invariant.Assertf(id >= w.lo && id <= w.hi, "txn window write of id %d outside ensured span [%d, %d]: slot may alias another live transaction", id, w.lo, w.hi)
+	}
+	w.counts[id&w.mask] += d
+}
 
 // CommandEvent describes one DRAM command issue, for tracing (the
 // paper's Fig. 6/8 timelines).
@@ -297,6 +315,11 @@ type Controller struct {
 	curTxn      int64
 	outstanding txnWindow
 	maxTxn      int64 // highest transaction id ever enqueued
+	// lastDataTxn is the transaction of the most recent RD/WR issued;
+	// maintained only in the invariants build to check that the data
+	// command sequence never goes backwards across transactions (the
+	// ordering PB must preserve).
+	lastDataTxn int64
 	closedUpTo  int64 // all txns < closedUpTo are fully enqueued
 	txnGen      uint64
 
@@ -472,14 +495,36 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 	// frozen, so a previously computed hint remains exact and the whole
 	// scheduling scan can be skipped.
 	if ch.hintOK && ch.hintGen == c.txnGen && now < ch.hint && now < ch.hintUntil {
+		if invariant.Enabled {
+			c.verifyHint(ch, now)
+		}
 		return ch.hint
 	}
 	ch.hintOK = false
+	n, _ := c.scanChannel(ch, now)
+	return n
+}
 
+// verifyHint replays the full scheduling scan on a cache hit: the
+// cached hint claimed no command can issue before it, so the scan must
+// issue nothing and recompute the identical hint from channel state.
+func (c *Controller) verifyHint(ch *chanState, now int64) {
+	hint, hintUntil := ch.hint, ch.hintUntil
+	n, issued := c.scanChannel(ch, now)
+	invariant.Assertf(!issued, "next-event hint %d claimed channel %d idle at cycle %d, but a command issued on replay", hint, ch.idx, now)
+	invariant.Assertf(n == hint, "next-event hint %d stale on channel %d: fresh scan at cycle %d says %d", hint, ch.idx, now, n)
+	invariant.Assertf(ch.hintUntil == hintUntil, "hint validity horizon drifted on channel %d: cached %d, recomputed %d", ch.idx, hintUntil, ch.hintUntil)
+}
+
+// scanChannel performs the full scheduling scan: refresh, then the
+// FR-FCFS passes. It issues at most one command, reports whether one
+// issued, and returns the channel's next-event hint (caching it when
+// nothing issued).
+func (c *Controller) scanChannel(ch *chanState, now int64) (int64, bool) {
 	// Refresh has absolute priority: past the deadline the rank must be
 	// closed and refreshed before anything else touches it.
 	if n, handled := c.tickRefresh(ch, now); handled {
-		return n
+		return n, n == now+1
 	}
 
 	next := dram.Never
@@ -506,7 +551,7 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 	// Pass 1 (FR-FCFS "first ready"): oldest row-hit column command of
 	// the current transaction.
 	if n, issued := c.tryColumnHit(ch, now); issued {
-		return now + 1
+		return now + 1, true
 	} else if n < next {
 		next = n
 	}
@@ -514,7 +559,7 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 	// PRE/ACT/column command; younger requests on other idle banks may
 	// proceed too.
 	if n, issued := c.tryInTxn(ch, now); issued {
-		return now + 1
+		return now + 1, true
 	} else if n < next {
 		next = n
 	}
@@ -522,7 +567,7 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 	// the current transaction no longer needs.
 	if c.kind == config.SchedProactiveBank {
 		if n, issued := c.tryProactive(ch, now); issued {
-			return now + 1
+			return now + 1, true
 		} else if n < next {
 			next = n
 		}
@@ -531,7 +576,7 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 	// no queued request wants.
 	if c.cfg.Policy == config.ClosePage {
 		if n, issued := c.tryClosePage(ch, now); issued {
-			return now + 1
+			return now + 1, true
 		} else if n < next {
 			next = n
 		}
@@ -549,7 +594,7 @@ func (c *Controller) tickChannel(ch *chanState, now int64) int64 {
 	ch.hintUntil = until
 	ch.hintGen = c.txnGen
 	ch.hintOK = true
-	return next
+	return next, false
 }
 
 // tryClosePage implements the close-page ablation: any bank whose open
@@ -807,6 +852,14 @@ func (c *Controller) tryProactive(ch *chanState, now int64) (int64, bool) {
 // issueColumn issues the RD/WR for a request, records its statistics and
 // removes it from its queue.
 func (c *Controller) issueColumn(ch *chanState, r *Request, cmd dram.CmdKind, now int64) {
+	if invariant.Enabled {
+		// Data commands serve only the current transaction (Proactive
+		// Bank hoists PRE/ACT, never RD/WR), and transaction completion
+		// order therefore never regresses on the bus.
+		invariant.Assertf(r.Txn == c.curTxn, "data command for txn %d issued while txn %d is current", r.Txn, c.curTxn)
+		invariant.Assertf(r.Txn >= c.lastDataTxn, "data command for txn %d issued after txn %d already received data commands", r.Txn, c.lastDataTxn)
+		c.lastDataTxn = r.Txn
+	}
 	done := ch.dev.Issue(cmd, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, now)
 	r.Issued = now
 	r.Done = done

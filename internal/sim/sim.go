@@ -19,6 +19,7 @@ import (
 	"stringoram/internal/cache"
 	"stringoram/internal/config"
 	"stringoram/internal/cpu"
+	"stringoram/internal/invariant"
 	"stringoram/internal/oram"
 	"stringoram/internal/sched"
 	"stringoram/internal/trace"
@@ -131,6 +132,9 @@ func newTagWindow() tagWindow {
 
 // set records the tag of transaction id (ids arrive in increasing order).
 func (w *tagWindow) set(id int64, tag sched.Tag) {
+	if invariant.Enabled {
+		invariant.Assertf(id >= w.base, "tag window write for pruned txn %d (window base %d)", id, w.base)
+	}
 	if id-w.base >= int64(len(w.tags)) {
 		n := len(w.tags)
 		for int64(n) <= id-w.base {
@@ -143,6 +147,11 @@ func (w *tagWindow) set(id int64, tag sched.Tag) {
 		w.tags = tags
 		w.mask = int64(n - 1)
 	}
+	if invariant.Enabled {
+		// The live span [base, id] must fit in the ring or slot id&mask
+		// would alias another live transaction's tag.
+		invariant.Assertf(id-w.base < int64(len(w.tags)), "tag window span [%d, %d] exceeds ring size %d after growth", w.base, id, len(w.tags))
+	}
 	w.tags[id&w.mask] = tag
 }
 
@@ -152,6 +161,11 @@ func (w *tagWindow) set(id int64, tag sched.Tag) {
 func (w *tagWindow) get(id, hi int64) (sched.Tag, bool) {
 	if id < w.base || id >= hi {
 		return 0, false
+	}
+	if invariant.Enabled {
+		// A read inside [base, hi) is alias-free only while the whole
+		// live span fits in the ring.
+		invariant.Assertf(hi-w.base <= int64(len(w.tags)), "tag window read of txn %d with live span [%d, %d) wider than ring size %d", id, w.base, hi, len(w.tags))
 	}
 	return w.tags[id&w.mask], true
 }

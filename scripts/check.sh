@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # check.sh — the CI gate. Everything a PR must pass before merge:
-# vet, build, the full test suite, and the race detector over the
-# packages with scheduler/simulator concurrency-sensitive state.
+# formatting, vet, the project linters (oramlint), build, the full test
+# suite in both build flavors (default and -tags=invariants), the race
+# detector over the packages with scheduler/simulator
+# concurrency-sensitive state, and a short fuzz smoke of the trace codec.
 #
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -13,10 +23,19 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== oramlint =="
+go run ./cmd/oramlint ./...
+
 echo "== go test =="
 go test ./...
 
+echo "== go test -tags=invariants =="
+go test -tags=invariants ./...
+
 echo "== go test -race (sched, sim, experiments) =="
 go test -race ./internal/sched ./internal/sim ./internal/experiments
+
+echo "== fuzz smoke (trace codec) =="
+go test -run='^$' -fuzz=FuzzReadCodec -fuzztime=5s ./internal/trace
 
 echo "check.sh: all gates passed"
