@@ -1,0 +1,156 @@
+// Command oramd is the ORAM key-value daemon: a sharded, batching
+// server (internal/server via the stringoram facade) speaking the
+// length-prefixed binary wire protocol over TCP, with an optional HTTP
+// metrics endpoint and snapshot-based persistence.
+//
+// Usage:
+//
+//	oramd [flags]
+//
+// Flags:
+//
+//	-addr host:port      TCP listen address (default 127.0.0.1:9736)
+//	-metrics host:port   HTTP metrics address; GET /metrics returns JSON
+//	                     (empty disables)
+//	-shards N            ORAM instances / worker goroutines (default 4)
+//	-levels N            tree levels per shard (default 12)
+//	-queue N             per-shard queue depth (default 256)
+//	-batch N             max requests drained per worker wakeup (default 32)
+//	-seed N              master seed for per-shard protocol randomness
+//	-snapshots DIR       snapshot directory: restore on boot, save on
+//	                     shutdown (empty disables persistence)
+//	-timeout D           default per-request deadline (0 disables)
+//	-key HEX             16-byte AES key (hex) sealing block contents
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
+// every queued request, then snapshot each shard atomically — on-disk
+// state is either the complete new snapshot or the previous one, never
+// a torn write.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stringoram"
+)
+
+// notifyListening, when set (tests), receives the resolved TCP address
+// once the listener is up.
+var notifyListening func(addr string)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oramd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("oramd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9736", "TCP listen address")
+	metricsAddr := fs.String("metrics", "", "HTTP metrics listen address (empty disables)")
+	shards := fs.Int("shards", 4, "number of ORAM shards")
+	levels := fs.Int("levels", 12, "ORAM tree levels per shard")
+	queue := fs.Int("queue", 256, "per-shard request queue depth")
+	batch := fs.Int("batch", 32, "max requests per worker batch")
+	seed := fs.Uint64("seed", 1, "master protocol seed")
+	snapdir := fs.String("snapshots", "", "snapshot directory (restore on boot, save on shutdown)")
+	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline (0 disables)")
+	keyHex := fs.String("key", "", "16-byte AES key in hex for sealed block storage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := stringoram.DefaultServerConfig()
+	cfg.Shards = *shards
+	cfg.ORAM = stringoram.DefaultServerORAM(*levels)
+	cfg.QueueDepth = *queue
+	cfg.MaxBatch = *batch
+	cfg.Seed = *seed
+	cfg.SnapshotDir = *snapdir
+	cfg.DefaultTimeout = *timeout
+	if *keyHex != "" {
+		key, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			return fmt.Errorf("-key: %w", err)
+		}
+		cfg.Key = key
+	}
+
+	srv, err := stringoram.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(w, "oramd: %d shards, %d-level trees, serving on %s\n", *shards, *levels, ln.Addr())
+	if notifyListening != nil {
+		notifyListening(ln.Addr().String())
+	}
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(rw).Encode(srv.Metrics())
+		})
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		fmt.Fprintf(w, "oramd: metrics on http://%s/metrics\n", mln.Addr())
+		metricsSrv = &http.Server{Handler: mux}
+		go metricsSrv.Serve(mln)
+	}
+
+	tcp := stringoram.NewTCPServer(srv)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- tcp.Serve(ln) }()
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(w, "oramd: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		tcp.Shutdown(sctx)
+		cancel()
+		<-serveErr
+	case runErr = <-serveErr:
+	}
+	if metricsSrv != nil {
+		mctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		metricsSrv.Shutdown(mctx)
+		cancel()
+	}
+	// Close drains in-flight work and, when -snapshots is set, commits
+	// one atomic snapshot per shard.
+	if err := srv.Close(); err != nil {
+		if runErr == nil {
+			runErr = err
+		}
+	} else if *snapdir != "" {
+		fmt.Fprintf(w, "oramd: snapshots committed to %s\n", *snapdir)
+	}
+	if runErr == nil {
+		fmt.Fprintln(w, "oramd: shutdown complete")
+	}
+	return runErr
+}

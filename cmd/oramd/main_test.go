@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stringoram"
+)
+
+// startDaemon runs the daemon in-process on an ephemeral port and
+// returns its address, a cancel func (simulated SIGINT), and a channel
+// carrying run's error after shutdown.
+func startDaemon(t *testing.T, args []string) (addr string, stop context.CancelFunc, done chan error, out *bytes.Buffer) {
+	t.Helper()
+	if ln, err := net.Listen("tcp", "127.0.0.1:0"); err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	} else {
+		ln.Close()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	notifyListening = func(a string) { addrCh <- a }
+	t.Cleanup(func() { notifyListening = nil })
+
+	out = &bytes.Buffer{}
+	sw := &syncWriter{buf: out}
+	done = make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), sw)
+	}()
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	return addr, cancel, done, out
+}
+
+// syncWriter makes the daemon's log buffer safe to read after shutdown
+// while run is still writing from the test goroutine.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func waitShutdown(t *testing.T, stop context.CancelFunc, done chan error) {
+	t.Helper()
+	stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonKillRestart writes through the wire, simulates a SIGINT,
+// restarts against the same snapshot directory, and verifies every
+// acknowledged write is readable.
+func TestDaemonKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-shards", "2", "-levels", "8", "-seed", "7", "-snapshots", dir}
+
+	addr, stop, done, _ := startDaemon(t, args)
+	c, err := stringoram.DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		key, val := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
+		for {
+			err := c.Put(key, []byte(val))
+			if err == nil {
+				break
+			}
+			if !stringoram.RetryableServerError(err) {
+				t.Fatalf("put %s: %v", key, err)
+			}
+		}
+	}
+	c.Close()
+	waitShutdown(t, stop, done)
+
+	addr, stop, done, out := startDaemon(t, args)
+	c, err = stringoram.DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < n; i++ {
+		key, want := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
+		got, found, err := c.Get(key)
+		if err != nil || !found || string(got) != want {
+			t.Fatalf("after restart Get(%s) = %q found=%v err=%v", key, got, found, err)
+		}
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Keys != n {
+		t.Fatalf("restored key count = %d, want %d", m.Keys, n)
+	}
+	c.Close()
+	waitShutdown(t, stop, done)
+	if !strings.Contains(out.String(), "snapshots committed") {
+		t.Fatalf("shutdown log missing snapshot confirmation:\n%s", out.String())
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-key", "zz"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid -key accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid -addr accepted")
+	}
+}

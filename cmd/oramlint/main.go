@@ -4,8 +4,9 @@
 //	go run ./cmd/oramlint ./...
 //
 // Simulation packages are checked for determinism (seed-only
-// reproducibility); internal/oram is additionally checked for
-// secret-dependent branching on address-emitting paths. Packages
+// reproducibility); internal/oram and internal/server are additionally
+// checked for secret-dependent branching on address-emitting paths
+// (internal/server anchors on its busOp bus-event type). Packages
 // outside those sets are skipped. Exit status: 0 clean, 1 findings,
 // 2 operational error (parse/type-check failure, bad pattern).
 package main
@@ -32,9 +33,13 @@ var determinismPkgs = map[string]bool{
 	"internal/trace":       true,
 }
 
-// obliviousPkg is the package whose address-emitting paths must not
-// branch on secrets.
-const obliviousPkg = "internal/oram"
+// obliviousPkgs maps each package whose address-emitting paths must not
+// branch on secrets to its analyzer instantiation: the emit types are
+// package-local, so each package anchors on its own bus-event type.
+var obliviousPkgs = map[string]*analysis.Analyzer{
+	"internal/oram":   analysis.DefaultOblivious,
+	"internal/server": analysis.Oblivious([]string{"busOp"}, nil),
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -47,8 +52,8 @@ func analyzersFor(rel string) []*analysis.Analyzer {
 	if determinismPkgs[rel] {
 		as = append(as, analysis.Determinism)
 	}
-	if rel == obliviousPkg {
-		as = append(as, analysis.DefaultOblivious)
+	if a := obliviousPkgs[rel]; a != nil {
+		as = append(as, a)
 	}
 	return as
 }

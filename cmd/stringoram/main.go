@@ -31,10 +31,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"stringoram/internal/experiments"
@@ -54,13 +57,18 @@ flags:`)
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the context: the "all" loop stops between
+	// experiments and plot's atomic writes mean output files are either
+	// complete or absent, never truncated.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "stringoram:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	if len(args) == 0 {
 		usage(os.Stderr)
 		return fmt.Errorf("missing experiment name")
@@ -235,6 +243,9 @@ func run(args []string, w io.Writer) error {
 	if exp == "all" {
 		start := time.Now()
 		for _, name := range order {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("interrupted before %s: %w", name, err)
+			}
 			if err := dispatch[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,28 +13,28 @@ import (
 
 func TestRunRequiresExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(nil, &buf); err == nil {
+	if err := run(context.Background(), nil, &buf); err == nil {
 		t.Fatal("no args accepted")
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"fig99"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"fig99"}, &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunUnknownScale(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"fig4", "-scale", "galactic"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"fig4", "-scale", "galactic"}, &buf); err == nil {
 		t.Fatal("unknown scale accepted")
 	}
 }
 
 func TestRunFig4(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"fig4"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"fig4"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -46,7 +47,7 @@ func TestRunFig4(t *testing.T) {
 
 func TestRunTableVCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"tablev", "-csv"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"tablev", "-csv"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +61,7 @@ func TestRunTableVCSV(t *testing.T) {
 
 func TestRunBandwidth(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"bandwidth", "-accesses", "200"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"bandwidth", "-accesses", "200"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Path ORAM") {
@@ -73,7 +74,7 @@ func TestRunSimulatedExperimentTiny(t *testing.T) {
 		t.Skip("simulation in -short mode")
 	}
 	var buf bytes.Buffer
-	err := run([]string{"fig14", "-accesses", "60", "-levels", "10", "-seed", "3"}, &buf)
+	err := run(context.Background(), []string{"fig14", "-accesses", "60", "-levels", "10", "-seed", "3"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunSimulatedExperimentTiny(t *testing.T) {
 
 func TestRunFlagParseError(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"fig4", "-no-such-flag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"fig4", "-no-such-flag"}, &buf); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
@@ -111,7 +112,7 @@ func TestRunSimulatedSubcommands(t *testing.T) {
 	for exp, want := range cases {
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(tinyArgs(exp), &buf); err != nil {
+			if err := run(context.Background(), tinyArgs(exp), &buf); err != nil {
 				t.Fatalf("%s: %v", exp, err)
 			}
 			if !strings.Contains(buf.String(), want) {
@@ -126,7 +127,7 @@ func TestRunFig12BothTables(t *testing.T) {
 		t.Skip("simulation in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(tinyArgs("fig12"), &buf); err != nil {
+	if err := run(context.Background(), tinyArgs("fig12"), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -140,7 +141,7 @@ func TestRunSingleSubcommand(t *testing.T) {
 		t.Skip("simulation in -short mode")
 	}
 	var buf bytes.Buffer
-	err := run([]string{"run", "-workload", "black", "-levels", "10",
+	err := run(context.Background(), []string{"run", "-workload", "black", "-levels", "10",
 		"-accesses", "60", "-tracelen", "1500", "-scheduler", "pb",
 		"-layout", "flat", "-policy", "close", "-balance", "-uniform", "-warm", "0.3"}, &buf)
 	if err != nil {
@@ -156,7 +157,7 @@ func TestRunSingleMix(t *testing.T) {
 		t.Skip("simulation in -short mode")
 	}
 	var buf bytes.Buffer
-	err := run([]string{"run", "-workload", "black+libq", "-levels", "10",
+	err := run(context.Background(), []string{"run", "-workload", "black+libq", "-levels", "10",
 		"-accesses", "60", "-tracelen", "1500"}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +190,7 @@ func TestRunSingleTraceFile(t *testing.T) {
 	f.Close()
 
 	var buf bytes.Buffer
-	err = run([]string{"run", "-trace", path, "-levels", "10", "-accesses", "60"}, &buf)
+	err = run(context.Background(), []string{"run", "-trace", path, "-levels", "10", "-accesses", "60"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestRunSingleTraceFile(t *testing.T) {
 		t.Fatalf("trace replay output:\n%s", buf.String())
 	}
 
-	if err := run([]string{"run", "-trace", "/nonexistent.trc"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"run", "-trace", "/nonexistent.trc"}, &buf); err == nil {
 		t.Fatal("missing trace file accepted")
 	}
 }
@@ -207,7 +208,7 @@ func TestVerifySubcommand(t *testing.T) {
 		t.Skip("self-check in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"verify"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"verify"}, &buf); err != nil {
 		t.Fatalf("verify failed: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "all checks passed") {
@@ -217,7 +218,7 @@ func TestVerifySubcommand(t *testing.T) {
 
 func TestHardwareSubcommand(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"hardware"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"hardware"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "PB scheduler") {
@@ -235,8 +236,20 @@ func TestRunSingleRejections(t *testing.T) {
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(context.Background(), args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunAllCancelled verifies that a pre-cancelled context (the state
+// after SIGINT/SIGTERM) stops the "all" loop between experiments.
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{"all"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "interrupted before") {
+		t.Fatalf("cancelled all = %v, want interruption error", err)
 	}
 }

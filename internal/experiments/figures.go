@@ -28,7 +28,7 @@ func (r *Runner) RenderFigures(dir string) ([]string, error) {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, svg, 0o644); err != nil {
+		if err := writeFileAtomic(path, svg); err != nil {
 			return err
 		}
 		written = append(written, path)
@@ -249,4 +249,34 @@ func (r *Runner) runOne(name string, y int, kind config.SchedulerKind) (*sim.Res
 	}
 	sys := r.Scale.system().WithCBRate(y).WithScheduler(kind)
 	return sim.Run(sys, tr, sim.Options{MaxAccesses: r.Scale.Accesses})
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so an
+// interrupted render (e.g. SIGINT during plot) leaves either the
+// previous file or the complete new one, never a truncated SVG.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"stringoram/internal/oram"
+	"stringoram/internal/stats"
+)
+
+// Metrics is a point-in-time aggregate of the server's serving
+// counters. All fields are cumulative since start except QueueDepths
+// (instantaneous) and the latency percentiles (estimated over a
+// uniform reservoir sample of completed requests).
+type Metrics struct {
+	Shards        int
+	UptimeSeconds float64
+	Keys          int
+
+	Gets   uint64 // completed get requests (hits and misses)
+	Puts   uint64 // completed put requests
+	Misses uint64 // gets that found no value
+
+	Rejected uint64 // enqueue-time ErrBacklog rejections
+	Expired  uint64 // requests answered with ErrDeadline
+	Failed   uint64 // requests answered with any other error
+
+	Batches         uint64  // worker wakeups
+	BatchedRequests uint64  // requests served across all batches
+	MaxBatch        int     // largest batch observed
+	AvgBatch        float64 // BatchedRequests / Batches
+
+	QueueDepths []int // current per-shard queue occupancy
+
+	ORAMAccesses uint64 // logical ORAM accesses issued
+	SlotAccesses uint64 // physical slot accesses emitted
+
+	LatencySamples int64 // observations behind the percentiles
+	P50Seconds     float64
+	P95Seconds     float64
+	P99Seconds     float64
+}
+
+// ThroughputPerSecond returns completed requests per second of uptime.
+func (m Metrics) ThroughputPerSecond() float64 {
+	if m.UptimeSeconds <= 0 {
+		return 0
+	}
+	return float64(m.Gets+m.Puts) / m.UptimeSeconds
+}
+
+// shardMetrics is one shard's counter set. The worker goroutine is the
+// main writer; the dispatcher bumps rejected and Metrics() reads a
+// consistent view, so a mutex (guarding counters only — never protocol
+// state) keeps it race-free.
+type shardMetrics struct {
+	mu sync.Mutex
+
+	gets, puts, misses uint64
+	rejected           uint64
+	expired, failed    uint64
+
+	batches, batchedReqs uint64
+	maxBatch             int
+
+	oramAccesses uint64
+	slotAccesses uint64
+
+	keys  int
+	depth int
+
+	lat   *stats.Reservoir
+	proto oram.Stats
+}
+
+func (m *shardMetrics) init(shard int, seed uint64) {
+	m.lat = stats.NewReservoir(stats.DefaultReservoirSize, shardSeed(seed, shard)^0xc0ffee)
+}
+
+func (m *shardMetrics) noteRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *shardMetrics) noteBus(op busOp) {
+	m.mu.Lock()
+	m.oramAccesses++
+	m.slotAccesses += uint64(op.slots)
+	m.mu.Unlock()
+}
+
+func (m *shardMetrics) noteDone(op opKind, res result, lat time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case res.err == nil:
+		if op == opGet {
+			m.gets++
+			if !res.found {
+				m.misses++
+			}
+		} else {
+			m.puts++
+		}
+	case Retryable(res.err):
+		m.expired++
+	default:
+		m.failed++
+	}
+	m.lat.Add(lat.Seconds())
+}
+
+func (m *shardMetrics) noteBatch(n, keys, depth int, proto oram.Stats) {
+	m.mu.Lock()
+	m.batches++
+	m.batchedReqs += uint64(n)
+	if n > m.maxBatch {
+		m.maxBatch = n
+	}
+	m.keys = keys
+	m.depth = depth
+	m.proto = proto
+	m.mu.Unlock()
+}
+
+// Metrics aggregates the per-shard counters into one snapshot.
+func (s *Server) Metrics() Metrics {
+	out := Metrics{
+		Shards:        len(s.shards),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepths:   make([]int, len(s.shards)),
+	}
+	var samples []float64
+	for i, sh := range s.shards {
+		sh.m.mu.Lock()
+		out.Gets += sh.m.gets
+		out.Puts += sh.m.puts
+		out.Misses += sh.m.misses
+		out.Rejected += sh.m.rejected
+		out.Expired += sh.m.expired
+		out.Failed += sh.m.failed
+		out.Batches += sh.m.batches
+		out.BatchedRequests += sh.m.batchedReqs
+		if sh.m.maxBatch > out.MaxBatch {
+			out.MaxBatch = sh.m.maxBatch
+		}
+		out.Keys += sh.m.keys
+		out.ORAMAccesses += sh.m.oramAccesses
+		out.SlotAccesses += sh.m.slotAccesses
+		out.LatencySamples += sh.m.lat.Count()
+		samples = append(samples, sh.m.lat.Samples()...)
+		sh.m.mu.Unlock()
+		out.QueueDepths[i] = len(sh.reqs)
+	}
+	if out.Batches > 0 {
+		out.AvgBatch = float64(out.BatchedRequests) / float64(out.Batches)
+	}
+	if len(samples) > 0 {
+		qs := stats.Percentiles(samples, 0.5, 0.95, 0.99)
+		out.P50Seconds, out.P95Seconds, out.P99Seconds = qs[0], qs[1], qs[2]
+	}
+	return out
+}
+
+// ShardStats returns each shard's protocol counters as of its last
+// completed batch (safe to call while the server is running; the copies
+// are taken on the worker goroutine).
+func (s *Server) ShardStats() []oram.Stats {
+	out := make([]oram.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.m.mu.Lock()
+		out[i] = sh.m.proto
+		sh.m.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,653 @@
+// Package server is the concurrent serving layer over the ORAM
+// protocol engine: a sharded, batching key-value store in which every
+// shard owns one oram.Ring confined to a single goroutine.
+//
+// Architecture and the obliviousness argument:
+//
+//   - Each shard's Ring is touched only by that shard's worker
+//     goroutine, so the protocol state needs no locks and the per-Ring
+//     obliviousness argument from internal/oram carries over unchanged:
+//     within a shard, the bus-visible access sequence is exactly the
+//     one the Ring emits for a serialized request stream.
+//   - The dispatcher hashes keys to shards (FNV-1a). A bus adversary
+//     can see *which Ring* is accessed; that is inherent to sharding
+//     (each shard is an independent ORAM instance over a disjoint key
+//     partition) and reveals only the shard index, which is itself a
+//     deterministic public function of a secret key only through the
+//     per-shard traffic mix. Get misses still perform a real ORAM
+//     access (on a reserved probe block), so hit/miss is not visible.
+//   - Per-shard queues are bounded. A full queue rejects immediately
+//     with ErrBacklog (typed, retryable) — explicit backpressure, never
+//     a silent drop. Requests carry deadlines; a request that expires
+//     while queued is answered with ErrDeadline without touching the
+//     Ring.
+//   - The worker drains its queue in batches (amortizing wakeups; the
+//     ORAM accesses themselves stay strictly sequential per shard) and
+//     answers every dequeued request exactly once, so responses are
+//     neither lost nor duplicated even across shutdown.
+//   - Close drains all queues, then snapshots every shard (directory +
+//     Ring checkpoint) into SnapshotDir with a write-temp-then-rename
+//     protocol: a snapshot file is either complete or absent. New
+//     restores from those files when they exist.
+//
+// A Config with Shards=1 and MaxBatch=1 serves requests in exactly the
+// order they were enqueued, which keeps the repo's determinism
+// discipline available to tests: same seed + same request sequence =>
+// same bus trace.
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"stringoram/internal/config"
+	"stringoram/internal/oram"
+)
+
+// Typed serving errors. ErrBacklog and ErrDeadline are retryable: the
+// request was not (or no longer) applied and a later retry may succeed.
+var (
+	// ErrBacklog reports a full shard queue; the request was rejected
+	// before touching any ORAM state.
+	ErrBacklog = errors.New("server: shard queue full (retryable)")
+	// ErrDeadline reports a request whose deadline passed while it was
+	// queued; it was answered without performing an ORAM access.
+	ErrDeadline = errors.New("server: deadline exceeded (retryable)")
+	// ErrClosed reports a server that has started shutting down.
+	ErrClosed = errors.New("server: closed")
+	// ErrFull reports a shard whose key directory reached capacity.
+	ErrFull = errors.New("server: shard key capacity exhausted")
+	// ErrValueTooLarge reports a value that does not fit in one block.
+	ErrValueTooLarge = errors.New("server: value too large for block size")
+	// ErrBadKey reports an empty or oversized key.
+	ErrBadKey = errors.New("server: invalid key")
+)
+
+// Retryable reports whether err is a transient serving error (queue
+// backpressure or deadline expiry) that a client may retry.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrBacklog) || errors.Is(err, ErrDeadline)
+}
+
+// MaxKeyLen bounds key length on both the in-process and wire paths.
+const MaxKeyLen = 4096
+
+// probeID is the reserved block every shard uses to serve Get misses:
+// a miss still performs one real ORAM access (on this block), so the
+// bus cannot distinguish hits from misses. Key blocks start above it.
+const probeID oram.BlockID = 0
+
+// firstKeyID is the first BlockID handed to user keys.
+const firstKeyID oram.BlockID = 1
+
+// Config parameterizes New. The zero value of every field selects a
+// sensible default (4 shards, 256-deep queues, batches of 32, a
+// 12-level tree per shard).
+type Config struct {
+	// Shards is the number of independent ORAM instances. Keys are
+	// partitioned across shards by hash.
+	Shards int
+	// QueueDepth bounds each shard's request queue; a full queue
+	// rejects with ErrBacklog.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one worker wakeup drains.
+	// 1 disables batching (strict arrival-order determinism).
+	MaxBatch int
+	// ORAM configures each shard's Ring. Zero value: DefaultORAM(12).
+	ORAM config.ORAM
+	// Seed derives every shard's protocol randomness; shard i uses
+	// Seed mixed with i, so shards are decorrelated but reproducible.
+	Seed uint64
+	// Key, when non-nil, is the 16-byte AES key sealing block contents
+	// in the per-shard stores (and their snapshots).
+	Key []byte
+	// SnapshotDir, when non-empty, enables persistence: New restores
+	// from it when snapshots exist, Close writes snapshots into it.
+	SnapshotDir string
+	// DefaultTimeout is applied to requests that carry no deadline;
+	// zero means no deadline.
+	DefaultTimeout time.Duration
+	// MaxKeysPerShard bounds each shard's directory. Zero derives a
+	// conservative bound from the tree size (one key per leaf).
+	MaxKeysPerShard int
+
+	// onBatch, when set, runs at the start of every worker batch with
+	// (shard, batch size). Test hook: lets tests stall a worker to
+	// force queue backpressure deterministically.
+	onBatch func(shard, n int)
+}
+
+// DefaultORAM returns the server's per-shard protocol configuration: the
+// paper's bucket geometry (Z=8, S=12, Y=8, A=8) on a tree with the given
+// number of levels, no warm fill (the tree starts empty and holds only
+// real application data), and a tree-top cache scaled to the height.
+func DefaultORAM(levels int) config.ORAM {
+	o := config.Default().ORAM
+	o.Levels = levels
+	if o.TreeTopCacheLevels+2 >= levels {
+		o.TreeTopCacheLevels = levels / 3
+	}
+	o.WarmFill = 0
+	return o
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.ORAM.Levels == 0 {
+		c.ORAM = DefaultORAM(12)
+	}
+	if c.MaxKeysPerShard <= 0 {
+		c.MaxKeysPerShard = int(c.ORAM.Leaves())
+	}
+	return c
+}
+
+// opKind discriminates queued request types.
+type opKind uint8
+
+const (
+	opGet opKind = iota + 1
+	opPut
+)
+
+// request is one queued operation. key and val are the adversary-hidden
+// request contents; the oramlint oblivious analyzer (run over this
+// package by cmd/oramlint) flags any branch on them inside the
+// address-emitting shard path.
+type request struct {
+	op       opKind
+	key      string `oramlint:"secret"`
+	val      []byte `oramlint:"secret"`
+	deadline time.Time
+	enqueued time.Time
+	done     chan result
+}
+
+// result is the single response every dequeued request receives.
+type result struct {
+	val   []byte
+	found bool
+	err   error
+}
+
+// Server is the concurrent ORAM key-value server. All methods are safe
+// for concurrent use.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+	start  time.Time
+
+	mu     sync.RWMutex // guards closed against in-flight enqueues
+	closed bool
+}
+
+// shard is one ORAM instance plus its confined worker state. Fields
+// below the queue are touched only by the worker goroutine (or by
+// Close/snapshot after the worker has exited, ordered by wg.Wait).
+type shard struct {
+	id      int
+	reqs    chan *request
+	m       shardMetrics
+	onBatch func(shard, n int)
+
+	ring      *oram.Ring
+	dir       map[string]oram.BlockID
+	nextID    oram.BlockID
+	maxKeys   int
+	maxBatch  int
+	blockSize int
+}
+
+// New builds a server, restoring every shard from cfg.SnapshotDir when
+// a complete snapshot set is present (an incomplete set is an error;
+// an empty/missing directory starts fresh), and starts the workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.ORAM.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{cfg: cfg, start: time.Now()}
+
+	restore, err := snapshotsPresent(cfg.SnapshotDir, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:       i,
+			reqs:     make(chan *request, cfg.QueueDepth),
+			onBatch:  cfg.onBatch,
+			maxKeys:  cfg.MaxKeysPerShard,
+			maxBatch: cfg.MaxBatch,
+		}
+		sh.m.init(i, cfg.Seed)
+		if restore {
+			if err := sh.restore(snapshotPath(cfg.SnapshotDir, i), cfg); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := sh.fresh(cfg, i); err != nil {
+				return nil, err
+			}
+		}
+		sh.blockSize = sh.ring.Config().BlockSize
+		s.shards = append(s.shards, sh)
+	}
+	s.wg.Add(len(s.shards))
+	for _, sh := range s.shards {
+		go sh.run(&s.wg)
+	}
+	return s, nil
+}
+
+// fresh builds shard i's Ring from scratch.
+func (sh *shard) fresh(cfg Config, i int) error {
+	opts := &oram.Options{Store: oram.NewMemStore(cfg.ORAM.SlotsPerBucket())}
+	if cfg.Key != nil {
+		crypt, err := oram.NewCrypt(cfg.Key, cfg.ORAM.BlockSize)
+		if err != nil {
+			return fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		opts.Crypt = crypt
+	}
+	ring, err := oram.NewRing(cfg.ORAM, shardSeed(cfg.Seed, i), opts)
+	if err != nil {
+		return fmt.Errorf("server: shard %d: %w", i, err)
+	}
+	sh.ring = ring
+	sh.dir = make(map[string]oram.BlockID)
+	sh.nextID = firstKeyID
+	return nil
+}
+
+// shardSeed decorrelates per-shard randomness from one master seed.
+func shardSeed(seed uint64, shard int) uint64 {
+	return seed ^ (uint64(shard)+1)*0x9e3779b97f4a7c15
+}
+
+// shardFor routes a key to its shard (FNV-1a, stable across runs and
+// processes — snapshots depend on this being deterministic).
+func (s *Server) shardFor(key string) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return s.shards[h.Sum64()%uint64(len(s.shards))]
+}
+
+// Get returns the value stored under key. found is false for keys never
+// written; a miss still costs one ORAM access, so it is indistinguishable
+// from a hit on the bus.
+func (s *Server) Get(key string) ([]byte, bool, error) {
+	return s.GetDeadline(key, time.Time{})
+}
+
+// GetDeadline is Get with an explicit deadline (zero applies the
+// configured default timeout).
+func (s *Server) GetDeadline(key string, deadline time.Time) ([]byte, bool, error) {
+	res := s.do(opGet, key, nil, deadline)
+	return res.val, res.found, res.err
+}
+
+// Put stores val under key. Values must fit in one block alongside a
+// 2-byte length header.
+func (s *Server) Put(key string, val []byte) error {
+	return s.PutDeadline(key, val, time.Time{})
+}
+
+// PutDeadline is Put with an explicit deadline (zero applies the
+// configured default timeout).
+func (s *Server) PutDeadline(key string, val []byte, deadline time.Time) error {
+	return s.do(opPut, key, val, deadline).err
+}
+
+// MaxValueLen returns the largest value Put accepts.
+func (s *Server) MaxValueLen() int {
+	return s.shards[0].blockSize - valueHeaderLen
+}
+
+// do validates, routes and enqueues one request, then waits for its
+// single response. Validation failures and backpressure reject before
+// any ORAM state is touched.
+func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) result {
+	if key == "" || len(key) > MaxKeyLen {
+		return result{err: fmt.Errorf("%w: %d bytes", ErrBadKey, len(key))}
+	}
+	if op == opPut && len(val) > s.MaxValueLen() {
+		return result{err: fmt.Errorf("%w: %d bytes, max %d", ErrValueTooLarge, len(val), s.MaxValueLen())}
+	}
+	if deadline.IsZero() && s.cfg.DefaultTimeout > 0 {
+		deadline = time.Now().Add(s.cfg.DefaultTimeout)
+	}
+	sh := s.shardFor(key)
+	req := &request{
+		op: op, key: key, val: val,
+		deadline: deadline,
+		enqueued: time.Now(),
+		done:     make(chan result, 1),
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return result{err: ErrClosed}
+	}
+	select {
+	case sh.reqs <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		sh.m.noteRejected()
+		return result{err: fmt.Errorf("shard %d: %w", sh.id, ErrBacklog)}
+	}
+	return <-req.done
+}
+
+// Close stops accepting requests, drains every shard queue (each queued
+// request still receives its response), waits for the workers to exit,
+// and — when SnapshotDir is configured — writes one snapshot per shard.
+// Close is idempotent; later calls return nil without re-snapshotting.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		close(sh.reqs)
+	}
+	s.wg.Wait()
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		return fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	for _, sh := range s.shards {
+		if err := sh.snapshot(snapshotPath(s.cfg.SnapshotDir, sh.id), len(s.shards)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run is the shard worker: it owns the Ring. Every request dequeued is
+// answered exactly once; the loop exits only after the closed queue is
+// fully drained, so shutdown loses no responses.
+func (sh *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	batch := make([]*request, 0, sh.maxBatch)
+	for req := range sh.reqs {
+		batch = append(batch[:0], req)
+	fill:
+		for len(batch) < sh.maxBatch {
+			select {
+			case r, ok := <-sh.reqs:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		if sh.onBatch != nil {
+			sh.onBatch(sh.id, len(batch))
+		}
+		now := time.Now()
+		for _, r := range batch {
+			sh.serve(now, r)
+		}
+		sh.m.noteBatch(len(batch), len(sh.dir), len(sh.reqs), sh.ring.Stats())
+	}
+}
+
+// serve answers one request on the worker goroutine. Branches on the
+// secret key below carry oramlint:allow justifications: both arms of
+// each branch issue exactly one ORAM access (or none before any bus
+// traffic), so the bus-visible sequence does not depend on the secret.
+func (sh *shard) serve(now time.Time, r *request) {
+	if !r.deadline.IsZero() && now.After(r.deadline) {
+		sh.respond(r, result{err: fmt.Errorf("shard %d: %w", sh.id, ErrDeadline)})
+		return
+	}
+	switch r.op {
+	case opGet:
+		//oramlint:allow secret-branch both arms issue exactly one read-path access: a hit reads the mapped block, a miss reads the shard's resident probe block; hit and miss are bus-indistinguishable
+		if id, ok := sh.dir[r.key]; ok {
+			block, err := sh.access(id, false, nil)
+			if err != nil {
+				sh.respond(r, result{err: err})
+				return
+			}
+			val, err := decodeValue(block)
+			sh.respond(r, result{val: val, found: true, err: err})
+		} else {
+			_, err := sh.access(probeID, false, nil)
+			sh.respond(r, result{found: false, err: err})
+		}
+	case opPut:
+		// New-key allocation happens before the single write access;
+		// writing a fresh BlockID and overwriting a mapped one emit
+		// identically shaped traffic (Ring ORAM treats unmapped IDs as
+		// fresh random paths), so this lookup needs no oramlint escape:
+		// the branch below is on the allocation outcome, not a secret
+		// field read.
+		id, ok := sh.dir[r.key]
+		if !ok {
+			if len(sh.dir) >= sh.maxKeys {
+				sh.respond(r, result{err: fmt.Errorf("shard %d (%d keys): %w", sh.id, len(sh.dir), ErrFull)})
+				return
+			}
+			id = sh.nextID
+			sh.nextID++
+			sh.dir[r.key] = id
+		}
+		_, err := sh.access(id, true, encodeValue(sh.blockSize, r.val))
+		sh.respond(r, result{err: err})
+	default:
+		sh.respond(r, result{err: fmt.Errorf("server: unknown op %d", r.op)})
+	}
+}
+
+// busOp is the package's address-emitting marker: every bus-visible
+// ORAM access is accounted through exactly one busOp record, so
+// oramlint's oblivious analyzer treats busOp construction sites as the
+// anchor when checking internal/server for secret-dependent branching.
+type busOp struct {
+	shard int
+	slots int // physical slot accesses emitted by the operation
+}
+
+// access performs the single ORAM access a request maps to and accounts
+// its physical traffic.
+func (sh *shard) access(id oram.BlockID, write bool, block []byte) ([]byte, error) {
+	var (
+		data []byte
+		ops  []oram.Op
+		err  error
+	)
+	if write {
+		ops, err = sh.ring.Write(id, block)
+	} else {
+		data, ops, err = sh.ring.Read(id)
+	}
+	slots := 0
+	for _, op := range ops {
+		slots += len(op.Accesses)
+	}
+	sh.m.noteBus(busOp{shard: sh.id, slots: slots})
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", sh.id, err)
+	}
+	return data, nil
+}
+
+// respond delivers the request's single response and records latency.
+func (sh *shard) respond(r *request, res result) {
+	sh.m.noteDone(r.op, res, time.Since(r.enqueued))
+	r.done <- res
+}
+
+// valueHeaderLen is the per-block value framing: a 2-byte length.
+const valueHeaderLen = 2
+
+// encodeValue frames val into one fixed-size block.
+func encodeValue(blockSize int, val []byte) []byte {
+	block := make([]byte, blockSize)
+	binary.BigEndian.PutUint16(block, uint16(len(val)))
+	copy(block[valueHeaderLen:], val)
+	return block
+}
+
+// decodeValue unframes a block; never-written blocks are all zero and
+// decode to an empty value.
+func decodeValue(block []byte) ([]byte, error) {
+	if len(block) < valueHeaderLen {
+		return nil, fmt.Errorf("server: short block (%d bytes)", len(block))
+	}
+	n := int(binary.BigEndian.Uint16(block))
+	if n > len(block)-valueHeaderLen {
+		return nil, fmt.Errorf("server: corrupt block: value length %d exceeds block", n)
+	}
+	out := make([]byte, n)
+	copy(out, block[valueHeaderLen:])
+	return out, nil
+}
+
+// --- snapshots ---
+
+// shardSnapVersion guards the snapshot file format.
+const shardSnapVersion = 1
+
+// shardSnap is the on-disk form of one shard: the key directory plus
+// the Ring checkpoint (oram.Ring.Save bytes — the same format the
+// stringoram facade exposes as Save/LoadRing).
+type shardSnap struct {
+	Version int
+	ShardID int
+	Shards  int
+	Dir     map[string]int64
+	NextID  int64
+	Ring    []byte
+}
+
+// snapshotPath names shard i's snapshot file.
+func snapshotPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.snap", i))
+}
+
+// snapshotsPresent reports whether dir holds a complete snapshot set
+// for n shards. A partial set is an error (refusing to silently drop
+// acknowledged writes); an empty or missing dir means a fresh start.
+func snapshotsPresent(dir string, n int) (bool, error) {
+	if dir == "" {
+		return false, nil
+	}
+	present := 0
+	for i := 0; i < n; i++ {
+		if _, err := os.Stat(snapshotPath(dir, i)); err == nil {
+			present++
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return false, fmt.Errorf("server: snapshot %d: %w", i, err)
+		}
+	}
+	switch present {
+	case 0:
+		return false, nil
+	case n:
+		return true, nil
+	default:
+		return false, fmt.Errorf("server: %s holds %d of %d shard snapshots; refusing partial restore", dir, present, n)
+	}
+}
+
+// snapshot writes the shard to path atomically (temp file + rename):
+// after a crash mid-write the file is either the complete new snapshot
+// or absent/old. Called only after the worker has exited.
+func (sh *shard) snapshot(path string, shards int) error {
+	var ring bytes.Buffer
+	if err := sh.ring.Save(&ring); err != nil {
+		return fmt.Errorf("server: shard %d checkpoint: %w", sh.id, err)
+	}
+	snap := shardSnap{
+		Version: shardSnapVersion,
+		ShardID: sh.id,
+		Shards:  shards,
+		Dir:     make(map[string]int64, len(sh.dir)),
+		NextID:  int64(sh.nextID),
+		Ring:    ring.Bytes(),
+	}
+	for k, id := range sh.dir {
+		snap.Dir[k] = int64(id)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return fmt.Errorf("server: shard %d snapshot: %w", sh.id, err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(&snap); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: shard %d snapshot: %w", sh.id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: shard %d snapshot: %w", sh.id, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: shard %d snapshot: %w", sh.id, err)
+	}
+	return nil
+}
+
+// restore loads the shard from a snapshot file written by snapshot.
+func (sh *shard) restore(path string, cfg Config) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("server: shard %d restore: %w", sh.id, err)
+	}
+	defer f.Close()
+	var snap shardSnap
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return fmt.Errorf("server: shard %d restore: %w", sh.id, err)
+	}
+	if snap.Version != shardSnapVersion {
+		return fmt.Errorf("server: shard %d snapshot version %d, want %d", sh.id, snap.Version, shardSnapVersion)
+	}
+	if snap.ShardID != sh.id || snap.Shards != cfg.Shards {
+		return fmt.Errorf("server: snapshot %s is shard %d of %d, want shard %d of %d (re-sharding requires a fresh directory)",
+			path, snap.ShardID, snap.Shards, sh.id, cfg.Shards)
+	}
+	ring, err := oram.Load(bytes.NewReader(snap.Ring), cfg.Key)
+	if err != nil {
+		return fmt.Errorf("server: shard %d restore: %w", sh.id, err)
+	}
+	sh.ring = ring
+	sh.dir = make(map[string]oram.BlockID, len(snap.Dir))
+	for k, id := range snap.Dir {
+		sh.dir[k] = oram.BlockID(id)
+	}
+	sh.nextID = oram.BlockID(snap.NextID)
+	if sh.nextID < firstKeyID {
+		sh.nextID = firstKeyID
+	}
+	return nil
+}

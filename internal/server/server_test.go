@@ -1,0 +1,472 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig returns a small, fast 4-shard configuration.
+func testConfig() Config {
+	return Config{
+		Shards:     4,
+		ORAM:       DefaultORAM(8),
+		Seed:       42,
+		QueueDepth: 128,
+		MaxBatch:   16,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustNew(t, testConfig())
+	defer s.Close()
+
+	if _, found, err := s.Get("missing"); err != nil || found {
+		t.Fatalf("Get(missing) = found=%v err=%v, want absent", found, err)
+	}
+	if err := s.Put("alpha", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("beta", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := s.Get("alpha")
+	if err != nil || !found || string(v) != "one" {
+		t.Fatalf("Get(alpha) = %q found=%v err=%v", v, found, err)
+	}
+	// Overwrite.
+	if err := s.Put("alpha", []byte("uno")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = s.Get("alpha")
+	if string(v) != "uno" {
+		t.Fatalf("after overwrite Get(alpha) = %q, want uno", v)
+	}
+	// Empty value is storable and distinct from absent.
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err = s.Get("empty")
+	if err != nil || !found || len(v) != 0 {
+		t.Fatalf("Get(empty) = %q found=%v err=%v, want present empty", v, found, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := mustNew(t, testConfig())
+	defer s.Close()
+
+	if err := s.Put("", []byte("x")); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("empty key: %v, want ErrBadKey", err)
+	}
+	big := make([]byte, s.MaxValueLen()+1)
+	if err := s.Put("k", big); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("oversized value: %v, want ErrValueTooLarge", err)
+	}
+	if Retryable(ErrValueTooLarge) {
+		t.Fatal("validation errors must not be retryable")
+	}
+	// Largest allowed value round-trips bit-exact.
+	max := make([]byte, s.MaxValueLen())
+	for i := range max {
+		max[i] = byte(i)
+	}
+	if err := s.Put("max", max); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := s.Get("max")
+	if err != nil || !bytes.Equal(v, max) {
+		t.Fatalf("max-size value corrupted: err=%v", err)
+	}
+}
+
+// TestStress is the acceptance gate: >= 64 concurrent clients across
+// >= 4 shards, zero lost or duplicated responses, every acknowledged
+// write readable afterwards.
+func TestStress(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 64
+	s := mustNew(t, cfg)
+
+	const (
+		clients = 64
+		opsEach = 40
+	)
+	type ack struct {
+		key string
+		val string
+	}
+	acked := make([][]ack, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				// Each client owns its keys, so last-acked-value is the
+				// exact expected state; key space spans all shards.
+				key := fmt.Sprintf("c%02d-k%02d", c, i%8)
+				val := fmt.Sprintf("v-%d-%d", c, i)
+				for {
+					err := s.Put(key, []byte(val))
+					if err == nil {
+						acked[c] = append(acked[c], ack{key, val})
+						break
+					}
+					if !Retryable(err) {
+						t.Errorf("client %d: non-retryable put error: %v", c, err)
+						return
+					}
+				}
+				// Interleave reads; a response must arrive for every call.
+				if i%3 == 0 {
+					for {
+						_, _, err := s.Get(key)
+						if err == nil {
+							break
+						}
+						if !Retryable(err) {
+							t.Errorf("client %d: non-retryable get error: %v", c, err)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Exactly one response per request is structural (each request's
+	// done channel is written once); verify no acknowledged write was
+	// lost: the last ack per key must be readable.
+	want := make(map[string]string)
+	total := 0
+	for _, list := range acked {
+		total += len(list)
+		for _, a := range list {
+			want[a.key] = a.val
+		}
+	}
+	if total != clients*opsEach {
+		t.Fatalf("acknowledged %d puts, want %d", total, clients*opsEach)
+	}
+	for key, val := range want {
+		v, found, err := s.Get(key)
+		if err != nil || !found || string(v) != val {
+			t.Fatalf("key %s: got %q found=%v err=%v, want %q", key, v, found, err, val)
+		}
+	}
+
+	m := s.Metrics()
+	if m.Puts != uint64(total) {
+		t.Errorf("metrics.Puts = %d, want %d", m.Puts, total)
+	}
+	if m.Shards != 4 {
+		t.Errorf("metrics.Shards = %d, want 4", m.Shards)
+	}
+	if m.ORAMAccesses == 0 || m.SlotAccesses == 0 || m.LatencySamples == 0 {
+		t.Errorf("metrics not populated: %+v", m)
+	}
+	if m.P99Seconds < m.P50Seconds {
+		t.Errorf("p99 (%v) < p50 (%v)", m.P99Seconds, m.P50Seconds)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("late", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestKillRestart is the persistence acceptance gate: acknowledged
+// writes survive a shutdown/restart cycle through shard snapshots.
+func TestKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.SnapshotDir = dir
+	cfg.Key = []byte("0123456789abcdef") // sealed store survives too
+	s := mustNew(t, cfg)
+
+	const clients = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	want := make(map[string]string)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("p%02d-%02d", c, i)
+				val := fmt.Sprintf("payload-%d-%d", c, i)
+				for {
+					err := s.Put(key, []byte(val))
+					if err == nil {
+						mu.Lock()
+						want[key] = val
+						mu.Unlock()
+						break
+					}
+					if !Retryable(err) {
+						t.Errorf("put: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil { // kill: drain + snapshot
+		t.Fatal(err)
+	}
+
+	// Snapshot files are complete (rename-committed), one per shard.
+	for i := 0; i < cfg.Shards; i++ {
+		if _, err := os.Stat(snapshotPath(dir, i)); err != nil {
+			t.Fatalf("snapshot %d missing: %v", i, err)
+		}
+	}
+	leftover, _ := filepath.Glob(filepath.Join(dir, ".snap-*"))
+	if len(leftover) != 0 {
+		t.Fatalf("temp snapshot files left behind: %v", leftover)
+	}
+
+	// Restart: every acknowledged write must be readable.
+	s2 := mustNew(t, cfg)
+	defer s2.Close()
+	for key, val := range want {
+		v, found, err := s2.Get(key)
+		if err != nil || !found || string(v) != val {
+			t.Fatalf("after restart, key %s: got %q found=%v err=%v, want %q", key, v, found, err, val)
+		}
+	}
+	// And the restored server keeps serving new writes.
+	if err := s2.Put("post-restart", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if m := s2.Metrics(); m.Keys == 0 {
+		t.Error("restored server reports zero keys")
+	}
+}
+
+func TestRestartWrongKeyFails(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.SnapshotDir = dir
+	cfg.Key = []byte("0123456789abcdef")
+	s := mustNew(t, cfg)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Key = nil // sealed checkpoint, no key
+	if _, err := New(cfg); err == nil {
+		t.Fatal("restore of sealed snapshot without key succeeded")
+	}
+}
+
+func TestPartialSnapshotSetRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.SnapshotDir = dir
+	s := mustNew(t, cfg)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(snapshotPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("partial snapshot set accepted; acknowledged writes would be dropped silently")
+	}
+}
+
+// TestBackpressure stalls the single worker, fills the depth-1 queue,
+// and verifies the next request is rejected immediately with the typed,
+// retryable ErrBacklog — and that a retry after drain succeeds.
+func TestBackpressure(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	hold := make(chan struct{})
+	cfg := Config{
+		Shards: 1, QueueDepth: 1, MaxBatch: 1,
+		ORAM: DefaultORAM(8), Seed: 7,
+		onBatch: func(shard, n int) {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-hold
+		},
+	}
+	s := mustNew(t, cfg)
+	defer s.Close()
+
+	results := make(chan error, 2)
+	go func() { results <- s.Put("a", []byte("1")) }()
+	<-entered // worker is now stalled inside batch 1 ("a" dequeued)
+	go func() { results <- s.Put("b", []byte("2")) }()
+	// Wait until "b" occupies the queue slot.
+	for len(s.shards[0].reqs) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	err := s.Put("c", []byte("3"))
+	if !errors.Is(err, ErrBacklog) {
+		t.Fatalf("overflow put: %v, want ErrBacklog", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("ErrBacklog must be retryable")
+	}
+	if m := s.Metrics(); m.Rejected == 0 {
+		t.Error("rejection not counted in metrics")
+	}
+
+	close(hold) // drain
+	if err := <-results; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-results; err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("c", []byte("3")); err != nil { // retry now succeeds
+		t.Fatalf("retry after drain: %v", err)
+	}
+}
+
+func TestDeadlineExpiry(t *testing.T) {
+	cfg := testConfig()
+	s := mustNew(t, cfg)
+	defer s.Close()
+
+	err := s.PutDeadline("k", []byte("v"), time.Now().Add(-time.Millisecond))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired put: %v, want ErrDeadline", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("ErrDeadline must be retryable")
+	}
+	// The expired request performed no ORAM access and left no state.
+	if _, found, _ := s.Get("k"); found {
+		t.Fatal("expired put left a value behind")
+	}
+	if m := s.Metrics(); m.Expired == 0 {
+		t.Error("expiry not counted in metrics")
+	}
+}
+
+// TestDeterministicSingleWorker: with one shard and batching disabled,
+// the same seed and request sequence produce the identical protocol
+// trace — the property every simulator golden in this repo relies on.
+func TestDeterministicSingleWorker(t *testing.T) {
+	runOnce := func() []byte {
+		cfg := Config{Shards: 1, MaxBatch: 1, QueueDepth: 8, ORAM: DefaultORAM(8), Seed: 99}
+		s := mustNew(t, cfg)
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("k%d", i%10)
+			if err := s.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Get(key); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats := s.ShardStats()
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "%+v", stats)
+		s.Close()
+		return buf.Bytes()
+	}
+	a, b := runOnce(), runOnce()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestShardKeyCapacity(t *testing.T) {
+	cfg := Config{Shards: 1, ORAM: DefaultORAM(8), Seed: 3, MaxKeysPerShard: 4}
+	s := mustNew(t, cfg)
+	defer s.Close()
+	var fullErr error
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			fullErr = err
+			break
+		}
+	}
+	if !errors.Is(fullErr, ErrFull) {
+		t.Fatalf("capacity overflow: %v, want ErrFull", fullErr)
+	}
+	// Existing keys still writable at capacity.
+	if err := s.Put("key-0", []byte("updated")); err != nil {
+		t.Fatalf("overwrite at capacity: %v", err)
+	}
+}
+
+// TestMissIsBusVisible: a get miss must cost exactly one ORAM access,
+// like a hit (hit/miss indistinguishability on the bus).
+func TestMissCostsOneAccess(t *testing.T) {
+	cfg := Config{Shards: 1, MaxBatch: 1, ORAM: DefaultORAM(8), Seed: 5}
+	s := mustNew(t, cfg)
+	defer s.Close()
+
+	if err := s.Put("present", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Metrics().ORAMAccesses
+	if _, found, err := s.Get("absent"); err != nil || found {
+		t.Fatalf("Get(absent) = found=%v err=%v", found, err)
+	}
+	if _, found, err := s.Get("present"); err != nil || !found {
+		t.Fatalf("Get(present) = found=%v err=%v", found, err)
+	}
+	after := s.Metrics().ORAMAccesses
+	if after-base != 2 {
+		t.Fatalf("miss+hit cost %d ORAM accesses, want 2 (one each)", after-base)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := mustNew(t, testConfig())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Shards != 4 || cfg.QueueDepth != 256 || cfg.MaxBatch != 32 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.ORAM.Levels != 12 || cfg.ORAM.WarmFill != 0 {
+		t.Fatalf("unexpected default ORAM: %+v", cfg.ORAM)
+	}
+	if cfg.MaxKeysPerShard != int(cfg.ORAM.Leaves()) {
+		t.Fatalf("MaxKeysPerShard = %d, want %d", cfg.MaxKeysPerShard, cfg.ORAM.Leaves())
+	}
+	if !reflect.DeepEqual(DefaultORAM(8), Config{ORAM: DefaultORAM(8)}.withDefaults().ORAM) {
+		t.Fatal("explicit ORAM config not preserved")
+	}
+}

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPServer exposes a Server over the length-prefixed wire protocol.
+// Requests on one connection are handled concurrently and responses are
+// correlated by sequence number, so clients may pipeline freely; the
+// Server's shard queues provide the backpressure.
+type TCPServer struct {
+	srv *Server
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	connWG sync.WaitGroup
+}
+
+// NewTCPServer wraps srv; call Serve to start accepting.
+func NewTCPServer(srv *Server) *TCPServer {
+	return &TCPServer{srv: srv, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after
+// a Shutdown-initiated stop, or the accept error otherwise.
+func (t *TCPServer) Serve(ln net.Listener) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	t.ln = ln
+	t.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		t.conns[conn] = struct{}{}
+		t.connWG.Add(1)
+		t.mu.Unlock()
+		go t.handle(conn)
+	}
+}
+
+// Shutdown stops accepting, then waits for in-flight connections to
+// finish. When ctx expires first, lingering connections are force-closed
+// (their in-flight requests still receive responses or a reset — the
+// Server never loses an accepted request) and ctx.Err() is returned.
+func (t *TCPServer) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	t.closed = true
+	ln := t.ln
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		t.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handle serves one connection: a read loop decoding request frames,
+// one goroutine per in-flight request, and a single writer goroutine
+// serializing response frames.
+func (t *TCPServer) handle(conn net.Conn) {
+	defer t.connWG.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+
+	out := make(chan []byte, 64)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		bw := bufio.NewWriter(conn)
+		for frame := range out {
+			if _, err := bw.Write(frame); err != nil {
+				continue // drain; the read side will notice the dead conn
+			}
+			// Flush when no more responses are immediately pending.
+			if len(out) == 0 {
+				bw.Flush()
+			}
+		}
+		bw.Flush()
+	}()
+
+	var reqWG sync.WaitGroup
+	br := bufio.NewReader(conn)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			break
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			out <- appendResponse(nil, wireResponse{Status: statusBad, Seq: req.Seq, Body: []byte(err.Error())})
+			break
+		}
+		reqWG.Add(1)
+		go func(req wireRequest) {
+			defer reqWG.Done()
+			out <- appendResponse(nil, t.dispatch(req))
+		}(req)
+	}
+	reqWG.Wait()
+	close(out)
+	writerWG.Wait()
+}
+
+// dispatch executes one wire request against the Server.
+func (t *TCPServer) dispatch(r wireRequest) wireResponse {
+	var deadline time.Time
+	if r.TimeoutMillis > 0 {
+		deadline = time.Now().Add(time.Duration(r.TimeoutMillis) * time.Millisecond)
+	}
+	switch r.Op {
+	case wirePing:
+		return wireResponse{Status: statusOK, Seq: r.Seq}
+	case wireGet:
+		val, found, err := t.srv.GetDeadline(r.Key, deadline)
+		if err != nil {
+			return errResponse(r.Seq, err)
+		}
+		if !found {
+			return wireResponse{Status: statusNotFound, Seq: r.Seq}
+		}
+		return wireResponse{Status: statusOK, Seq: r.Seq, Body: val}
+	case wirePut:
+		if err := t.srv.PutDeadline(r.Key, r.Val, deadline); err != nil {
+			return errResponse(r.Seq, err)
+		}
+		return wireResponse{Status: statusOK, Seq: r.Seq}
+	case wireMetrics:
+		body, err := json.Marshal(t.srv.Metrics())
+		if err != nil {
+			return errResponse(r.Seq, err)
+		}
+		return wireResponse{Status: statusOK, Seq: r.Seq, Body: body}
+	default:
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("unknown op %d", r.Op))}
+	}
+}
+
+// errResponse maps a serving error to its wire status.
+func errResponse(seq uint64, err error) wireResponse {
+	status := statusErr
+	switch {
+	case errors.Is(err, ErrBacklog):
+		status = statusBacklog
+	case errors.Is(err, ErrDeadline):
+		status = statusDeadline
+	case errors.Is(err, ErrClosed):
+		status = statusClosed
+	case errors.Is(err, ErrBadKey), errors.Is(err, ErrValueTooLarge):
+		status = statusBad
+	}
+	return wireResponse{Status: status, Seq: seq, Body: []byte(err.Error())}
+}
+
+// Client is a stdlib-only client for the wire protocol. It is safe for
+// concurrent use; requests are pipelined over one connection and
+// correlated by sequence number.
+type Client struct {
+	// Timeout, when positive, is sent with every request and enforced
+	// by the server as a per-request deadline.
+	Timeout time.Duration
+
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex // guards seq, pending, err
+	seq     uint64
+	pending map[uint64]chan wireResponse
+	err     error
+}
+
+// Dial connects to a TCPServer.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan wireResponse)}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop routes response frames to their waiters; on connection error
+// it fails every pending and future request with that error.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("server client: connection lost: %w", err))
+			return
+		}
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail poisons the client: all pending waiters are released with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(errors.New("server client: closed"))
+	return err
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(op wireOp, key string, val []byte) (wireResponse, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return wireResponse{}, err
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan wireResponse, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	var timeoutMs uint32
+	if c.Timeout > 0 {
+		timeoutMs = uint32(c.Timeout / time.Millisecond)
+	}
+	frame, err := appendRequest(nil, wireRequest{Op: op, Seq: seq, TimeoutMillis: timeoutMs, Key: key, Val: val})
+	if err == nil {
+		c.wmu.Lock()
+		_, err = c.conn.Write(frame)
+		c.wmu.Unlock()
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return wireResponse{}, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return wireResponse{}, err
+	}
+	return resp, nil
+}
+
+// respError maps a non-OK response to the typed serving errors, so
+// Retryable works identically on both sides of the wire.
+func respError(resp wireResponse) error {
+	msg := string(resp.Body)
+	switch resp.Status {
+	case statusOK, statusNotFound:
+		return nil
+	case statusBacklog:
+		return fmt.Errorf("%s: %w", msg, ErrBacklog)
+	case statusDeadline:
+		return fmt.Errorf("%s: %w", msg, ErrDeadline)
+	case statusClosed:
+		return fmt.Errorf("%s: %w", msg, ErrClosed)
+	default:
+		return fmt.Errorf("server client: %s", msg)
+	}
+}
+
+// Get fetches a value; found is false for keys never written.
+func (c *Client) Get(key string) (val []byte, found bool, err error) {
+	resp, err := c.roundTrip(wireGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, false, err
+	}
+	if resp.Status == statusNotFound {
+		return nil, false, nil
+	}
+	return resp.Body, true, nil
+}
+
+// Put stores a value.
+func (c *Client) Put(key string, val []byte) error {
+	resp, err := c.roundTrip(wirePut, key, val)
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// Ping round-trips an empty frame (liveness check).
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(wirePing, "", nil)
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// Metrics fetches the server's aggregate metrics.
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	resp, err := c.roundTrip(wireMetrics, "", nil)
+	if err != nil {
+		return m, err
+	}
+	if err := respError(resp); err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(resp.Body, &m); err != nil {
+		return m, fmt.Errorf("server client: metrics decode: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: length-prefixed binary frames over a byte stream.
+//
+//	frame    := len:uint32 payload:[len]byte          (big-endian)
+//	request  := op:uint8 seq:uint64 timeoutMs:uint32
+//	            keyLen:uint16 key:[keyLen]byte
+//	            valLen:uint32 val:[valLen]byte
+//	response := status:uint8 seq:uint64
+//	            bodyLen:uint32 body:[bodyLen]byte
+//
+// seq is a client-chosen correlation id echoed verbatim, so responses
+// may be pipelined and arrive out of order. timeoutMs 0 applies the
+// server's default deadline. The response body carries the value (get),
+// JSON metrics (metrics), or an error message (statusErr/statusBad).
+
+// wireOp is the request opcode.
+type wireOp uint8
+
+const (
+	wireGet     wireOp = 1
+	wirePut     wireOp = 2
+	wireMetrics wireOp = 3
+	wirePing    wireOp = 4
+)
+
+// wireStatus is the response status code.
+type wireStatus uint8
+
+const (
+	statusOK       wireStatus = 0
+	statusNotFound wireStatus = 1
+	statusBacklog  wireStatus = 2
+	statusDeadline wireStatus = 3
+	statusClosed   wireStatus = 4
+	statusBad      wireStatus = 5
+	statusErr      wireStatus = 6
+)
+
+// maxFrame bounds a frame payload; larger frames poison the connection
+// (a corrupt length prefix must not trigger a giant allocation).
+const maxFrame = 1 << 20
+
+// request header sizes.
+const (
+	reqFixedLen  = 1 + 8 + 4 + 2 + 4 // op seq timeout keyLen valLen
+	respFixedLen = 1 + 8 + 4         // status seq bodyLen
+)
+
+// wireRequest is one decoded request frame.
+type wireRequest struct {
+	Op            wireOp
+	Seq           uint64
+	TimeoutMillis uint32
+	Key           string
+	Val           []byte
+}
+
+// wireResponse is one decoded response frame.
+type wireResponse struct {
+	Status wireStatus
+	Seq    uint64
+	Body   []byte
+}
+
+// appendRequest appends r as a complete frame to dst.
+func appendRequest(dst []byte, r wireRequest) ([]byte, error) {
+	if len(r.Key) > MaxKeyLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadKey, len(r.Key))
+	}
+	payload := reqFixedLen + len(r.Key) + len(r.Val)
+	if payload > maxFrame {
+		return nil, fmt.Errorf("server: request frame %d bytes exceeds max %d", payload, maxFrame)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payload))
+	dst = append(dst, byte(r.Op))
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, r.TimeoutMillis)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Val)))
+	dst = append(dst, r.Val...)
+	return dst, nil
+}
+
+// decodeRequest parses one request payload.
+func decodeRequest(p []byte) (wireRequest, error) {
+	var r wireRequest
+	if len(p) < reqFixedLen {
+		return r, fmt.Errorf("server: request frame too short (%d bytes)", len(p))
+	}
+	r.Op = wireOp(p[0])
+	r.Seq = binary.BigEndian.Uint64(p[1:])
+	r.TimeoutMillis = binary.BigEndian.Uint32(p[9:])
+	keyLen := int(binary.BigEndian.Uint16(p[13:]))
+	rest := p[15:]
+	if len(rest) < keyLen+4 {
+		return r, fmt.Errorf("server: request frame truncated in key")
+	}
+	r.Key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	valLen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != valLen {
+		return r, fmt.Errorf("server: request frame value length %d, %d bytes remain", valLen, len(rest))
+	}
+	if valLen > 0 {
+		r.Val = append([]byte(nil), rest...)
+	}
+	return r, nil
+}
+
+// appendResponse appends r as a complete frame to dst.
+func appendResponse(dst []byte, r wireResponse) []byte {
+	payload := respFixedLen + len(r.Body)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payload))
+	dst = append(dst, byte(r.Status))
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Body)))
+	dst = append(dst, r.Body...)
+	return dst
+}
+
+// decodeResponse parses one response payload.
+func decodeResponse(p []byte) (wireResponse, error) {
+	var r wireResponse
+	if len(p) < respFixedLen {
+		return r, fmt.Errorf("server: response frame too short (%d bytes)", len(p))
+	}
+	r.Status = wireStatus(p[0])
+	r.Seq = binary.BigEndian.Uint64(p[1:])
+	bodyLen := int(binary.BigEndian.Uint32(p[9:]))
+	rest := p[13:]
+	if len(rest) != bodyLen {
+		return r, fmt.Errorf("server: response frame body length %d, %d bytes remain", bodyLen, len(rest))
+	}
+	if bodyLen > 0 {
+		r.Body = append([]byte(nil), rest...)
+	}
+	return r, nil
+}
+
+// readFrame reads one length-prefixed payload from br.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("server: frame length %d out of range (1..%d)", n, maxFrame)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(br, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	cases := []wireRequest{
+		{Op: wireGet, Seq: 1, Key: "alpha"},
+		{Op: wirePut, Seq: 1 << 60, TimeoutMillis: 250, Key: "k", Val: []byte("value")},
+		{Op: wirePing, Seq: 0},
+		{Op: wireMetrics, Seq: 7},
+		{Op: wirePut, Seq: 2, Key: strings.Repeat("x", MaxKeyLen), Val: bytes.Repeat([]byte{0xff}, 62)},
+	}
+	for _, want := range cases {
+		frame, err := appendRequest(nil, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := readFrame(bufio.NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeRequest(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := appendRequest(nil, wireRequest{Op: wireGet, Key: strings.Repeat("x", MaxKeyLen+1)}); err == nil {
+		t.Fatal("oversized key encoded")
+	}
+}
+
+func TestWireResponseRoundTrip(t *testing.T) {
+	cases := []wireResponse{
+		{Status: statusOK, Seq: 3, Body: []byte("payload")},
+		{Status: statusNotFound, Seq: 9},
+		{Status: statusBacklog, Seq: 1, Body: []byte("shard 2: queue full")},
+	}
+	for _, want := range cases {
+		payload, err := readFrame(bufio.NewReader(bytes.NewReader(appendResponse(nil, want))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestWireDecodeCorrupt(t *testing.T) {
+	// Truncations and bad lengths must error, never panic or over-read.
+	good, err := appendRequest(nil, wireRequest{Op: wirePut, Seq: 5, Key: "kk", Val: []byte("vv")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := good[4:]
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := decodeRequest(payload[:cut]); err == nil {
+			t.Fatalf("truncated request payload (%d bytes) decoded", cut)
+		}
+	}
+	for cut := 0; cut < respFixedLen; cut++ {
+		if _, err := decodeResponse(make([]byte, cut)); err == nil {
+			t.Fatalf("truncated response payload (%d bytes) decoded", cut)
+		}
+	}
+	// Zero and oversized frame lengths are rejected by the reader.
+	var zero [4]byte
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(zero[:]))); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(huge))); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// startTCP brings up a full server + TCP front end on a loopback port.
+func startTCP(t *testing.T, cfg Config) (*Server, *TCPServer, string) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	tcp := NewTCPServer(srv)
+	done := make(chan error, 1)
+	go func() { done <- tcp.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		tcp.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		srv.Close()
+	})
+	return srv, tcp, ln.Addr().String()
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	_, _, addr := startTCP(t, testConfig())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := c.Get("nope"); err != nil || found {
+		t.Fatalf("Get(nope) = found=%v err=%v", found, err)
+	}
+	if err := c.Put("wire-key", []byte("wire-value")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get("wire-key")
+	if err != nil || !found || string(v) != "wire-value" {
+		t.Fatalf("Get = %q found=%v err=%v", v, found, err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Puts != 1 || m.Gets != 2 {
+		t.Fatalf("metrics over wire: puts=%d gets=%d, want 1/2", m.Puts, m.Gets)
+	}
+}
+
+// TestTCPConcurrentClients drives the wire path from many concurrent
+// client connections; every acknowledged write must be readable.
+func TestTCPConcurrentClients(t *testing.T) {
+	_, _, addr := startTCP(t, testConfig())
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("tcp-%d-%d", c, i)
+				val := fmt.Sprintf("val-%d-%d", c, i)
+				for {
+					err := cl.Put(key, []byte(val))
+					if err == nil {
+						break
+					}
+					if !Retryable(err) {
+						errs <- fmt.Errorf("put %s: %w", key, err)
+						return
+					}
+				}
+				got, found, err := cl.Get(key)
+				if err != nil || !found || string(got) != val {
+					errs <- fmt.Errorf("get %s = %q found=%v err=%v", key, got, found, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPShutdownRejectsNewConns(t *testing.T) {
+	srv, tcp, addr := startTCP(t, testConfig())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tcp.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr); err == nil {
+		// Accept may race the listener close; a successful dial must at
+		// least fail on first use.
+		c2, _ := Dial(addr)
+		if c2 != nil {
+			if err := c2.Ping(); err == nil {
+				t.Fatal("connection served after shutdown")
+			}
+			c2.Close()
+		}
+	}
+	// The in-process server still works until Close.
+	if _, found, err := srv.Get("k"); err != nil || !found {
+		t.Fatalf("in-process get after TCP shutdown: found=%v err=%v", found, err)
+	}
+}
+
+func TestClientErrorMapping(t *testing.T) {
+	for _, tc := range []struct {
+		status wireStatus
+		target error
+	}{
+		{statusBacklog, ErrBacklog},
+		{statusDeadline, ErrDeadline},
+		{statusClosed, ErrClosed},
+	} {
+		err := respError(wireResponse{Status: tc.status, Body: []byte("ctx")})
+		if !errors.Is(err, tc.target) {
+			t.Errorf("status %d: %v does not unwrap to %v", tc.status, err, tc.target)
+		}
+	}
+	if respError(wireResponse{Status: statusOK}) != nil || respError(wireResponse{Status: statusNotFound}) != nil {
+		t.Error("OK/NotFound mapped to an error")
+	}
+	if !Retryable(respError(wireResponse{Status: statusBacklog})) {
+		t.Error("wire backlog error must stay retryable")
+	}
+}

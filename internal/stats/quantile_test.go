@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"stringoram/internal/rng"
+)
+
+func TestPercentilesEmpty(t *testing.T) {
+	got := Percentiles(nil, 0.5, 0.99)
+	for i, v := range got {
+		if !math.IsNaN(v) {
+			t.Fatalf("q[%d] = %v, want NaN for empty input", i, v)
+		}
+	}
+}
+
+func TestPercentilesExact(t *testing.T) {
+	// 1..10: interpolated p50 is 5.5, extremes clamp to min/max.
+	vals := []float64{10, 3, 7, 1, 9, 4, 8, 2, 6, 5}
+	got := Percentiles(vals, 0, 0.5, 1)
+	want := []float64{1, 5.5, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("quantile %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Single element: every quantile is that element.
+	one := Percentiles([]float64{42}, 0, 0.5, 0.99, 1)
+	for i, v := range one {
+		if v != 42 {
+			t.Fatalf("single-element quantile %d = %v, want 42", i, v)
+		}
+	}
+}
+
+func TestReservoirSmallNExact(t *testing.T) {
+	// Below capacity the reservoir holds everything: quantiles are exact.
+	r := NewReservoir(2048, 1)
+	src := rng.New(99)
+	perm := src.Perm(1000)
+	for _, i := range perm {
+		r.Add(float64(i + 1)) // 1..1000 in shuffled order
+	}
+	if r.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", r.Count())
+	}
+	if len(r.Samples()) != 1000 {
+		t.Fatalf("sample size = %d, want 1000", len(r.Samples()))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 500.5}, {0.95, 950.05}, {0.99, 990.01}, {0, 1}, {1, 1000},
+	} {
+		if got := r.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestReservoirLargeNAccuracy(t *testing.T) {
+	// 200k uniform(0,1) draws through a 4096-slot reservoir: estimates
+	// must land within a few standard errors of the true quantiles.
+	// Deterministic seeds make the bound safe to assert in CI.
+	r := NewReservoir(4096, 7)
+	src := rng.New(1234)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r.Add(src.Float64())
+	}
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	if got := len(r.Samples()); got != 4096 {
+		t.Fatalf("retained sample = %d, want 4096", got)
+	}
+	for _, tc := range []struct{ q, tol float64 }{
+		// tol = 5 * sqrt(q(1-q)/4096), generous but still meaningful.
+		{0.5, 0.040}, {0.95, 0.018}, {0.99, 0.008},
+	} {
+		got := r.Quantile(tc.q)
+		if math.Abs(got-tc.q) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want within %v of %v", tc.q, got, tc.tol, tc.q)
+		}
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	feed := func() *Reservoir {
+		r := NewReservoir(64, 5)
+		src := rng.New(8)
+		for i := 0; i < 10000; i++ {
+			r.Add(src.Float64() * 100)
+		}
+		return r
+	}
+	a, b := feed().Samples(), feed().Samples()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -35,6 +35,12 @@ go test -tags=invariants ./...
 echo "== go test -race (sched, sim, experiments) =="
 go test -race ./internal/sched ./internal/sim ./internal/experiments
 
+echo "== go test -race (server stress: 64 clients x 4 shards) =="
+go test -race ./internal/server ./cmd/oramd
+
+echo "== examples/server smoke =="
+go run ./examples/server >/dev/null
+
 echo "== fuzz smoke (trace codec) =="
 go test -run='^$' -fuzz=FuzzReadCodec -fuzztime=5s ./internal/trace
 

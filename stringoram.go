@@ -30,6 +30,7 @@ import (
 	"stringoram/internal/config"
 	"stringoram/internal/experiments"
 	"stringoram/internal/oram"
+	"stringoram/internal/server"
 	"stringoram/internal/sim"
 	"stringoram/internal/trace"
 )
@@ -171,6 +172,59 @@ func Simulate(sys SystemConfig, tr *Trace, opts SimOptions) (*SimResult, error) 
 func SimulateMix(sys SystemConfig, trs []*Trace, opts SimOptions) (*SimResult, error) {
 	return sim.RunMulti(sys, trs, opts)
 }
+
+// Serving types (see internal/server for the obliviousness and
+// backpressure contracts).
+type (
+	// Server is the sharded, batching ORAM key-value server. Each shard
+	// owns one Ring confined to a single goroutine.
+	Server = server.Server
+	// ServerConfig parameterizes NewServer.
+	ServerConfig = server.Config
+	// ServerMetrics is a point-in-time server metrics snapshot.
+	ServerMetrics = server.Metrics
+	// ServerTCP exposes a Server over the length-prefixed wire protocol.
+	ServerTCP = server.TCPServer
+	// ServerClient is the stdlib-only TCP client for the wire protocol.
+	ServerClient = server.Client
+)
+
+// Serving errors. ErrServerBacklog and ErrServerDeadline are retryable
+// (see RetryableServerError); the rest are terminal for the request.
+var (
+	// ErrServerBacklog reports a full shard queue (backpressure).
+	ErrServerBacklog = server.ErrBacklog
+	// ErrServerDeadline reports a request that expired before serving.
+	ErrServerDeadline = server.ErrDeadline
+	// ErrServerClosed reports a request after Close began.
+	ErrServerClosed = server.ErrClosed
+	// ErrServerFull reports a shard at its key-capacity limit.
+	ErrServerFull = server.ErrFull
+)
+
+// DefaultServerConfig returns a ready-to-use server configuration
+// (4 shards, 12-level trees, queue depth 256, batch 32).
+func DefaultServerConfig() ServerConfig { return server.Config{} }
+
+// DefaultServerORAM returns the per-shard ORAM parameters for a tree of
+// the given number of levels.
+func DefaultServerORAM(levels int) ORAMConfig { return server.DefaultORAM(levels) }
+
+// NewServer starts a sharded ORAM key-value server. When
+// cfg.SnapshotDir holds a complete snapshot set, state is restored from
+// it; Close writes a fresh set atomically.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewTCPServer wraps srv for serving over TCP; call Serve with a
+// listener.
+func NewTCPServer(srv *Server) *ServerTCP { return server.NewTCPServer(srv) }
+
+// DialServer connects a wire-protocol client to a ServerTCP address.
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
+
+// RetryableServerError reports whether err is transient backpressure
+// (backlog or deadline) that a client may retry.
+func RetryableServerError(err error) bool { return server.Retryable(err) }
 
 // Experiment types.
 type (
