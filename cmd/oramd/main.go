@@ -11,7 +11,8 @@
 //
 //	-addr host:port      TCP listen address (default 127.0.0.1:9736)
 //	-metrics host:port   HTTP metrics address; GET /metrics returns JSON
-//	                     (empty disables)
+//	                     and /debug/pprof/ serves runtime profiles
+//	                     (empty disables both)
 //	-shards N            ORAM instances / worker goroutines (default 4)
 //	-levels N            tree levels per shard (default 12)
 //	-queue N             per-shard queue depth (default 256)
@@ -37,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -111,12 +113,19 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			rw.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(rw).Encode(srv.Metrics())
 		})
+		// Profiling rides on the operator-only metrics listener, so it is
+		// never exposed unless -metrics is set (the default mux is unused).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			srv.Close()
 			return fmt.Errorf("-metrics: %w", err)
 		}
-		fmt.Fprintf(w, "oramd: metrics on http://%s/metrics\n", mln.Addr())
+		fmt.Fprintf(w, "oramd: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", mln.Addr())
 		metricsSrv = &http.Server{Handler: mux}
 		go metricsSrv.Serve(mln)
 	}

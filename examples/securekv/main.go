@@ -66,7 +66,9 @@ func (kv *kvStore) Get(key string) ([]byte, error) {
 	if int(n) > kv.blockSize-2 {
 		return nil, fmt.Errorf("corrupt record for %q", key)
 	}
-	return block[2 : 2+n], nil
+	// block aliases controller scratch reused by the next access; hand
+	// the caller an owned copy.
+	return append([]byte(nil), block[2:2+n]...), nil
 }
 
 func main() {

@@ -39,11 +39,40 @@ func BenchmarkAccessTimingOnly(b *testing.B) {
 	}
 }
 
+// warmFunctionalRing is the shared steady-state ring for
+// BenchmarkAccessFunctional: one full reverse-lexicographic eviction
+// cycle materializes every bucket and grows all scratch, so the timed
+// loop measures the allocation-free steady state rather than first-touch
+// setup. Cached across the calibration reruns of one bench process.
+var warmFunctionalRing *Ring
+
+func warmedFunctionalRing(b *testing.B) *Ring {
+	b.Helper()
+	if warmFunctionalRing == nil {
+		r := benchRing(b, true)
+		payload := make([]byte, r.Config().BlockSize)
+		warm := int(r.Config().Leaves()) * r.Config().A
+		for i := 0; i < warm; i++ {
+			var err error
+			if i%2 == 0 {
+				_, _, err = r.Access(BlockID(i%4096), true, payload)
+			} else {
+				_, _, err = r.Access(BlockID(i%4096), false, nil)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		warmFunctionalRing = r
+	}
+	return warmFunctionalRing
+}
+
 // BenchmarkAccessFunctional measures full functional throughput with
-// AES-CTR sealing on every block moved.
+// AES-CTR sealing on every block moved, at steady state.
 func BenchmarkAccessFunctional(b *testing.B) {
 	b.ReportAllocs()
-	r := benchRing(b, true)
+	r := warmedFunctionalRing(b)
 	payload := make([]byte, r.Config().BlockSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -59,7 +88,8 @@ func BenchmarkAccessFunctional(b *testing.B) {
 	}
 }
 
-// BenchmarkSeal measures the sealing layer alone.
+// BenchmarkSeal measures the sealing layer alone, through the
+// caller-buffer path the controller hot loops use.
 func BenchmarkSeal(b *testing.B) {
 	b.ReportAllocs()
 	c, err := NewCrypt([]byte("bench-key-16byte"), 64)
@@ -67,9 +97,10 @@ func BenchmarkSeal(b *testing.B) {
 		b.Fatal(err)
 	}
 	payload := make([]byte, 64)
+	var buf []byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = c.Seal(payload)
+		buf = c.SealInto(buf, payload)
 	}
 }
 

@@ -100,26 +100,48 @@ func (b *Bucket) canServe(hasTarget bool, s, y int) bool {
 	return b.Green < y && b.realBlocks() > 0
 }
 
-// selectDummy picks a slot to read as a dummy and consumes it. With the
-// dummy-first policy, reserved dummies are used before green blocks so
-// that green fetches (which grow the stash) happen only when necessary;
-// the uniform policy picks uniformly among all eligible slots.
-//
-// It returns the slot index and, when a green block was consumed, the
-// evicted real block's ID (the caller must move it to the stash);
-// otherwise InvalidBlock. The caller must have checked canServe.
-func (b *Bucket) selectDummy(src *rng.Source, y int, uniform bool) (slot int, green BlockID) {
-	var dummies, greens []int
+// selectScratch holds the candidate-slot scratch reused by dummy
+// selection so the per-level hot path allocates nothing. The zero value
+// is ready to use; capacity grows to the bucket's slot count and stays.
+type selectScratch struct {
+	dummies []int
+	greens  []int
+}
+
+// split partitions the bucket's valid slots into reserved dummies and
+// green candidates using the scratch's backing arrays.
+func (sc *selectScratch) split(b *Bucket) (dummies, greens []int) {
+	sc.dummies = sc.dummies[:0]
+	sc.greens = sc.greens[:0]
 	for i := range b.Slots {
 		if !b.Slots[i].Valid {
 			continue
 		}
 		if b.Slots[i].Real {
-			greens = append(greens, i)
+			sc.greens = append(sc.greens, i)
 		} else {
-			dummies = append(dummies, i)
+			sc.dummies = append(sc.dummies, i)
 		}
 	}
+	return sc.dummies, sc.greens
+}
+
+// selectDummy picks a slot to read as a dummy and consumes it, using a
+// fresh candidate scratch. Hot paths should prefer selectDummyScratch.
+func (b *Bucket) selectDummy(src *rng.Source, y int, uniform bool) (slot int, green BlockID) {
+	return b.selectDummyScratch(src, y, uniform, &selectScratch{})
+}
+
+// selectDummyScratch picks a slot to read as a dummy and consumes it.
+// With the dummy-first policy, reserved dummies are used before green
+// blocks so that green fetches (which grow the stash) happen only when
+// necessary; the uniform policy picks uniformly among all eligible slots.
+//
+// It returns the slot index and, when a green block was consumed, the
+// evicted real block's ID (the caller must move it to the stash);
+// otherwise InvalidBlock. The caller must have checked canServe.
+func (b *Bucket) selectDummyScratch(src *rng.Source, y int, uniform bool, sc *selectScratch) (slot int, green BlockID) {
+	dummies, greens := sc.split(b)
 	greenOK := b.Green < y && len(greens) > 0
 	pickGreen := false
 	switch {
@@ -146,23 +168,20 @@ func (b *Bucket) selectDummy(src *rng.Source, y int, uniform bool) (slot int, gr
 }
 
 // selectDummyBalanced is selectDummy with the choice within the eligible
-// pool delegated to pick (used by imbalance-aware retrieval, Che et al.
-// ICCD'19: any valid dummy is equally safe, so the controller may choose
-// the one whose physical address balances channel load). The dummy-first
-// pool ordering is preserved: reserved dummies are offered before green
-// blocks.
+// pool delegated to pick. Hot paths should prefer
+// selectDummyBalancedScratch.
 func (b *Bucket) selectDummyBalanced(pick func(candidates []int) int, y int) (slot int, green BlockID) {
-	var dummies, greens []int
-	for i := range b.Slots {
-		if !b.Slots[i].Valid {
-			continue
-		}
-		if b.Slots[i].Real {
-			greens = append(greens, i)
-		} else {
-			dummies = append(dummies, i)
-		}
-	}
+	return b.selectDummyBalancedScratch(pick, y, &selectScratch{})
+}
+
+// selectDummyBalancedScratch is selectDummyScratch with the choice within
+// the eligible pool delegated to pick (used by imbalance-aware retrieval,
+// Che et al. ICCD'19: any valid dummy is equally safe, so the controller
+// may choose the one whose physical address balances channel load). The
+// dummy-first pool ordering is preserved: reserved dummies are offered
+// before green blocks.
+func (b *Bucket) selectDummyBalancedScratch(pick func(candidates []int) int, y int, sc *selectScratch) (slot int, green BlockID) {
+	dummies, greens := sc.split(b)
 	pool := dummies
 	pickGreen := false
 	if len(dummies) == 0 {
@@ -213,19 +232,46 @@ func (b *Bucket) residentBlocks(dst []BlockID) []BlockID {
 	return dst
 }
 
-// reshuffle rewrites the bucket with the given real blocks (at most Z) in
-// randomly permuted physical positions, resets all metadata, and marks
-// every slot valid. It returns the permutation target slots chosen for the
-// real blocks (parallel to blocks), so a functional store can place data.
+// shuffleScratch holds the permutation and target scratch reused across
+// bucket reshuffles. The zero value is ready to use.
+type shuffleScratch struct {
+	perm   []int
+	target []int
+}
+
+// grow resizes the scratch slices for a bucket with slots physical slots
+// and nBlocks real blocks, reusing capacity.
+func (sc *shuffleScratch) grow(slots, nBlocks int) (perm, target []int) {
+	if cap(sc.perm) < slots {
+		sc.perm = make([]int, slots)
+	}
+	if cap(sc.target) < nBlocks {
+		sc.target = make([]int, nBlocks)
+	}
+	return sc.perm[:slots], sc.target[:nBlocks]
+}
+
+// reshuffle rewrites the bucket with the given real blocks using a fresh
+// scratch. Hot paths should prefer reshuffleScratch.
 func (b *Bucket) reshuffle(blocks []BlockID, src *rng.Source) []int {
+	return b.reshuffleScratch(blocks, src, &shuffleScratch{})
+}
+
+// reshuffleScratch rewrites the bucket with the given real blocks (at
+// most Z) in randomly permuted physical positions, resets all metadata,
+// and marks every slot valid. It returns the permutation target slots
+// chosen for the real blocks (parallel to blocks), so a functional store
+// can place data. The returned slice aliases sc.target and is valid until
+// the next reshuffle through the same scratch.
+func (b *Bucket) reshuffleScratch(blocks []BlockID, src *rng.Source, sc *shuffleScratch) []int {
 	if len(blocks) > len(b.Slots) {
 		panic("oram: reshuffle with more blocks than slots")
 	}
-	perm := src.Perm(len(b.Slots))
+	perm, target := sc.grow(len(b.Slots), len(blocks))
+	src.PermInto(perm)
 	for i := range b.Slots {
 		b.Slots[i] = Slot{Real: false, Valid: true, ID: InvalidBlock}
 	}
-	target := make([]int, len(blocks))
 	for i, id := range blocks {
 		s := perm[i]
 		b.Slots[s] = Slot{Real: true, Valid: true, ID: id}

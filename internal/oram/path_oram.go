@@ -2,7 +2,7 @@ package oram
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"stringoram/internal/rng"
 )
@@ -33,6 +33,9 @@ type Path struct {
 	stats   Stats
 
 	pathBuf []int64
+	// scr reuses the Ring controller's scratch layout; the XOR and
+	// dummy-selection fields stay unused (Path ORAM has neither).
+	scr ringScratch
 }
 
 // NewPath returns a Path ORAM controller with Z-slot buckets over a tree
@@ -81,43 +84,61 @@ func (p *Path) bucket(idx int64) *Bucket {
 	return b
 }
 
-func (p *Path) seal(plaintext []byte) []byte {
+// getBlockBuf and putBlockBuf mirror Ring's plaintext-buffer recycling.
+func (p *Path) getBlockBuf() []byte {
+	if n := len(p.scr.blockPool); n > 0 {
+		buf := p.scr.blockPool[n-1]
+		p.scr.blockPool[n-1] = nil
+		p.scr.blockPool = p.scr.blockPool[:n-1]
+		return buf
+	}
+	return make([]byte, p.block)
+}
+
+func (p *Path) putBlockBuf(buf []byte) {
+	if cap(buf) < p.block {
+		return
+	}
+	p.scr.blockPool = append(p.scr.blockPool, buf[:p.block])
+}
+
+// sealedForStore seals (or copies) plaintext into the seal scratch; nil
+// means dummy. Valid until the next seal — stores copy (see Store).
+func (p *Path) sealedForStore(plaintext []byte) []byte {
 	if p.crypt != nil {
-		return p.crypt.Seal(plaintext)
+		p.scr.sealBuf = p.crypt.SealInto(p.scr.sealBuf, plaintext)
+		return p.scr.sealBuf
 	}
 	if plaintext == nil {
-		return make([]byte, p.block)
+		buf := ensure(p.scr.sealBuf, p.block)
+		clear(buf)
+		p.scr.sealBuf = buf
+		return buf
 	}
-	out := make([]byte, len(plaintext))
-	copy(out, plaintext)
-	return out
+	buf := ensure(p.scr.sealBuf, len(plaintext))
+	copy(buf, plaintext)
+	p.scr.sealBuf = buf
+	return buf
 }
 
-func (p *Path) open(sealed []byte) ([]byte, error) {
-	if sealed == nil {
-		return make([]byte, p.block), nil
-	}
-	if p.crypt != nil {
-		return p.crypt.Open(sealed)
-	}
-	out := make([]byte, len(sealed))
-	copy(out, sealed)
-	return out, nil
-}
-
-// Read fetches a logical block.
+// Read fetches a logical block. The returned data and ops alias
+// controller-owned scratch: they are valid until the next operation on
+// this Path.
 func (p *Path) Read(id BlockID) ([]byte, []Op, error) {
 	return p.Access(id, false, nil)
 }
 
-// Write stores a logical block.
+// Write stores a logical block. The returned ops are valid until the
+// next operation on this Path.
 func (p *Path) Write(id BlockID, data []byte) ([]Op, error) {
 	_, ops, err := p.Access(id, true, data)
 	return ops, err
 }
 
 // Access performs one Path ORAM access: read the whole path into the
-// stash, remap the block, write the whole path back greedily.
+// stash, remap the block, write the whole path back greedily. The
+// returned data and ops alias controller-owned scratch reused by the
+// next operation on this Path: callers that need them longer must copy.
 func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error) {
 	if id < 0 {
 		return nil, nil, fmt.Errorf("oram: negative block id %d", id)
@@ -138,7 +159,8 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 	p.pathBuf = p.tree.Path(leaf, p.pathBuf[:0])
 	path := p.pathBuf
 
-	op := Op{Kind: OpReadPath, Path: leaf}
+	p.scr.ops = p.scr.ops[:0]
+	op := takeOp(&p.scr.ops, OpReadPath, leaf)
 
 	// Read phase: the full path (Z slots per bucket) moves to the stash.
 	for lvl, idx := range path {
@@ -155,7 +177,7 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 				if err != nil {
 					panic(err)
 				}
-				p.stash.Put(bid, bp, blkData)
+				p.putBlockBuf(p.stash.Put(bid, bp, blkData))
 				b.consumeReal(s)
 			}
 		}
@@ -169,19 +191,21 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 	if write {
 		var stored []byte
 		if p.store != nil {
-			stored = make([]byte, len(data))
+			stored = p.getBlockBuf()
 			copy(stored, data)
 		}
-		p.stash.Put(id, newLeaf, stored)
+		p.putBlockBuf(p.stash.Put(id, newLeaf, stored))
 	}
 	var out []byte
 	if !write && p.store != nil {
 		blk := p.stash.Get(id)
+		out = ensure(p.scr.outBuf, p.block)
+		p.scr.outBuf = out
 		if blk == nil {
-			blk = make([]byte, p.block)
+			clear(out)
+		} else {
+			copy(out, blk)
 		}
-		out = make([]byte, len(blk))
-		copy(out, blk)
 	}
 
 	// Write phase: greedy deepest placement back along the same path.
@@ -189,26 +213,39 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 	for lvl, idx := range path {
 		b := p.bucket(idx)
 		ids := placed[lvl]
-		blockData := make([][]byte, len(ids))
-		for i, bid := range ids {
-			blockData[i] = p.stash.Remove(bid)
+		blockData := p.scr.resData[:0]
+		for _, bid := range ids {
+			blockData = append(blockData, p.stash.Remove(bid))
 		}
-		targets := b.reshuffle(ids, p.permSrc)
+		p.scr.resData = blockData
+		targets := b.reshuffleScratch(ids, p.permSrc, &p.scr.shuf)
 		if p.store != nil {
-			isReal := make(map[int]int, len(targets))
+			owner := p.scr.slotOwner
+			if cap(owner) < len(b.Slots) {
+				owner = make([]int, len(b.Slots))
+			}
+			owner = owner[:len(b.Slots)]
+			p.scr.slotOwner = owner
+			for s := range owner {
+				owner[s] = -1
+			}
 			for i, s := range targets {
-				isReal[s] = i
+				owner[s] = i
 			}
 			for s := range b.Slots {
-				if i, ok := isReal[s]; ok {
-					p.store.WriteSlot(idx, s, p.seal(blockData[i]))
+				if i := owner[s]; i >= 0 {
+					p.store.WriteSlot(idx, s, p.sealedForStore(blockData[i]))
 				} else {
-					p.store.WriteSlot(idx, s, p.seal(nil))
+					p.store.WriteSlot(idx, s, p.sealedForStore(nil))
 				}
 			}
 		}
 		for s := range b.Slots {
 			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: s, Write: true})
+		}
+		for i := range blockData {
+			p.putBlockBuf(blockData[i])
+			blockData[i] = nil
 		}
 	}
 
@@ -221,35 +258,62 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 		p.stats.StashPeak = n
 	}
 	if p.stash.Len() > p.stash.Cap() { //oramlint:allow secret-branch overflow detection aborts the run after the op is fully emitted; it never alters the trace
-		return nil, []Op{op}, ErrStashOverflow
+		return nil, p.scr.ops, ErrStashOverflow
 	}
-	return out, []Op{op}, nil
+	return out, p.scr.ops, nil
 }
 
+// readSlotData pulls a slot's plaintext into a pool buffer; nil store
+// yields nil. Ownership of the returned buffer transfers to the caller.
 func (p *Path) readSlotData(bucket int64, slot int) ([]byte, error) {
 	if p.store == nil {
 		return nil, nil
 	}
-	return p.open(p.store.ReadSlot(bucket, slot))
+	sealed := p.store.ReadSlot(bucket, slot)
+	buf := p.getBlockBuf()
+	if sealed == nil {
+		clear(buf)
+		return buf, nil
+	}
+	if p.crypt != nil {
+		return p.crypt.OpenInto(buf, sealed)
+	}
+	buf = ensure(buf, len(sealed))
+	copy(buf, sealed)
+	return buf, nil
 }
 
 // placeForPath assigns stash blocks to path buckets, deepest-first, at
-// most Z per bucket.
+// most Z per bucket. The returned slices alias per-level scratch reused
+// by the next access.
 func (p *Path) placeForPath(leaf PathID, path []int64) [][]BlockID {
 	L := len(path) - 1
-	byLevel := make([][]BlockID, L+1)
-	p.stash.ForEach(func(id BlockID, q PathID) {
-		lvl := p.tree.CommonLevel(leaf, q)
-		byLevel[lvl] = append(byLevel[lvl], id)
-	})
+	byLevel := p.scr.byLevel
+	if cap(byLevel) < L+1 {
+		byLevel = make([][]BlockID, L+1)
+	}
+	byLevel = byLevel[:L+1]
+	for i := range byLevel {
+		byLevel[i] = byLevel[i][:0]
+	}
+	for id, e := range p.stash.entries {
+		//oramlint:allow maprange CommonLevel is a pure function of (leaf, path) with no side effects, so call order is irrelevant
+		lvl := p.tree.CommonLevel(leaf, e.path)
+		byLevel[lvl] = append(byLevel[lvl], id) //oramlint:allow maprange entries are bucketed per level and sorted below, so placement is independent of iteration order
+	}
 	// Keep placement deterministic despite map iteration order.
 	for _, ids := range byLevel {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 	}
-	placed := make([][]BlockID, L+1)
+	placed := p.scr.placed
+	if cap(placed) < L+1 {
+		placed = make([][]BlockID, L+1)
+	}
+	placed = placed[:L+1]
 	var carry []BlockID
 	for lvl := L; lvl >= 0; lvl-- {
 		pool := append(byLevel[lvl], carry...)
+		byLevel[lvl] = pool // keep the grown capacity for next time
 		n := len(pool)
 		if n > p.z {
 			n = p.z
@@ -257,6 +321,8 @@ func (p *Path) placeForPath(leaf PathID, path []int64) [][]BlockID {
 		placed[lvl] = pool[:n]
 		carry = pool[n:]
 	}
+	p.scr.byLevel = byLevel
+	p.scr.placed = placed
 	return placed
 }
 

@@ -33,6 +33,23 @@ type RecursiveRing struct {
 	fanout   int64
 	onChip   map[BlockID]PathID `oramlint:"secret"` // labels of maps[len(maps)-1] blocks
 	src      *rng.Source
+
+	// Per-access scratch: the recursion depth is fixed at construction,
+	// so the ops list, index chain, and fresh-label list are allocated
+	// once and reused. Returned ops alias opsBuf (and each ring's own
+	// scratch) and are valid until the next Access.
+	opsBuf   []Op
+	chain    []BlockID `oramlint:"secret"`
+	newLabel []PathID
+
+	// updFn is the label read-modify-write callback, bound once so map
+	// walks do not allocate a closure per level. updSlot/updLabel are its
+	// inputs, updOut/updKnown its outputs for the current level.
+	updFn    func(cur []byte) []byte
+	updSlot  int
+	updLabel PathID
+	updOut   PathID
+	updKnown bool
 }
 
 // RecursiveConfig parameterizes NewRecursiveRing.
@@ -100,6 +117,13 @@ func NewRecursiveRing(rc RecursiveConfig, seed uint64, opts *Options) (*Recursiv
 		}
 		rr.maps = append(rr.maps, ring)
 		entries = blocks
+	}
+	rr.chain = make([]BlockID, len(rr.maps)+1)
+	rr.newLabel = make([]PathID, len(rr.maps)+1)
+	rr.updFn = func(cur []byte) []byte {
+		rr.updOut, rr.updKnown = getLabel(cur, rr.updSlot)
+		setLabel(cur, rr.updSlot, rr.updLabel)
+		return cur
 	}
 	return rr, nil
 }
@@ -172,22 +196,26 @@ func (rr *RecursiveRing) Write(id BlockID, data []byte) ([]Op, error) {
 // access reads the block holding the next level's label, extracts it,
 // and writes back a fresh label for the next access — a single
 // read-modify-write ORAM access per level.
+//
+// The returned data and ops alias controller-owned scratch (including
+// the underlying rings') and are valid until the next operation on this
+// RecursiveRing.
 func (rr *RecursiveRing) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error) {
 	if id < 0 || int64(id) >= rr.capacity {
 		return nil, nil, fmt.Errorf("oram: block id %d outside recursive capacity %d", id, rr.capacity)
 	}
-	var ops []Op
+	ops := rr.opsBuf[:0]
 
 	// Index chain: chain[0] = id, chain[k] = map-level-k block holding
 	// chain[k-1]'s label.
-	chain := make([]BlockID, len(rr.maps)+1)
+	chain := rr.chain
 	chain[0] = id
 	for k := 1; k <= len(rr.maps); k++ {
 		chain[k], _ = rr.labelSlot(chain[k-1])
 	}
 
 	// Fresh labels for everything we touch.
-	newLabel := make([]PathID, len(rr.maps)+1)
+	newLabel := rr.newLabel
 	newLabel[0] = PathID(rr.src.Uint64n(uint64(rr.data.tree.Leaves())))
 	for k := 1; k <= len(rr.maps); k++ {
 		newLabel[k] = PathID(rr.src.Uint64n(uint64(rr.maps[k-1].tree.Leaves())))
@@ -205,19 +233,18 @@ func (rr *RecursiveRing) Access(id BlockID, write bool, data []byte) ([]byte, []
 	var expectedKnown bool
 	for k := len(rr.maps); k >= 1; k-- {
 		ring := rr.maps[k-1]
-		_, slot := rr.labelSlot(chain[k-1])
-		var out PathID
-		var outKnown bool
-		_, mops, err := ring.UpdateRemapTo(chain[k], newLabel[k], func(cur []byte) []byte {
-			out, outKnown = getLabel(cur, slot)
-			setLabel(cur, slot, newLabel[k-1])
-			return cur
-		})
+		_, rr.updSlot = rr.labelSlot(chain[k-1])
+		rr.updLabel = newLabel[k-1]
+		_, mops, err := ring.UpdateRemapTo(chain[k], newLabel[k], rr.updFn)
 		if err != nil {
+			rr.opsBuf = ops
 			return nil, ops, fmt.Errorf("oram: map level %d: %w", k, err)
 		}
+		// Appending the Op values is safe: each map ring is touched
+		// exactly once per outer access, so its scratch-backed Accesses
+		// stay intact until we return.
 		ops = append(ops, mops...)
-		expected, expectedKnown = out, outKnown
+		expected, expectedKnown = rr.updOut, rr.updKnown
 	}
 
 	// Cross-check: the label chain must agree with the data ring's own
@@ -232,6 +259,7 @@ func (rr *RecursiveRing) Access(id BlockID, write bool, data []byte) ([]byte, []
 
 	out, dops, err := rr.data.AccessRemapTo(id, write, data, newLabel[0])
 	ops = append(ops, dops...)
+	rr.opsBuf = ops
 	if err != nil {
 		return out, ops, err
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 
 	"stringoram/internal/config"
 	"stringoram/internal/invariant"
@@ -50,6 +49,49 @@ type Options struct {
 	XOR bool
 }
 
+// ringScratch groups the buffers the controller reuses across accesses so
+// the steady-state data plane allocates nothing. Everything here is owned
+// by the Ring's single goroutine; slices handed to the caller (the ops
+// list, the returned data) alias these fields and stay valid only until
+// the next operation on the same Ring. Fields holding plaintext block
+// contents are tagged secret like the stash they mirror.
+type ringScratch struct {
+	// ops is the operation list one access builds and returns. Op entries
+	// are reused index-for-index, so each index's Accesses backing array
+	// survives across accesses.
+	ops []Op
+	// outBuf carries the plaintext handed back to the caller.
+	outBuf []byte `oramlint:"secret"`
+	// updBuf carries the plaintext copy handed to Update callbacks.
+	updBuf []byte `oramlint:"secret"`
+	// sealBuf receives sealed bytes on their way into the store; stores
+	// copy (see Store), so one buffer serves every write.
+	sealBuf []byte
+	// dummySeal receives deterministic dummy ciphertexts.
+	dummySeal []byte
+	// xorAcc accumulates the XOR-combined ciphertext of a read path.
+	// Length zero marks "nothing folded yet".
+	xorAcc []byte
+	// blockPool recycles plaintext block buffers circulating between the
+	// store, the stash and the controller.
+	blockPool [][]byte `oramlint:"secret"`
+	// sel and shuf are the dummy-selection and reshuffle scratches.
+	sel  selectScratch
+	shuf shuffleScratch
+	// res, resData, blocks and readSlots serve reshuffles and evictions.
+	res       []residentBlock `oramlint:"secret"`
+	resData   [][]byte        `oramlint:"secret"`
+	blocks    []BlockID       `oramlint:"secret"`
+	readSlots []int
+	// byLevel and placed are the eviction placement tables, one slot per
+	// tree level.
+	byLevel [][]BlockID `oramlint:"secret"`
+	placed  [][]BlockID `oramlint:"secret"`
+	// slotOwner maps physical slot -> index into a bucket write's block
+	// list (-1 for dummies) during writeBucket.
+	slotOwner []int
+}
+
 // Ring is a Ring ORAM controller with the String ORAM Compact Bucket
 // extension. It is not safe for concurrent use; the secure processor
 // serializes ORAM accesses by construction.
@@ -78,9 +120,17 @@ type Ring struct {
 	onSample      func(int)
 	balancer      func(bucket int64, level int, candidates []int) int
 
+	// balancerPick adapts balancer to the per-bucket candidate callback;
+	// it is built once and rebinds through balBucket/balLevel so the hot
+	// path creates no closure per level.
+	balancerPick func(candidates []int) int
+	balBucket    int64
+	balLevel     int
+
 	stats Stats
 
 	pathBuf []int64 // scratch for path walks
+	scr     ringScratch
 }
 
 // NewRing returns a Ring ORAM controller for the given configuration.
@@ -258,49 +308,101 @@ func (r *Ring) bucket(idx int64) *Bucket {
 // levels above it are held in the on-chip tree-top cache.
 func (r *Ring) emitFrom() int { return r.cfg.TreeTopCacheLevels }
 
-// seal encrypts (or copies) plaintext for storage; nil means dummy.
-func (r *Ring) seal(plaintext []byte) []byte {
+// takeOp appends a fresh operation to ops and returns a pointer to it,
+// reusing that index's Accesses backing array from earlier accesses. The
+// pointer is valid until the next takeOp on the same list (which may
+// grow it), so each op must be fully populated before the next one is
+// taken.
+func takeOp(ops *[]Op, kind OpKind, p PathID) *Op {
+	s := *ops
+	if len(s) < cap(s) {
+		s = s[:len(s)+1]
+	} else {
+		s = append(s, Op{})
+	}
+	op := &s[len(s)-1]
+	op.Kind = kind
+	op.Path = p
+	op.Accesses = op.Accesses[:0]
+	*ops = s
+	return op
+}
+
+// getBlockBuf returns a BlockSize plaintext buffer from the recycle pool,
+// allocating only when the pool is dry.
+func (r *Ring) getBlockBuf() []byte {
+	if n := len(r.scr.blockPool); n > 0 {
+		buf := r.scr.blockPool[n-1]
+		r.scr.blockPool[n-1] = nil
+		r.scr.blockPool = r.scr.blockPool[:n-1]
+		return buf
+	}
+	return make([]byte, r.cfg.BlockSize)
+}
+
+// putBlockBuf returns a plaintext buffer to the recycle pool. nil and
+// foreign-sized buffers are dropped, so callers can pass any displaced
+// slice unconditionally.
+func (r *Ring) putBlockBuf(buf []byte) {
+	if cap(buf) < r.cfg.BlockSize {
+		return
+	}
+	r.scr.blockPool = append(r.scr.blockPool, buf[:r.cfg.BlockSize])
+}
+
+// sealedForStore seals (or copies) plaintext for storage into the
+// controller's seal scratch; nil means dummy. The returned slice is valid
+// until the next seal — stores copy it (see Store).
+func (r *Ring) sealedForStore(plaintext []byte) []byte {
 	if r.crypt != nil {
-		return r.crypt.Seal(plaintext)
+		r.scr.sealBuf = r.crypt.SealInto(r.scr.sealBuf, plaintext)
+		return r.scr.sealBuf
 	}
 	if plaintext == nil {
-		return make([]byte, r.cfg.BlockSize)
+		buf := ensure(r.scr.sealBuf, r.cfg.BlockSize)
+		clear(buf)
+		r.scr.sealBuf = buf
+		return buf
 	}
-	out := make([]byte, len(plaintext))
-	copy(out, plaintext)
-	return out
+	buf := ensure(r.scr.sealBuf, len(plaintext))
+	copy(buf, plaintext)
+	r.scr.sealBuf = buf
+	return buf
 }
 
-// open decrypts (or copies) sealed slot contents.
-func (r *Ring) open(sealed []byte) ([]byte, error) {
-	if sealed == nil {
-		return make([]byte, r.cfg.BlockSize), nil
-	}
-	if r.crypt != nil {
-		return r.crypt.Open(sealed)
-	}
-	out := make([]byte, len(sealed))
-	copy(out, sealed)
-	return out, nil
-}
-
-// readSlotData pulls a real block's plaintext out of the store; nil store
-// yields nil (timing-only mode).
+// readSlotData pulls a real block's plaintext out of the store into a
+// pool buffer; nil store yields nil (timing-only mode). Ownership of the
+// returned buffer transfers to the caller (usually straight into the
+// stash).
 func (r *Ring) readSlotData(bucket int64, slot int) ([]byte, error) {
 	if r.store == nil {
 		return nil, nil
 	}
-	return r.open(r.store.ReadSlot(bucket, slot))
+	sealed := r.store.ReadSlot(bucket, slot)
+	buf := r.getBlockBuf()
+	if sealed == nil {
+		clear(buf)
+		return buf, nil
+	}
+	if r.crypt != nil {
+		return r.crypt.OpenInto(buf, sealed)
+	}
+	buf = ensure(buf, len(sealed))
+	copy(buf, sealed)
+	return buf, nil
 }
 
 // Read fetches a logical block. The returned data is nil in timing-only
 // mode and a zero block for never-written addresses. ops lists the memory
-// transactions the access generated, in issue order.
+// transactions the access generated, in issue order. Both returned slices
+// alias controller-owned scratch: they are valid until the next operation
+// on this Ring.
 func (r *Ring) Read(id BlockID) (data []byte, ops []Op, err error) {
 	return r.Access(id, false, nil)
 }
 
-// Write stores a logical block.
+// Write stores a logical block. The returned ops are valid until the next
+// operation on this Ring.
 func (r *Ring) Write(id BlockID, data []byte) (ops []Op, err error) {
 	_, ops, err = r.Access(id, true, data)
 	return ops, err
@@ -310,6 +412,9 @@ func (r *Ring) Write(id BlockID, data []byte) (ops []Op, err error) {
 // protocol: early reshuffles where budgets are exhausted, a read path
 // operation, the scheduled eviction at every A-th round, and leakage-free
 // background eviction when the stash crosses its threshold.
+//
+// The returned data and ops alias controller-owned scratch reused by the
+// next operation on this Ring: callers that need them longer must copy.
 func (r *Ring) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error) {
 	return r.access(id, write, data, nil, nil)
 }
@@ -326,7 +431,9 @@ func (r *Ring) AccessRemapTo(id BlockID, write bool, data []byte, newPath PathID
 // Update performs a single-access read-modify-write: fn receives the
 // block's current contents (a zero block for never-written addresses)
 // and returns the new contents. The pre-update data is returned. One
-// Update costs exactly one ORAM access on the bus.
+// Update costs exactly one ORAM access on the bus. The slice passed to fn
+// and both returned slices are controller-owned scratch, valid only until
+// the next operation on this Ring.
 func (r *Ring) Update(id BlockID, fn func(cur []byte) []byte) ([]byte, []Op, error) {
 	return r.access(id, true, nil, nil, fn)
 }
@@ -361,7 +468,9 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 		r.stats.Reads++
 	}
 
-	var ops []Op
+	// The op list is rebuilt in place every access; anything the caller
+	// still holds from the previous access is invalidated here.
+	r.scr.ops = r.scr.ops[:0]
 
 	// Determine the path to read: the block's current path, or a random
 	// one when the block is new or already buffered in the stash. The
@@ -375,7 +484,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 		readPath = r.pos.RandomPath()
 	}
 
-	ops = r.readPathOp(OpReadPath, readPath, id, haveTarget, ops)
+	r.readPathOp(OpReadPath, readPath, id, haveTarget)
 
 	// Remap-on-access: the block gets a fresh path (drawn internally or
 	// supplied by an external position-map layer) and logically lives
@@ -394,37 +503,52 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	}
 	r.stash.SetPath(id, newPath)
 
+	// Snapshot the block's pre-update contents into the out scratch.
+	// Plain writes skip it: their callers receive no data.
 	var out []byte
-	if r.store != nil {
+	if r.store != nil && (updateFn != nil || !write) {
 		cur := r.stash.Get(id)
+		out = ensure(r.scr.outBuf, r.cfg.BlockSize)
+		r.scr.outBuf = out
 		if cur == nil {
-			cur = make([]byte, r.cfg.BlockSize)
+			clear(out)
+		} else {
+			copy(out, cur)
 		}
-		out = make([]byte, len(cur))
-		copy(out, cur)
 	}
 	switch {
 	case updateFn != nil:
-		cur := make([]byte, len(out))
-		copy(cur, out)
+		var cur []byte
+		if r.store == nil {
+			cur = make([]byte, 0)
+		} else {
+			cur = ensure(r.scr.updBuf, len(out))
+			r.scr.updBuf = cur
+			copy(cur, out)
+		}
 		updated := updateFn(cur)
 		if r.store != nil && len(updated) != r.cfg.BlockSize {
-			return nil, ops, fmt.Errorf("oram: update of block %d returned %d bytes, want %d", id, len(updated), r.cfg.BlockSize)
+			return nil, r.scr.ops, fmt.Errorf("oram: update of block %d returned %d bytes, want %d", id, len(updated), r.cfg.BlockSize)
 		}
-		stored := make([]byte, len(updated))
+		var stored []byte
+		if r.store != nil {
+			stored = r.getBlockBuf()
+		} else {
+			stored = make([]byte, len(updated))
+		}
 		copy(stored, updated)
-		r.stash.Put(id, newPath, stored)
+		r.putBlockBuf(r.stash.Put(id, newPath, stored))
 	case write:
 		var stored []byte
 		if r.store != nil {
-			stored = make([]byte, len(data))
+			stored = r.getBlockBuf()
 			copy(stored, data)
 		}
-		r.stash.Put(id, newPath, stored)
+		r.putBlockBuf(r.stash.Put(id, newPath, stored))
 		out = nil
 	}
 
-	r.bumpRound(&ops)
+	r.bumpRound()
 
 	// Background eviction: when the stash crosses its threshold, halt
 	// and issue dummy read paths until the A-interval boundary, then
@@ -433,13 +557,13 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	rounds := 0
 	for r.stash.Len() >= r.cfg.EvictThreshold() { //oramlint:allow secret-branch the extra ops are dummy read paths on random paths plus scheduled evictions, all in the public (A reads, 1 evict) rhythm; occupancy only stalls the CPU, it never shapes an op
 		if rounds++; rounds > maxBackgroundRounds {
-			return nil, ops, ErrStashOverflow
+			return nil, r.scr.ops, ErrStashOverflow
 		}
 		p := r.pos.RandomPath()
-		ops = r.readPathOp(OpDummyReadPath, p, InvalidBlock, false, ops)
+		r.readPathOp(OpDummyReadPath, p, InvalidBlock, false)
 		r.stats.BackgroundDummyReads++
 		wasBoundary := r.roundCount == r.cfg.A-1
-		r.bumpRound(&ops)
+		r.bumpRound()
 		if wasBoundary {
 			r.stats.BackgroundEvictions++
 		}
@@ -451,7 +575,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 		invariant.Assertf(r.stash.Len() < r.cfg.EvictThreshold(), "background eviction left stash at %d, threshold %d", r.stash.Len(), r.cfg.EvictThreshold())
 	}
 	if r.stash.Len() > r.stash.Cap() { //oramlint:allow secret-branch overflow detection aborts the run after all ops are emitted; it never alters the trace
-		return nil, ops, ErrStashOverflow
+		return nil, r.scr.ops, ErrStashOverflow
 	}
 
 	if n := int64(r.stash.Len()); n > r.stats.StashPeak { //oramlint:allow secret-branch statistics only, after all ops are emitted
@@ -460,26 +584,46 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	if r.onSample != nil {
 		r.onSample(r.stash.Len())
 	}
-	return out, ops, nil
+	return out, r.scr.ops, nil
 }
 
 // bumpRound advances the read-path round counter and issues the scheduled
 // eviction at the A boundary.
-func (r *Ring) bumpRound(ops *[]Op) {
+func (r *Ring) bumpRound() {
 	r.roundCount++
 	if r.roundCount >= r.cfg.A {
 		r.roundCount = 0
-		*ops = append(*ops, r.evictPathOp())
+		r.evictPathOp()
+	}
+}
+
+// xorFold folds one selected slot's ciphertext into the XOR accumulator,
+// canceling deterministic dummy ciphertexts as it goes.
+func (r *Ring) xorFold(idx int64, slot int, isDummy bool, epoch int) {
+	sealed := r.store.ReadSlot(idx, slot)
+	if sealed == nil {
+		// A never-written slot contributes nothing, and the controller
+		// knows it (slot epochs are controller state).
+		return
+	}
+	if len(r.scr.xorAcc) == 0 {
+		r.scr.xorAcc = append(r.scr.xorAcc, sealed...)
+	} else {
+		XORBlocks(r.scr.xorAcc, sealed)
+	}
+	if isDummy {
+		r.scr.dummySeal = r.crypt.SealDummyInto(r.scr.dummySeal, idx, slot, epoch)
+		XORBlocks(r.scr.xorAcc, r.scr.dummySeal)
 	}
 }
 
 // readPathOp performs one read path operation (real or dummy) along path
 // p, appending the early-reshuffle ops it had to issue and the read-path
-// op itself to ops.
+// op itself to the access's op list.
 //
 // wantTarget indicates id is mapped and expected in the tree; a dummy read
 // path passes wantTarget=false and id=InvalidBlock.
-func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, ops []Op) []Op {
+func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool) {
 	r.pathBuf = r.tree.Path(p, r.pathBuf[:0])
 	path := r.pathBuf
 	emitFrom := r.emitFrom()
@@ -517,15 +661,13 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 		b := r.bucket(path[lvl])
 		hasTarget := lvl == targetLevel
 		if !b.canServe(hasTarget, r.cfg.S, greenBudget) { //oramlint:allow secret-branch reshuffle scheduling follows bucket metadata whose evolution is driven by the public access sequence and uniform dummy selection, not by which blocks are real (paper Sec. IV)
-			ops = append(ops, r.earlyReshuffleOp(path[lvl], lvl))
+			r.earlyReshuffleOp(path[lvl], lvl)
 			if hasTarget {
 				// The reshuffle re-permuted the bucket.
 				targetSlot = b.findBlock(id)
 			}
 		}
 	}
-
-	op := Op{Kind: kind, Path: p}
 
 	// Cached-level target: pull it straight out of the on-chip bucket;
 	// the DRAM path below is then all dummies.
@@ -536,31 +678,21 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 			panic(err) // corrupt store contents; unreachable with MemStore
 		}
 		b.consumeReal(targetSlot)
-		r.stash.Put(id, p, data)
+		r.putBlockBuf(r.stash.Put(id, p, data))
 		targetLevel = -1
 	}
+
+	// The early reshuffles above are complete, so the read-path op can
+	// be taken now (taking it earlier would pin a stale pointer across
+	// the list growth).
+	op := takeOp(&r.scr.ops, kind, p)
 
 	// XOR technique: the memory returns one combined block per read
 	// path; the controller cancels the deterministically sealed dummies
 	// and decrypts what remains (the target, or nothing on an all-dummy
 	// path).
-	var xorAcc []byte
+	r.scr.xorAcc = r.scr.xorAcc[:0]
 	xorHasTarget := false
-	xorFold := func(idx int64, slot int, isDummy bool, epoch int) {
-		sealed := r.store.ReadSlot(idx, slot)
-		if sealed == nil {
-			// A never-written slot contributes nothing, and the
-			// controller knows it (slot epochs are controller state).
-			return
-		}
-		if xorAcc == nil {
-			xorAcc = make([]byte, len(sealed))
-		}
-		XORBlocks(xorAcc, sealed)
-		if isDummy {
-			XORBlocks(xorAcc, r.crypt.SealDummyAt(idx, slot, epoch))
-		}
-	}
 
 	for lvl := emitFrom; lvl < len(path); lvl++ {
 		idx := path[lvl]
@@ -571,14 +703,14 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 		}
 		if lvl == targetLevel {
 			if r.xor {
-				xorFold(idx, targetSlot, false, b.Epoch)
+				r.xorFold(idx, targetSlot, false, b.Epoch)
 				xorHasTarget = true
 			} else {
 				data, err := r.readSlotData(idx, targetSlot)
 				if err != nil {
 					panic(err)
 				}
-				r.stash.Put(id, p, data)
+				r.putBlockBuf(r.stash.Put(id, p, data))
 			}
 			b.consumeReal(targetSlot)
 			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: targetSlot, Write: false})
@@ -587,11 +719,15 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 		var slot int
 		var green BlockID
 		if r.balancer != nil {
-			slot, green = b.selectDummyBalanced(func(cands []int) int {
-				return r.balancer(idx, lvl, cands)
-			}, greenBudget)
+			if r.balancerPick == nil {
+				r.balancerPick = func(cands []int) int {
+					return r.balancer(r.balBucket, r.balLevel, cands)
+				}
+			}
+			r.balBucket, r.balLevel = idx, lvl
+			slot, green = b.selectDummyBalancedScratch(r.balancerPick, greenBudget, &r.scr.sel)
 		} else {
-			slot, green = b.selectDummy(r.selSrc, greenBudget, r.uniformSelect)
+			slot, green = b.selectDummyScratch(r.selSrc, greenBudget, r.uniformSelect, &r.scr.sel)
 		}
 		if green != InvalidBlock {
 			// A green block: real data rides along into the stash.
@@ -604,19 +740,19 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 				panic(err)
 			}
 			b.consumeReal(slot)
-			r.stash.Put(green, gp, data)
+			r.putBlockBuf(r.stash.Put(green, gp, data))
 			r.stats.GreenFetches++
 		} else if r.xor {
-			xorFold(idx, slot, true, b.Epoch)
+			r.xorFold(idx, slot, true, b.Epoch)
 		}
 		op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: slot, Write: false})
 	}
 	if r.xor && xorHasTarget {
-		data, err := r.crypt.Open(xorAcc)
+		data, err := r.crypt.OpenInto(r.getBlockBuf(), r.scr.xorAcc)
 		if err != nil {
 			panic(fmt.Sprintf("oram: XOR decode of block %d: %v", id, err))
 		}
-		r.stash.Put(id, p, data)
+		r.putBlockBuf(r.stash.Put(id, p, data))
 		r.stats.XORDecodes++
 	}
 
@@ -626,21 +762,20 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool, op
 		r.stats.DummyReadPaths++
 	}
 	r.stats.ReadPathBlocks += int64(len(op.Accesses))
-	return append(ops, op)
 }
 
 // earlyReshuffleOp reshuffles one bucket in place: Z reads and a full
 // bucket of writes, with fresh metadata and a fresh permutation. Resident
 // real blocks stay in the bucket (re-permuted).
-func (r *Ring) earlyReshuffleOp(idx int64, level int) Op {
+func (r *Ring) earlyReshuffleOp(idx int64, level int) {
 	b := r.bucket(idx)
-	op := Op{Kind: OpEarlyReshuffle, Path: r.tree.PathThrough(idx)}
+	op := takeOp(&r.scr.ops, OpEarlyReshuffle, r.tree.PathThrough(idx))
 
 	// Read phase: the controller reads exactly Z slots; which of them
 	// hold real blocks is invisible to the adversary. Collect resident
 	// reals (with data) and pad with other slots.
-	var res []residentBlock
-	readSlots := make([]int, 0, r.cfg.Z)
+	res := r.scr.res[:0]
+	readSlots := r.scr.readSlots[:0]
 	for s := range b.Slots {
 		if b.Slots[s].Real && b.Slots[s].Valid { //oramlint:allow secret-branch exactly Z slots are read (padded below); which physical slots hold reals is a secret uniform permutation refreshed every epoch, so the read set leaks nothing
 			data, err := r.readSlotData(idx, s)
@@ -656,26 +791,36 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) Op {
 			readSlots = append(readSlots, s)
 		}
 	}
+	r.scr.res = res
+	r.scr.readSlots = readSlots
 	if level >= r.emitFrom() {
 		for _, s := range readSlots {
 			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: level, Slot: s, Write: false})
 		}
 	}
 
-	blocks := make([]BlockID, len(res))
+	blocks := r.scr.blocks[:0]
+	blockData := r.scr.resData[:0]
 	for i := range res {
-		blocks[i] = res[i].id
+		blocks = append(blocks, res[i].id)
+		blockData = append(blockData, res[i].data)
 	}
+	r.scr.blocks = blocks
+	r.scr.resData = blockData
 	if invariant.Enabled {
 		invariant.Assertf(len(res) <= r.cfg.Z, "bucket %d holds %d real blocks, Z=%d", idx, len(res), r.cfg.Z)
 	}
-	targets := b.reshuffle(blocks, r.permSrc)
-	r.writeBucket(idx, level, b, res2data(res), targets, &op)
+	targets := b.reshuffleScratch(blocks, r.permSrc, &r.scr.shuf)
+	r.writeBucket(idx, level, b, blockData, targets, op)
+	// The plaintext was re-sealed into the store; recycle the buffers.
+	for i := range res {
+		r.putBlockBuf(res[i].data)
+		res[i].data = nil
+	}
 
 	r.stats.EarlyReshuffles++
 	r.stats.ReshuffledBuckets++
 	r.stats.ReshuffleBlocks += int64(len(op.Accesses))
-	return op
 }
 
 // residentBlock pairs a resident block's ID with its plaintext data while
@@ -685,37 +830,37 @@ type residentBlock struct {
 	data []byte
 }
 
-// res2data projects resident entries to their data slices.
-func res2data(res []residentBlock) [][]byte {
-	out := make([][]byte, len(res))
-	for i := range res {
-		out[i] = res[i].data
-	}
-	return out
-}
-
 // writeBucket emits the write phase of a reshuffle/eviction for one
 // bucket: every physical slot is rewritten (real slots with re-sealed
 // data, the rest with fresh dummy ciphertext). targets[i] is the slot
 // chosen for blockData[i].
 func (r *Ring) writeBucket(idx int64, level int, b *Bucket, blockData [][]byte, targets []int, op *Op) {
 	if r.store != nil {
-		isReal := make(map[int]int, len(targets))
+		owner := r.scr.slotOwner
+		if cap(owner) < len(b.Slots) {
+			owner = make([]int, len(b.Slots))
+		}
+		owner = owner[:len(b.Slots)]
+		r.scr.slotOwner = owner
+		for s := range owner {
+			owner[s] = -1
+		}
 		for i, s := range targets {
-			isReal[s] = i
+			owner[s] = i
 		}
 		for s := range b.Slots {
-			switch i, ok := isReal[s]; {
-			case ok:
-				r.store.WriteSlot(idx, s, r.seal(blockData[i]))
+			switch i := owner[s]; {
+			case i >= 0:
+				r.store.WriteSlot(idx, s, r.sealedForStore(blockData[i]))
 			case r.crypt != nil:
 				// Dummies seal deterministically per (bucket, slot,
 				// epoch) so XOR reads can cancel them; each epoch is
 				// written once, so bus-visible ciphertexts are still
 				// always fresh.
-				r.store.WriteSlot(idx, s, r.crypt.SealDummyAt(idx, s, b.Epoch))
+				r.scr.dummySeal = r.crypt.SealDummyInto(r.scr.dummySeal, idx, s, b.Epoch)
+				r.store.WriteSlot(idx, s, r.scr.dummySeal)
 			default:
-				r.store.WriteSlot(idx, s, r.seal(nil))
+				r.store.WriteSlot(idx, s, r.sealedForStore(nil))
 			}
 		}
 	}
@@ -730,19 +875,19 @@ func (r *Ring) writeBucket(idx int64, level int, b *Bucket, blockData [][]byte, 
 // reverse-lexicographic path, every bucket's resident blocks move to the
 // stash (Z reads per uncached bucket), then each bucket is refilled as
 // deep as possible from the stash and fully rewritten (Z+S-Y writes).
-func (r *Ring) evictPathOp() Op {
+func (r *Ring) evictPathOp() {
 	p := r.tree.EvictPathFor(r.evictCount)
 	r.evictCount++
 	r.pathBuf = r.tree.Path(p, r.pathBuf[:0])
 	path := r.pathBuf
 	emitFrom := r.emitFrom()
 
-	op := Op{Kind: OpEvictPath, Path: p}
+	op := takeOp(&r.scr.ops, OpEvictPath, p)
 
 	// Read phase: pull every resident block on the path into the stash.
 	for lvl, idx := range path {
 		b := r.bucket(idx)
-		readSlots := make([]int, 0, r.cfg.Z)
+		readSlots := r.scr.readSlots[:0]
 		for s := range b.Slots {
 			if b.Slots[s].Real && b.Slots[s].Valid { //oramlint:allow secret-branch eviction reads exactly Z slots per bucket (padded below); slot positions are a secret uniform permutation, so the read set leaks nothing
 				id := b.Slots[s].ID
@@ -754,7 +899,7 @@ func (r *Ring) evictPathOp() Op {
 				if !known {
 					panic(fmt.Sprintf("oram: resident block %d unmapped", id))
 				}
-				r.stash.Put(id, bp, data)
+				r.putBlockBuf(r.stash.Put(id, bp, data))
 				b.consumeReal(s)
 				readSlots = append(readSlots, s)
 			}
@@ -778,6 +923,7 @@ func (r *Ring) evictPathOp() Op {
 				op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: s, Write: false})
 			}
 		}
+		r.scr.readSlots = readSlots
 	}
 
 	// Placement: fill buckets leaf-first. A stash block with assigned
@@ -788,37 +934,55 @@ func (r *Ring) evictPathOp() Op {
 	for lvl, idx := range path {
 		b := r.bucket(idx)
 		ids := placed[lvl]
-		data := make([][]byte, len(ids))
-		for i, id := range ids {
-			data[i] = r.stash.Remove(id)
+		data := r.scr.resData[:0]
+		for _, id := range ids {
+			data = append(data, r.stash.Remove(id))
 		}
-		targets := b.reshuffle(ids, r.permSrc)
-		r.writeBucket(idx, lvl, b, data, targets, &op)
+		r.scr.resData = data
+		targets := b.reshuffleScratch(ids, r.permSrc, &r.scr.shuf)
+		r.writeBucket(idx, lvl, b, data, targets, op)
+		for i := range data {
+			r.putBlockBuf(data[i])
+			data[i] = nil
+		}
 	}
 
 	r.stats.EvictPaths++
 	r.stats.EvictBlocks += int64(len(op.Accesses))
-	return op
 }
 
 // placeForEvict assigns stash blocks to path buckets, deepest-first, at
-// most Z per bucket. It returns one ID slice per level.
+// most Z per bucket. It returns one ID slice per level; the slices alias
+// per-level scratch reused by the next eviction.
 func (r *Ring) placeForEvict(p PathID, path []int64) [][]BlockID {
 	L := len(path) - 1
-	byLevel := make([][]BlockID, L+1)
-	r.stash.ForEach(func(id BlockID, q PathID) {
-		lvl := r.tree.CommonLevel(p, q)
-		byLevel[lvl] = append(byLevel[lvl], id)
-	})
+	byLevel := r.scr.byLevel
+	if cap(byLevel) < L+1 {
+		byLevel = make([][]BlockID, L+1)
+	}
+	byLevel = byLevel[:L+1]
+	for i := range byLevel {
+		byLevel[i] = byLevel[i][:0]
+	}
+	for id, e := range r.stash.entries {
+		//oramlint:allow maprange CommonLevel is a pure function of (leaf, path) with no side effects, so call order is irrelevant
+		lvl := r.tree.CommonLevel(p, e.path)
+		byLevel[lvl] = append(byLevel[lvl], id) //oramlint:allow maprange entries are bucketed per level and sorted below, so placement is independent of iteration order
+	}
 	// Map iteration order is random; sort so runs are reproducible from
 	// the seed alone.
 	for _, ids := range byLevel {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 	}
-	placed := make([][]BlockID, L+1)
+	placed := r.scr.placed
+	if cap(placed) < L+1 {
+		placed = make([][]BlockID, L+1)
+	}
+	placed = placed[:L+1]
 	var carry []BlockID
 	for lvl := L; lvl >= 0; lvl-- {
 		pool := append(byLevel[lvl], carry...)
+		byLevel[lvl] = pool // keep the grown capacity for next time
 		n := len(pool)
 		if n > r.cfg.Z {
 			n = r.cfg.Z
@@ -826,6 +990,8 @@ func (r *Ring) placeForEvict(p PathID, path []int64) [][]BlockID {
 		placed[lvl] = pool[:n]
 		carry = pool[n:]
 	}
+	r.scr.byLevel = byLevel
+	r.scr.placed = placed
 	// Whatever still carries past the root stays in the stash.
 	return placed
 }

@@ -46,6 +46,18 @@ func blockData(cfg config.ORAM, id BlockID, version int) []byte {
 	return d
 }
 
+// cloneOps deep-copies one access's op list. Access returns scratch that
+// the next operation on the same Ring reuses, so tests accumulating ops
+// across accesses must copy them first.
+func cloneOps(ops []Op) []Op {
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		op.Accesses = append([]Access(nil), op.Accesses...)
+		out[i] = op
+	}
+	return out
+}
+
 func TestRingRejectsInvalidConfig(t *testing.T) {
 	cfg := smallCfg(0)
 	cfg.Z = 0
@@ -209,7 +221,7 @@ func TestRingDeterministicOps(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			all = append(all, ops...)
+			all = append(all, cloneOps(ops)...)
 		}
 		return all
 	}

@@ -28,7 +28,7 @@ func TestSaveLoadContinuation(t *testing.T) {
 			if err != nil {
 				t.Fatalf("step %d: %v", i, err)
 			}
-			all = append(all, ops...)
+			all = append(all, cloneOps(ops)...)
 		}
 		return all
 	}

@@ -1,23 +1,24 @@
 package oram
 
 // stashEntry is one block buffered in the on-chip stash. Data is nil in
-// timing-only mode (no Store attached).
+// timing-only mode (no Store attached). Entries are stored by value in
+// the map so that Put/Remove cycling allocates nothing in steady state.
 type stashEntry struct {
 	path PathID `oramlint:"secret"`
-	data []byte
+	data []byte `oramlint:"secret"`
 }
 
 // Stash is the bounded on-chip buffer that holds blocks between a read
 // path and their eviction back into the tree. It lives inside the secure
 // boundary, so its contents are invisible to the memory-bus adversary.
 type Stash struct {
-	entries map[BlockID]*stashEntry `oramlint:"secret"`
+	entries map[BlockID]stashEntry `oramlint:"secret"`
 	cap     int
 }
 
 // NewStash returns an empty stash with the given capacity in blocks.
 func NewStash(capacity int) *Stash {
-	return &Stash{entries: make(map[BlockID]*stashEntry), cap: capacity}
+	return &Stash{entries: make(map[BlockID]stashEntry), cap: capacity}
 }
 
 // Len returns the current occupancy in blocks.
@@ -35,14 +36,30 @@ func (s *Stash) Contains(id BlockID) bool {
 	return ok
 }
 
-// Put inserts or replaces a block. The caller is responsible for capacity
-// policy (background eviction); Put itself never fails so that the
-// protocol can always complete an in-flight operation.
-func (s *Stash) Put(id BlockID, path PathID, data []byte) {
-	s.entries[id] = &stashEntry{path: path, data: data}
+// Put inserts or replaces a block, taking ownership of data. The caller
+// is responsible for capacity policy (background eviction); Put itself
+// never fails so that the protocol can always complete an in-flight
+// operation.
+//
+// It returns the data buffer displaced by a replacement (nil when the
+// block was absent, had no data, or was re-inserted with its own
+// buffer), so buffer-pooling callers can recycle it.
+func (s *Stash) Put(id BlockID, path PathID, data []byte) (displaced []byte) {
+	prev, existed := s.entries[id]
+	s.entries[id] = stashEntry{path: path, data: data}
+	if !existed || prev.data == nil {
+		return nil
+	}
+	// Guard against handing back the very buffer just stored (a caller
+	// re-Putting an entry's own data slice must not see it recycled).
+	if len(data) > 0 && len(prev.data) > 0 && &data[0] == &prev.data[0] {
+		return nil
+	}
+	return prev.data
 }
 
-// Get returns the buffered data for the block, or nil.
+// Get returns the buffered data for the block, or nil. The slice remains
+// owned by the stash: callers must not retain it past the next mutation.
 func (s *Stash) Get(id BlockID) []byte {
 	if e, ok := s.entries[id]; ok {
 		return e.data
@@ -54,6 +71,7 @@ func (s *Stash) Get(id BlockID) []byte {
 func (s *Stash) SetPath(id BlockID, path PathID) {
 	if e, ok := s.entries[id]; ok {
 		e.path = path
+		s.entries[id] = e
 	}
 }
 
@@ -68,6 +86,7 @@ func (s *Stash) Path(id BlockID) (PathID, bool) {
 }
 
 // Remove deletes the block and returns its data (nil in timing mode).
+// Ownership of the returned buffer transfers to the caller.
 func (s *Stash) Remove(id BlockID) []byte {
 	e, ok := s.entries[id]
 	if !ok {

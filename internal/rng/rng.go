@@ -134,11 +134,23 @@ func (src *Source) Bool() bool {
 // Perm returns a uniformly random permutation of [0, n) as a slice,
 // generated with the Fisher-Yates shuffle.
 func (src *Source) Perm(n int) []int {
-	p := make([]int, n)
+	return src.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p))
+// and returns it. It consumes exactly the same draws as Perm, so for a
+// given source state both produce the identical permutation; PermInto
+// exists for hot paths that reuse one scratch slice across calls.
+func (src *Source) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	src.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	// Inline Fisher-Yates (same draw order as Shuffle) so the hot path
+	// carries no closure.
+	for i := len(p) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
 	return p
 }
 

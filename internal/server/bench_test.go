@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkServerGetPut measures end-to-end serving throughput through
+// one shard (queue, worker batch loop, value framing, and the functional
+// ORAM access underneath) with alternating Get/Put on a warm key set.
+func BenchmarkServerGetPut(b *testing.B) {
+	srv, err := New(Config{
+		Shards:   1,
+		MaxBatch: 1,
+		ORAM:     DefaultORAM(10),
+		Seed:     1,
+		Key:      []byte("bench-key-16byte"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	const keys = 128
+	val := bytes.Repeat([]byte{7}, 48)
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("key-%03d", i)
+		if err := srv.Put(names[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := names[i%keys]
+		if i%2 == 0 {
+			if err := srv.Put(key, val); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, _, err := srv.Get(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures the wire codec alone: encode one
+// request and one response frame and decode both back.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	val := bytes.Repeat([]byte{9}, 64)
+	b.ReportAllocs()
+	var reqBuf, respBuf []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		reqBuf, err = appendRequest(reqBuf[:0], wireRequest{Op: wirePut, Seq: uint64(i), Key: "key-000", Val: val})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeRequest(reqBuf[4:]); err != nil {
+			b.Fatal(err)
+		}
+		respBuf = appendResponse(respBuf[:0], wireResponse{Status: statusOK, Seq: uint64(i), Body: val})
+		if _, err := decodeResponse(respBuf[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -180,6 +180,11 @@ type request struct {
 	done     chan result
 }
 
+// reqPool recycles request structs (and their single-slot done
+// channels) across calls; do returns a request to the pool only after
+// receiving its response, when the worker no longer touches it.
+var reqPool = sync.Pool{New: func() any { return &request{done: make(chan result, 1)} }}
+
 // result is the single response every dequeued request receives.
 type result struct {
 	val   []byte
@@ -214,6 +219,7 @@ type shard struct {
 	maxKeys   int
 	maxBatch  int
 	blockSize int
+	encBuf    []byte `oramlint:"secret"` // reused Put-block framing scratch
 }
 
 // New builds a server, restoring every shard from cfg.SnapshotDir when
@@ -249,6 +255,7 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		sh.blockSize = sh.ring.Config().BlockSize
+		sh.encBuf = make([]byte, sh.blockSize)
 		s.shards = append(s.shards, sh)
 	}
 	s.wg.Add(len(s.shards))
@@ -336,15 +343,13 @@ func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) resul
 		deadline = time.Now().Add(s.cfg.DefaultTimeout)
 	}
 	sh := s.shardFor(key)
-	req := &request{
-		op: op, key: key, val: val,
-		deadline: deadline,
-		enqueued: time.Now(),
-		done:     make(chan result, 1),
-	}
+	req := reqPool.Get().(*request)
+	req.op, req.key, req.val = op, key, val
+	req.deadline, req.enqueued = deadline, time.Now()
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		releaseRequest(req)
 		return result{err: ErrClosed}
 	}
 	select {
@@ -353,9 +358,19 @@ func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) resul
 	default:
 		s.mu.RUnlock()
 		sh.m.noteRejected()
+		releaseRequest(req)
 		return result{err: fmt.Errorf("shard %d: %w", sh.id, ErrBacklog)}
 	}
-	return <-req.done
+	res := <-req.done
+	releaseRequest(req)
+	return res
+}
+
+// releaseRequest clears a request's secret references and returns it to
+// the pool.
+func releaseRequest(req *request) {
+	req.key, req.val = "", nil
+	reqPool.Put(req)
 }
 
 // Close stops accepting requests, drains every shard queue (each queued
@@ -460,7 +475,7 @@ func (sh *shard) serve(now time.Time, r *request) {
 			sh.nextID++
 			sh.dir[r.key] = id
 		}
-		_, err := sh.access(id, true, encodeValue(sh.blockSize, r.val))
+		_, err := sh.access(id, true, sh.encodeValueScratch(r.val))
 		sh.respond(r, result{err: err})
 	default:
 		sh.respond(r, result{err: fmt.Errorf("server: unknown op %d", r.op)})
@@ -512,6 +527,17 @@ const valueHeaderLen = 2
 // encodeValue frames val into one fixed-size block.
 func encodeValue(blockSize int, val []byte) []byte {
 	block := make([]byte, blockSize)
+	binary.BigEndian.PutUint16(block, uint16(len(val)))
+	copy(block[valueHeaderLen:], val)
+	return block
+}
+
+// encodeValueScratch frames val into the shard's reused block scratch.
+// The result is valid until the next Put on this shard; Ring.Write
+// copies it before returning, so the worker may reuse it freely.
+func (sh *shard) encodeValueScratch(val []byte) []byte {
+	block := sh.encBuf
+	clear(block)
 	binary.BigEndian.PutUint16(block, uint16(len(val)))
 	copy(block[valueHeaderLen:], val)
 	return block

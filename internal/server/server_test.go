@@ -470,3 +470,19 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatal("explicit ORAM config not preserved")
 	}
 }
+
+// TestEncodeValueScratchMatchesEncodeValue pins the scratch-based Put
+// framing to the allocating reference, including stale-tail clearing
+// when a shorter value follows a longer one.
+func TestEncodeValueScratchMatchesEncodeValue(t *testing.T) {
+	sh := &shard{blockSize: 32, encBuf: make([]byte, 32)}
+	long := bytes.Repeat([]byte{0xAB}, 30)
+	short := []byte("hi")
+	for _, val := range [][]byte{long, short, nil} {
+		got := sh.encodeValueScratch(val)
+		want := encodeValue(sh.blockSize, val)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encodeValueScratch(%q) = %x, want %x", val, got, want)
+		}
+	}
+}

@@ -96,9 +96,16 @@ func (t *TCPServer) Shutdown(ctx context.Context) error {
 	}
 }
 
+// framePool recycles request-payload and response-frame buffers across
+// connections and requests. Entries are *[]byte so Put does not
+// allocate; the slice inside keeps its grown capacity.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
 // handle serves one connection: a read loop decoding request frames,
 // one goroutine per in-flight request, and a single writer goroutine
-// serializing response frames.
+// serializing response frames. Payload and response buffers cycle
+// through framePool, so a warmed connection serves without per-request
+// frame allocations.
 func (t *TCPServer) handle(conn net.Conn) {
 	defer t.connWG.Done()
 	defer func() {
@@ -108,14 +115,16 @@ func (t *TCPServer) handle(conn net.Conn) {
 		conn.Close()
 	}()
 
-	out := make(chan []byte, 64)
+	out := make(chan *[]byte, 64)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
 		bw := bufio.NewWriter(conn)
-		for frame := range out {
-			if _, err := bw.Write(frame); err != nil {
+		for fp := range out {
+			_, err := bw.Write(*fp)
+			framePool.Put(fp)
+			if err != nil {
 				continue // drain; the read side will notice the dead conn
 			}
 			// Flush when no more responses are immediately pending.
@@ -125,24 +134,36 @@ func (t *TCPServer) handle(conn net.Conn) {
 		}
 		bw.Flush()
 	}()
+	respond := func(r wireResponse) {
+		fp := framePool.Get().(*[]byte)
+		*fp = appendResponse((*fp)[:0], r)
+		out <- fp
+	}
 
 	var reqWG sync.WaitGroup
 	br := bufio.NewReader(conn)
 	for {
-		payload, err := readFrame(br)
+		pp := framePool.Get().(*[]byte)
+		payload, err := readFrameInto(br, (*pp)[:0])
 		if err != nil {
+			framePool.Put(pp)
 			break
 		}
+		*pp = payload
 		req, err := decodeRequest(payload)
 		if err != nil {
-			out <- appendResponse(nil, wireResponse{Status: statusBad, Seq: req.Seq, Body: []byte(err.Error())})
+			respond(wireResponse{Status: statusBad, Seq: req.Seq, Body: []byte(err.Error())})
+			framePool.Put(pp)
 			break
 		}
 		reqWG.Add(1)
-		go func(req wireRequest) {
+		go func(req wireRequest, pp *[]byte) {
 			defer reqWG.Done()
-			out <- appendResponse(nil, t.dispatch(req))
-		}(req)
+			respond(t.dispatch(req))
+			// req.Val aliases *pp; release only after the request is
+			// fully served and its response encoded.
+			framePool.Put(pp)
+		}(req, pp)
 	}
 	reqWG.Wait()
 	close(out)
@@ -208,7 +229,8 @@ type Client struct {
 	Timeout time.Duration
 
 	conn net.Conn
-	wmu  sync.Mutex // serializes frame writes
+	wmu  sync.Mutex // serializes frame writes; guards wbuf
+	wbuf []byte     // reused request-frame scratch
 
 	mu      sync.Mutex // guards seq, pending, err
 	seq     uint64
@@ -231,8 +253,10 @@ func Dial(addr string) (*Client, error) {
 // it fails every pending and future request with that error.
 func (c *Client) readLoop() {
 	br := bufio.NewReader(c.conn)
+	var buf []byte // reused; decodeResponse copies the body out
 	for {
-		payload, err := readFrame(br)
+		payload, err := readFrameInto(br, buf[:0])
+		buf = payload
 		if err != nil {
 			c.fail(fmt.Errorf("server client: connection lost: %w", err))
 			return
@@ -290,12 +314,13 @@ func (c *Client) roundTrip(op wireOp, key string, val []byte) (wireResponse, err
 	if c.Timeout > 0 {
 		timeoutMs = uint32(c.Timeout / time.Millisecond)
 	}
-	frame, err := appendRequest(nil, wireRequest{Op: op, Seq: seq, TimeoutMillis: timeoutMs, Key: key, Val: val})
+	c.wmu.Lock()
+	frame, err := appendRequest(c.wbuf[:0], wireRequest{Op: op, Seq: seq, TimeoutMillis: timeoutMs, Key: key, Val: val})
 	if err == nil {
-		c.wmu.Lock()
+		c.wbuf = frame
 		_, err = c.conn.Write(frame)
-		c.wmu.Unlock()
 	}
+	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)

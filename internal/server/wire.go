@@ -54,7 +54,10 @@ const (
 	respFixedLen = 1 + 8 + 4         // status seq bodyLen
 )
 
-// wireRequest is one decoded request frame.
+// wireRequest is one decoded request frame. Val aliases the decoded
+// payload buffer: it is valid for as long as the payload is (the TCP
+// server releases the payload back to its pool only after the request
+// is fully served).
 type wireRequest struct {
 	Op            wireOp
 	Seq           uint64
@@ -112,7 +115,7 @@ func decodeRequest(p []byte) (wireRequest, error) {
 		return r, fmt.Errorf("server: request frame value length %d, %d bytes remain", valLen, len(rest))
 	}
 	if valLen > 0 {
-		r.Val = append([]byte(nil), rest...)
+		r.Val = rest // aliases p; see wireRequest
 	}
 	return r, nil
 }
@@ -147,19 +150,29 @@ func decodeResponse(p []byte) (wireResponse, error) {
 	return r, nil
 }
 
-// readFrame reads one length-prefixed payload from br.
+// readFrame reads one length-prefixed payload from br into a fresh
+// buffer. Hot paths should prefer readFrameInto.
 func readFrame(br *bufio.Reader) ([]byte, error) {
+	return readFrameInto(br, nil)
+}
+
+// readFrameInto reads one length-prefixed payload from br, reusing
+// buf's backing array when it is large enough.
+func readFrameInto(br *bufio.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n == 0 || n > maxFrame {
 		return nil, fmt.Errorf("server: frame length %d out of range (1..%d)", n, maxFrame)
 	}
-	p := make([]byte, n)
-	if _, err := io.ReadFull(br, p); err != nil {
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
 		return nil, err
 	}
-	return p, nil
+	return buf, nil
 }

@@ -1,26 +1,55 @@
 #!/usr/bin/env bash
-# bench.sh — record the scheduler-perf trajectory.
+# bench.sh — record the perf trajectory.
 #
-# Runs the memory-controller microbenchmarks and the Fig. 10 end-to-end
-# benchmark, then appends one labelled entry (ns/op, allocs/op per
-# benchmark) to BENCH_sched.json at the repo root. Later PRs run this
-# again to see whether the hot path got faster or slower.
+# Runs one of the benchmark groups and appends one labelled entry
+# (ns/op, allocs/op per benchmark) to the group's JSON file at the repo
+# root. Later PRs run this again to see whether the hot path got faster
+# or slower.
 #
-# Usage: scripts/bench.sh [label]   (default label: git short hash)
+#   sched  memory-controller microbenchmarks + the Fig. 10 end-to-end
+#          benchmark                          -> BENCH_sched.json
+#   oram   ORAM data-plane hot path (seal, functional access, XOR
+#          decode, eviction) and the serving layer -> BENCH_oram.json
+#
+# Usage: scripts/bench.sh [label] [group]
+#   label  entry label (default: git short hash)
+#   group  sched | oram (default: sched)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
-out=BENCH_sched.json
+group="${2:-sched}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "== scheduler microbenchmarks =="
-go test -run '^$' -bench 'BenchmarkSchedTick$|BenchmarkControllerTransaction$|BenchmarkControllerPB$' \
-    -benchmem -benchtime 2s ./internal/sched | tee -a "$tmp"
+case "$group" in
+sched)
+	out=BENCH_sched.json
+	echo "== scheduler microbenchmarks =="
+	go test -run '^$' -bench 'BenchmarkSchedTick$|BenchmarkControllerTransaction$|BenchmarkControllerPB$' \
+	    -benchmem -benchtime 2s ./internal/sched | tee -a "$tmp"
 
-echo "== Fig. 10 end-to-end benchmark =="
-go test -run '^$' -bench 'BenchmarkFig10ExecutionTime$' -benchmem -benchtime 5x . | tee -a "$tmp"
+	echo "== Fig. 10 end-to-end benchmark =="
+	go test -run '^$' -bench 'BenchmarkFig10ExecutionTime$' -benchmem -benchtime 5x . | tee -a "$tmp"
+	;;
+oram)
+	out=BENCH_oram.json
+	echo "== ORAM data-plane microbenchmarks =="
+	go test -run '^$' -bench 'BenchmarkSeal$|BenchmarkAccessFunctional$|BenchmarkAccessTimingOnly$|BenchmarkEvictPath$' \
+	    -benchmem -benchtime 2s ./internal/oram | tee -a "$tmp"
+
+	echo "== XOR-technique functional read benchmark =="
+	go test -run '^$' -bench 'BenchmarkXORDecode$' -benchmem -benchtime 2s . | tee -a "$tmp"
+
+	echo "== serving-layer benchmarks =="
+	go test -run '^$' -bench 'BenchmarkServerGetPut$|BenchmarkWireRoundTrip$' \
+	    -benchmem -benchtime 2s ./internal/server | tee -a "$tmp"
+	;;
+*)
+	echo "bench.sh: unknown group '$group' (want sched or oram)" >&2
+	exit 1
+	;;
+esac
 
 python3 - "$label" "$tmp" "$out" <<'EOF'
 import json, re, sys

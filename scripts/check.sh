@@ -38,10 +38,16 @@ go test -race ./internal/sched ./internal/sim ./internal/experiments
 echo "== go test -race (server stress: 64 clients x 4 shards) =="
 go test -race ./internal/server ./cmd/oramd
 
+echo "== alloc-regression guards (data-plane hot path) =="
+go test -run='^TestAllocFree' -count=1 ./internal/oram
+
 echo "== examples/server smoke =="
 go run ./examples/server >/dev/null
 
 echo "== fuzz smoke (trace codec) =="
 go test -run='^$' -fuzz=FuzzReadCodec -fuzztime=5s ./internal/trace
+
+echo "== fuzz smoke (seal/open equivalence) =="
+go test -run='^$' -fuzz=FuzzSealIntoMatchesLegacy -fuzztime=5s ./internal/oram
 
 echo "check.sh: all gates passed"
