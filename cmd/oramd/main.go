@@ -10,9 +10,12 @@
 // Flags:
 //
 //	-addr host:port      TCP listen address (default 127.0.0.1:9736)
-//	-metrics host:port   HTTP metrics address; GET /metrics returns JSON
-//	                     and /debug/pprof/ serves runtime profiles
-//	                     (empty disables both)
+//	-metrics host:port   HTTP metrics address; GET /metrics returns the
+//	                     Prometheus text exposition, /metrics.json the
+//	                     JSON snapshot, /debug/flightrec a Chrome
+//	                     trace-event dump of recent batch spans (load in
+//	                     Perfetto), and /debug/pprof/ runtime profiles
+//	                     (empty disables all of them)
 //	-shards N            ORAM instances / worker goroutines (default 4)
 //	-levels N            tree levels per shard (default 12)
 //	-queue N             per-shard queue depth (default 256)
@@ -45,11 +48,36 @@ import (
 	"time"
 
 	"stringoram"
+	"stringoram/internal/obs"
 )
 
 // notifyListening, when set (tests), receives the resolved TCP address
 // once the listener is up.
 var notifyListening func(addr string)
+
+// metricsMux builds the operator HTTP surface: Prometheus text on
+// /metrics, the legacy JSON snapshot on /metrics.json, a Perfetto-ready
+// trace dump of recent batch spans on /debug/flightrec, and pprof. It
+// rides on the -metrics listener only, so none of it is exposed unless
+// the operator opts in.
+func metricsMux(srv *stringoram.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.PrometheusHandler(srv.Obs()))
+	mux.HandleFunc("/metrics.json", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(srv.Metrics())
+	})
+	mux.HandleFunc("/debug/flightrec", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		srv.FlightRecorder().WriteTrace(rw)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -108,24 +136,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
-			rw.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(rw).Encode(srv.Metrics())
-		})
-		// Profiling rides on the operator-only metrics listener, so it is
-		// never exposed unless -metrics is set (the default mux is unused).
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux := metricsMux(srv)
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			srv.Close()
 			return fmt.Errorf("-metrics: %w", err)
 		}
-		fmt.Fprintf(w, "oramd: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", mln.Addr())
+		fmt.Fprintf(w, "oramd: metrics on http://%s/metrics (JSON on /metrics.json, traces on /debug/flightrec, pprof on /debug/pprof/)\n", mln.Addr())
 		metricsSrv = &http.Server{Handler: mux}
 		go metricsSrv.Serve(mln)
 	}
@@ -138,16 +155,22 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(w, "oramd: signal received, draining")
+		// The metrics listener drains alongside the TCP server: a
+		// graceful stop must release both ports, and an in-flight scrape
+		// gets its response before the process exits.
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if metricsSrv != nil {
+			metricsSrv.Shutdown(sctx)
+		}
 		tcp.Shutdown(sctx)
 		cancel()
 		<-serveErr
 	case runErr = <-serveErr:
-	}
-	if metricsSrv != nil {
-		mctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		metricsSrv.Shutdown(mctx)
-		cancel()
+		if metricsSrv != nil {
+			mctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			metricsSrv.Shutdown(mctx)
+			cancel()
+		}
 	}
 	// Close drains in-flight work and, when -snapshots is set, commits
 	// one atomic snapshot per shard.

@@ -3,14 +3,19 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"stringoram"
+	"stringoram/internal/obs"
 )
 
 // startDaemon runs the daemon in-process on an ephemeral port and
@@ -131,5 +136,127 @@ func TestDaemonBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("invalid -addr accepted")
+	}
+}
+
+// TestMetricsMuxEndpoints exercises the operator HTTP surface directly:
+// /metrics must speak the Prometheus text exposition (correct status,
+// content type, and a line-by-line parse), /metrics.json the legacy
+// JSON snapshot, and /debug/flightrec a Chrome trace document.
+func TestMetricsMuxEndpoints(t *testing.T) {
+	cfg := stringoram.DefaultServerConfig()
+	cfg.Shards = 2
+	cfg.ORAM = stringoram.DefaultServerORAM(8)
+	cfg.Seed = 3
+	srv, err := stringoram.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		if err := srv.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(metricsMux(srv))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics body does not parse as Prometheus text: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`server_requests_total{shard="0",op="put"}`,
+		`oram_stash_blocks{shard="1"}`,
+		"server_queue_depth",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m stringoram.ServerMetrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics.json decode: %v", err)
+	}
+	if m.Puts != 10 {
+		t.Fatalf("/metrics.json Puts = %d, want 10", m.Puts)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/flightrec decode: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/debug/flightrec has no events after serving traffic")
+	}
+}
+
+// TestDaemonMetricsDrain boots the daemon with a metrics listener,
+// scrapes it, then verifies the graceful drain shuts that listener down
+// (connections are refused after shutdown completes).
+func TestDaemonMetricsDrain(t *testing.T) {
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	maddr := mln.Addr().String()
+	mln.Close()
+
+	addr, stop, done, _ := startDaemon(t, []string{"-shards", "1", "-levels", "8", "-metrics", maddr})
+	c, err := stringoram.DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	var resp *http.Response
+	for i := 0; ; i++ {
+		resp, err = http.Get("http://" + maddr + "/metrics")
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("metrics listener never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("daemon /metrics invalid: %v", err)
+	}
+
+	waitShutdown(t, stop, done)
+	if _, err := http.Get("http://" + maddr + "/metrics"); err == nil {
+		t.Fatal("metrics listener still serving after graceful drain")
 	}
 }

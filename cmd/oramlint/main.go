@@ -24,6 +24,7 @@ import (
 // reproducibility: everything that executes during a simulation run or
 // writes result artifacts.
 var determinismPkgs = map[string]bool{
+	"internal/obs":         true,
 	"internal/oram":        true,
 	"internal/sched":       true,
 	"internal/dram":        true,

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -251,5 +252,48 @@ func TestRunAllCancelled(t *testing.T) {
 	err := run(ctx, []string{"all"}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "interrupted before") {
 		t.Fatalf("cancelled all = %v, want interruption error", err)
+	}
+}
+
+// TestRunSingleFlightRecorder runs with -flightrec and checks the dump
+// is a well-formed Chrome trace document with cycle-stamped events.
+func TestRunSingleFlightRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"run", "-workload", "black", "-levels", "10",
+		"-accesses", "60", "-tracelen", "1500", "-flightrec", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flight recording:") {
+		t.Fatalf("run output missing flight-recording line:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			TimeDomain string `json:"timeDomain"`
+		} `json:"otherData"`
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("flight recording is not valid JSON: %v", err)
+	}
+	if doc.OtherData.TimeDomain != "cycles" {
+		t.Fatalf("timeDomain = %q, want cycles (simulator events are never wall-clock)", doc.OtherData.TimeDomain)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("flight recording holds no events")
+	}
+
+	if err := run(context.Background(), []string{"run", "-workload", "black", "-levels", "10",
+		"-accesses", "10", "-tracelen", "500", "-flightrec", out, "-flightrec-cap", "0"}, &buf); err == nil {
+		t.Fatal("-flightrec-cap 0 accepted")
 	}
 }

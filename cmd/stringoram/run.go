@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"stringoram/internal/config"
+	"stringoram/internal/obs"
 	"stringoram/internal/sched"
 	"stringoram/internal/sim"
 	"stringoram/internal/stats"
@@ -33,6 +35,8 @@ func runSingle(args []string, w io.Writer) error {
 	uniform := fs.Bool("uniform", false, "uniform slot selection instead of dummy-first")
 	warm := fs.Float64("warm", 0.5, "warm-fill occupancy in [0, 0.9]")
 	traceFile := fs.String("trace", "", "replay a trace file (tracegen gen) instead of -workload")
+	flightrec := fs.String("flightrec", "", "write a cycle-stamped Chrome trace of the run here (open in Perfetto)")
+	flightrecCap := fs.Int("flightrec-cap", 1<<16, "flight-recorder capacity in events (ring; oldest dropped)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +106,14 @@ func runSingle(args []string, w io.Writer) error {
 	var res *sim.Result
 	var err error
 	simOpts := sim.Options{MaxAccesses: *accesses, BalanceChannels: *balance}
+	var rec *obs.Recorder
+	if *flightrec != "" {
+		if *flightrecCap <= 0 {
+			return fmt.Errorf("-flightrec-cap must be positive, got %d", *flightrecCap)
+		}
+		rec = obs.NewRecorder("cycles", *flightrecCap)
+		simOpts.FlightRecorder = rec
+	}
 	if len(trs) == 1 {
 		res, err = sim.Run(sys, trs[0], simOpts)
 	} else {
@@ -109,6 +121,13 @@ func runSingle(args []string, w io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := writeFlightRecording(*flightrec, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "flight recording: %d of %d events retained -> %s (load at https://ui.perfetto.dev)\n",
+			rec.Len(), rec.Total(), *flightrec)
 	}
 
 	fmt.Fprintf(w, "workload %s: %d ORAM accesses, %d instructions retired, LLC hit rate %s\n",
@@ -142,4 +161,28 @@ func runSingle(args []string, w io.Writer) error {
 	t.AddRowf("background evictions", res.ORAM.BackgroundEvictions)
 	t.AddRowf("early reshuffles", res.ORAM.EarlyReshuffles)
 	return t.Render(w)
+}
+
+// writeFlightRecording dumps the recorder as Chrome trace-event JSON via
+// a temp-then-rename write, so the output file is never a torn document.
+func writeFlightRecording(path string, rec *obs.Recorder) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".flightrec-*")
+	if err != nil {
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	if err := rec.WriteTrace(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	return nil
 }

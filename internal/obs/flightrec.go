@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// EventKind identifies the typed events the flight recorder understands.
+// Each kind carries a fixed display name, Perfetto category, and an
+// interpretation for the two generic int64 argument slots — keeping
+// Event itself a flat, allocation-free value.
+type EventKind uint8
+
+const (
+	// EvAccess: one ORAM access completed. Arg0 = stash occupancy after
+	// the access, Arg1 = number of tree ops the access emitted.
+	EvAccess EventKind = iota
+	// EvEarlyReshuffle: a bucket hit its S-count and was reshuffled
+	// outside the eviction cadence. Arg0 = tree level, Arg1 = bucket
+	// index within the level.
+	EvEarlyReshuffle
+	// EvBackgroundEviction: the background evictor ran a piggybacked
+	// eviction. Arg0 = stash occupancy before, Arg1 = after.
+	EvBackgroundEviction
+	// EvBackgroundDummy: the background evictor issued a dummy read
+	// batch. Arg0 = stash occupancy.
+	EvBackgroundDummy
+	// EvGreenFetch: Compact Bucket pulled a green block into the stash in
+	// place of a dummy. Arg0 = tree level, Arg1 = slot.
+	EvGreenFetch
+	// EvTxn: a scheduler transaction completed; used as a duration span.
+	// Arg0 = transaction tag (sched.Tag numeric value), Arg1 = number of
+	// DRAM requests in the transaction.
+	EvTxn
+	// EvEarlyPRE: Proactive Bank issued a PRE for a future transaction.
+	// Arg0 = channel, Arg1 = bank.
+	EvEarlyPRE
+	// EvEarlyACT: Proactive Bank issued an ACT for a future transaction.
+	// Arg0 = channel, Arg1 = bank.
+	EvEarlyACT
+	// EvBatch: the server drained a request batch on one shard; used as
+	// a duration span. Arg0 = shard, Arg1 = batch size.
+	EvBatch
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvAccess:             "access",
+	EvEarlyReshuffle:     "early_reshuffle",
+	EvBackgroundEviction: "background_eviction",
+	EvBackgroundDummy:    "background_dummy",
+	EvGreenFetch:         "green_fetch",
+	EvTxn:                "txn",
+	EvEarlyPRE:           "early_pre",
+	EvEarlyACT:           "early_act",
+	EvBatch:              "batch",
+}
+
+var eventKindCats = [numEventKinds]string{
+	EvAccess:             "oram",
+	EvEarlyReshuffle:     "oram",
+	EvBackgroundEviction: "oram",
+	EvBackgroundDummy:    "oram",
+	EvGreenFetch:         "oram",
+	EvTxn:                "sched",
+	EvEarlyPRE:           "sched",
+	EvEarlyACT:           "sched",
+	EvBatch:              "server",
+}
+
+// argNames gives the per-kind labels for Arg0/Arg1 in the trace export.
+var eventArgNames = [numEventKinds][2]string{
+	EvAccess:             {"stash", "ops"},
+	EvEarlyReshuffle:     {"level", "bucket"},
+	EvBackgroundEviction: {"stash_before", "stash_after"},
+	EvBackgroundDummy:    {"stash", "round"},
+	EvGreenFetch:         {"level", "slot"},
+	EvTxn:                {"tag", "requests"},
+	EvEarlyPRE:           {"channel", "bank"},
+	EvEarlyACT:           {"channel", "bank"},
+	EvBatch:              {"shard", "size"},
+}
+
+// String returns the kind's display name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one flight-recorder record. TS and Dur are in the recorder's
+// declared time domain (DRAM cycles for simulator recorders — never wall
+// clock there); Dur == 0 renders as an instant, Dur > 0 as a complete
+// span beginning at TS. Track separates parallel lanes (bank, shard,
+// tag) into distinct Perfetto threads.
+type Event struct {
+	TS    int64
+	Dur   int64
+	Kind  EventKind
+	Track int32
+	Arg0  int64
+	Arg1  int64
+}
+
+// Recorder is a fixed-capacity ring buffer of Events. Emit overwrites
+// the oldest record once full and never allocates; a nil *Recorder is a
+// no-op, so components can thread one unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	domain string
+	buf    []Event
+	next   int
+	full   bool
+	total  uint64
+}
+
+// NewRecorder returns a recorder holding up to capacity events. domain
+// names the time unit of TS/Dur ("cycles", "accesses", "us") and is
+// embedded in the trace export metadata.
+func NewRecorder(domain string, capacity int) *Recorder {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("obs: invalid recorder capacity %d", capacity))
+	}
+	return &Recorder{domain: domain, buf: make([]Event, capacity)}
+}
+
+// Emit appends ev, overwriting the oldest event when the ring is full.
+// Safe from any goroutine; no-op on a nil recorder.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total reports how many events were ever emitted (retained or evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot appends the retained events, oldest first, to dst and
+// returns it. Passing a reused dst keeps the snapshot allocation-free
+// once warmed.
+func (r *Recorder) Snapshot(dst []Event) []Event {
+	if r == nil {
+		return dst
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		dst = append(dst, r.buf[r.next:]...)
+	}
+	return append(dst, r.buf[:r.next]...)
+}
+
+// WriteTrace renders the retained events as Chrome trace-event JSON
+// (the {"traceEvents": [...]} object form), loadable in Perfetto and
+// chrome://tracing. Timestamps are exported 1:1 as microsecond fields;
+// in a cycle-domain recorder one trace microsecond therefore equals one
+// DRAM cycle, as noted in the embedded metadata.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	var events []Event
+	domain := "none"
+	if r != nil {
+		events = r.Snapshot(nil)
+		r.mu.Lock()
+		domain = r.domain
+		r.mu.Unlock()
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeDomain\":%q},\"traceEvents\":[", domain)
+	bw.WriteString(`{"ph":"M","pid":1,"tid":1,"name":"process_name","args":{"name":"stringoram"}}`)
+	for _, ev := range events {
+		bw.WriteByte(',')
+		writeTraceEvent(bw, ev)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+func writeTraceEvent(w *bufio.Writer, ev Event) {
+	kind := ev.Kind
+	if kind >= numEventKinds {
+		kind = 0
+	}
+	w.WriteString(`{"name":"`)
+	w.WriteString(eventKindNames[kind])
+	w.WriteString(`","cat":"`)
+	w.WriteString(eventKindCats[kind])
+	w.WriteString(`","pid":1,"tid":`)
+	w.WriteString(strconv.FormatInt(int64(ev.Track), 10))
+	w.WriteString(`,"ts":`)
+	w.WriteString(strconv.FormatInt(ev.TS, 10))
+	if ev.Dur > 0 {
+		w.WriteString(`,"dur":`)
+		w.WriteString(strconv.FormatInt(ev.Dur, 10))
+		w.WriteString(`,"ph":"X"`)
+	} else {
+		w.WriteString(`,"ph":"i","s":"t"`)
+	}
+	w.WriteString(`,"args":{"`)
+	w.WriteString(eventArgNames[kind][0])
+	w.WriteString(`":`)
+	w.WriteString(strconv.FormatInt(ev.Arg0, 10))
+	w.WriteString(`,"`)
+	w.WriteString(eventArgNames[kind][1])
+	w.WriteString(`":`)
+	w.WriteString(strconv.FormatInt(ev.Arg1, 10))
+	w.WriteString(`}}`)
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRecorderNilIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{TS: 1, Kind: EvAccess})
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("nil recorder must report zero events")
+	}
+	if got := r.Snapshot(nil); len(got) != 0 {
+		t.Fatalf("nil recorder snapshot = %d events, want 0", len(got))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil recorder trace must still be valid JSON: %v", err)
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	r := NewRecorder("cycles", 4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{TS: int64(i), Kind: EvAccess})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != 4 {
+		t.Fatalf("snapshot holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.TS != want {
+			t.Fatalf("snapshot[%d].TS = %d, want %d (oldest-first, newest retained)", i, ev.TS, want)
+		}
+	}
+	// Snapshot into a reused buffer must not allocate once warmed.
+	dst := make([]Event, 0, 8)
+	if n := testing.AllocsPerRun(100, func() {
+		dst = r.Snapshot(dst[:0])
+	}); n != 0 {
+		t.Fatalf("warmed Snapshot allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestRecorderEmitAllocFree(t *testing.T) {
+	r := NewRecorder("cycles", 64)
+	ev := Event{TS: 3, Dur: 2, Kind: EvTxn, Track: 1, Arg0: 0, Arg1: 8}
+	if n := testing.AllocsPerRun(200, func() {
+		r.Emit(ev)
+	}); n != 0 {
+		t.Fatalf("Emit allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestWriteTracePerfettoShape validates the Chrome trace-event export
+// shape that Perfetto's JSON importer requires: a top-level traceEvents
+// array whose entries each carry name/cat/ph/pid/tid/ts, with "X" events
+// carrying dur and instant events carrying a scope "s". This is the
+// automated stand-in for "the dump loads in Perfetto".
+func TestWriteTracePerfettoShape(t *testing.T) {
+	r := NewRecorder("cycles", 16)
+	r.Emit(Event{TS: 100, Kind: EvAccess, Track: 0, Arg0: 12, Arg1: 3})
+	r.Emit(Event{TS: 110, Dur: 40, Kind: EvTxn, Track: 2, Arg0: 0, Arg1: 8})
+	r.Emit(Event{TS: 150, Kind: EvEarlyPRE, Track: 1, Arg0: 0, Arg1: 5})
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			TimeDomain string `json:"timeDomain"`
+		} `json:"otherData"`
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData.TimeDomain != "cycles" {
+		t.Fatalf("timeDomain = %q, want cycles", doc.OtherData.TimeDomain)
+	}
+	if len(doc.TraceEvents) != 4 { // metadata + 3 events
+		t.Fatalf("traceEvents has %d entries, want 4", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta["ph"] != "M" || meta["name"] != "process_name" {
+		t.Fatalf("first event must be process_name metadata, got %v", meta)
+	}
+	for i, ev := range doc.TraceEvents[1:] {
+		for _, key := range []string{"name", "cat", "ph", "pid", "tid", "ts", "args"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event %d missing dur: %v", i, ev)
+			}
+		case "i":
+			if ev["s"] != "t" {
+				t.Fatalf("instant event %d missing scope: %v", i, ev)
+			}
+		default:
+			t.Fatalf("event %d has unexpected phase %v", i, ev["ph"])
+		}
+	}
+	span := doc.TraceEvents[2]
+	if span["name"] != "txn" || span["dur"] != float64(40) || span["ts"] != float64(110) {
+		t.Fatalf("txn span exported wrong: %v", span)
+	}
+	args := doc.TraceEvents[1]["args"].(map[string]any)
+	if args["stash"] != float64(12) || args["ops"] != float64(3) {
+		t.Fatalf("access args exported wrong: %v", args)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvAccess.String() != "access" || EvBatch.String() != "batch" {
+		t.Fatal("EventKind names wrong")
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+}

@@ -1,0 +1,363 @@
+// Package obs is the repo's zero-allocation telemetry layer: a named
+// instrument registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus text exposition, and a cycle-domain flight recorder (see
+// flightrec.go) with Chrome trace-event export loadable in Perfetto.
+//
+// The package is stdlib-only and designed around two hard constraints
+// inherited from the data plane and the simulator:
+//
+//   - Zero allocation on the hot path. Updating an instrument is one
+//     atomic operation. Every update method has a nil receiver fast
+//     path, and the Registry constructor methods return nil on a nil
+//     Registry, so a component instrumented against a nil registry
+//     compiles its telemetry down to inlined nil checks.
+//   - Domain timestamps, never wall clock. The package itself reads no
+//     clock; flight-recorder events carry whatever int64 timestamp the
+//     caller supplies (DRAM cycles in the simulator, logical access
+//     ordinals in the protocol layer, microseconds in the server). This
+//     keeps obs compatible with the repo's seed-only determinism
+//     discipline (cmd/oramlint runs the determinism analyzer over this
+//     package).
+//
+// Concurrency: instruments are safe from any goroutine. Func instruments
+// (CounterFunc/GaugeFunc) invoke their callback at scrape time; callers
+// registering one must hand in a function that is safe to call from the
+// scraping goroutine (e.g. len of a channel, or an atomic load).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 instrument. The zero
+// value is ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 instrument. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Max raises the gauge to v if v exceeds the current value.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters.
+// Bucket bounds are set at registration and never change, so Observe is
+// a bounded scan plus two atomic adds — no allocation, no locks. A nil
+// *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// ExpBuckets returns n log-scale bucket bounds: start, start*factor,
+// start*factor^2, ... — the standard shape for latency and cycle-count
+// histograms whose values span orders of magnitude.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("obs: invalid ExpBuckets(%g, %g, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// instrument kinds for exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one registered time series: an instrument plus its label
+// block (the text between { and } in the registered name, possibly
+// empty). Func-backed series store fn instead of inst.
+type series struct {
+	labels string
+	inst   any
+	fn     func() float64
+}
+
+// family groups the series sharing one metric name; HELP and TYPE are
+// per family.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series map[string]*series // keyed by label block
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// exposition format. A nil *Registry is the disabled state: every
+// constructor returns nil and the returned instruments are no-ops.
+//
+// Registration is not a hot path (it locks and allocates); updates to
+// the returned instruments are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// splitSeries separates a registered name into family name and label
+// block: "foo_total{shard=\"0\"}" -> ("foo_total", "shard=\"0\"").
+func splitSeries(name string) (fam, labels string, err error) {
+	fam = name
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			if name[len(name)-1] != '}' {
+				return "", "", fmt.Errorf("obs: malformed series name %q", name)
+			}
+			fam, labels = name[:i], name[i+1:len(name)-1]
+			break
+		}
+	}
+	if fam == "" {
+		return "", "", fmt.Errorf("obs: empty metric name in %q", name)
+	}
+	for i := 0; i < len(fam); i++ {
+		c := fam[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return "", "", fmt.Errorf("obs: invalid metric name %q", fam)
+		}
+	}
+	return fam, labels, nil
+}
+
+// register resolves (or creates) the series for name, enforcing
+// one-kind-per-family. build constructs the instrument on first
+// registration; an existing series of the same kind is returned as-is,
+// so registration is idempotent (two shards may register the same
+// labelled family, and re-instrumenting a component is harmless).
+func (r *Registry) register(name, help, kind string, build func() any) any {
+	fam, labels, err := splitSeries(name)
+	if err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[fam]
+	if f == nil {
+		f = &family{name: fam, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[fam] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", fam, f.kind, kind))
+	}
+	if s := f.series[labels]; s != nil {
+		if s.fn != nil {
+			return s.fn
+		}
+		return s.inst
+	}
+	inst := build()
+	s := &series{labels: labels}
+	if fn, ok := inst.(func() float64); ok {
+		s.fn = fn
+	} else {
+		s.inst = inst
+	}
+	f.series[labels] = s
+	return inst
+}
+
+// Counter registers (or finds) a counter series. name may carry a label
+// block: `oram_green_fetches_total{shard="0"}`. Returns nil on a nil
+// registry, making the counter a no-op.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or finds) a gauge series. Returns nil on a nil
+// registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// ascending bucket bounds (the +Inf bucket is implicit). Returns nil on
+// a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending: %v", name, bounds))
+		}
+	}
+	return r.register(name, help, kindHistogram, func() any {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Uint64, len(bounds)+1)
+		return h
+	}).(*Histogram)
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — for mirroring counters a single-owner component already
+// maintains (e.g. simulator Stats structs) without touching its hot
+// path. fn must be monotone and safe to call from the scraping
+// goroutine. No-op on a nil registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, func() any { return fn })
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time. fn
+// must be safe to call from the scraping goroutine. No-op on a nil
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, func() any { return fn })
+}
+
+// snapshotFamilies returns the families sorted by name, each with its
+// series sorted by label block — the deterministic exposition order.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*family, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+// sortedSeries returns one family's series in label order.
+func (f *family) sortedSeries() []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// PrometheusHandler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format 0.0.4. Families are emitted in name order and series
+// in label order, so the output is deterministic for a fixed set of
+// instrument values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.fn != nil:
+		writeSample(w, f.name, s.labels, "", s.fn())
+	default:
+		switch inst := s.inst.(type) {
+		case *Counter:
+			writeSample(w, f.name, s.labels, "", float64(inst.Value()))
+		case *Gauge:
+			writeSample(w, f.name, s.labels, "", float64(inst.Value()))
+		case *Histogram:
+			cum := uint64(0)
+			for i, b := range inst.bounds {
+				cum += inst.counts[i].Load()
+				writeSample(w, f.name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(b)+`"`), "", float64(cum))
+			}
+			cum += inst.counts[len(inst.bounds)].Load()
+			writeSample(w, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), "", float64(cum))
+			writeSample(w, f.name+"_sum", s.labels, "", inst.Sum())
+			writeSample(w, f.name+"_count", s.labels, "", float64(inst.Count()))
+		}
+	}
+}
+
+func writeSample(w *bufio.Writer, name, labels, suffix string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// PrometheusHandler returns an http.Handler serving the registry in text
+// exposition format. Safe on a nil registry (serves an empty body).
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// ValidateExposition checks that data parses line-by-line as Prometheus
+// text exposition format 0.0.4: every line is a comment (# HELP/# TYPE
+// with a known type keyword), blank, or a `name{labels} value` sample
+// with a valid metric name, balanced quoted label values, and a
+// float-parseable value. It also enforces that every sample's base
+// family appeared in a preceding # TYPE line. Used by tests and by the
+// oramd handler test as a format gate.
+func ValidateExposition(data []byte) error {
+	typed := make(map[string]bool)
+	lineNo := 0
+	for _, raw := range bytes.Split(data, []byte("\n")) {
+		lineNo++
+		line := string(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		name, rest, err := parseSampleName(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := name
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, sfx); ok && typed[b] {
+				base = b
+				break
+			}
+		}
+		if !typed[base] {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		val := strings.TrimSpace(rest)
+		if i := strings.IndexByte(val, ' '); i >= 0 {
+			// optional timestamp
+			ts := strings.TrimSpace(val[i+1:])
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", lineNo, ts)
+			}
+			val = val[:i]
+		}
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("line %d: bad value %q", lineNo, val)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleName splits a sample line into metric name (labels
+// validated and discarded) and the remainder after the name/label block.
+func parseSampleName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c == '{' || c == ' ' {
+			break
+		}
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return "", "", fmt.Errorf("invalid metric name char %q in %q", c, line)
+		}
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("empty metric name in %q", line)
+	}
+	name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		j, err := scanLabels(line, i+1)
+		if err != nil {
+			return "", "", err
+		}
+		i = j
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", "", fmt.Errorf("missing value in %q", line)
+	}
+	return name, line[i+1:], nil
+}
+
+// scanLabels validates a {name="value",...} block starting just after
+// the '{' and returns the index just past the closing '}'.
+func scanLabels(line string, i int) (int, error) {
+	for {
+		if i < len(line) && line[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(line) && line[i] != '=' {
+			c := line[i]
+			if !(c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9' && i > start)) {
+				return 0, fmt.Errorf("invalid label name in %q", line)
+			}
+			i++
+		}
+		if i == start || i >= len(line) {
+			return 0, fmt.Errorf("malformed label block in %q", line)
+		}
+		i++ // '='
+		if i >= len(line) || line[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", line)
+		}
+		i++
+		for i < len(line) && line[i] != '"' {
+			if line[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(line) {
+			return 0, fmt.Errorf("unterminated label value in %q", line)
+		}
+		i++ // closing '"'
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"stringoram/internal/config"
 	"stringoram/internal/invariant"
+	"stringoram/internal/obs"
 )
 
 // The data-plane hot path is contractually allocation-free in steady
@@ -119,5 +120,55 @@ func TestAllocFreeFunctionalAccess(t *testing.T) {
 		i++
 	}); n != 0 {
 		t.Fatalf("warmed functional Access allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestAllocFreeInstrumentedAccess repeats the functional-access guard
+// with the full observability stack live — metrics registry, every ring
+// instrument, and a flight recorder receiving events — pinning the
+// tentpole constraint that enabled telemetry adds 0 allocs/op.
+func TestAllocFreeInstrumentedAccess(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; the zero-alloc guarantee binds on the default build")
+	}
+	cfg := config.Default().ORAM
+	cfg.Levels = 8
+	crypt, err := NewCrypt([]byte("0123456789abcdef"), cfg.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(cfg, 7, &Options{Store: NewMemStore(cfg.SlotsPerBucket()), Crypt: crypt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ins := NewInstruments(reg, `ring="alloc-test"`)
+	ins.Recorder = obs.NewRecorder("accesses", 1024)
+	r.Instrument(ins)
+	payload := make([]byte, cfg.BlockSize)
+	const keys = 256
+	step := func(i int) {
+		var err error
+		if i%2 == 0 {
+			_, _, err = r.Access(BlockID(i%keys), true, payload)
+		} else {
+			_, _, err = r.Access(BlockID(i%keys), false, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8192; i++ {
+		step(i)
+	}
+	i := 8192
+	if n := testing.AllocsPerRun(500, func() {
+		step(i)
+		i++
+	}); n != 0 {
+		t.Fatalf("instrumented warmed Access allocates %.1f times per op, want 0", n)
+	}
+	if ins.Accesses.Value() == 0 || ins.Stash.Value() < 0 || ins.Recorder.Total() == 0 {
+		t.Fatal("instruments were not actually live during the guard")
 	}
 }

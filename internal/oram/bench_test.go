@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"stringoram/internal/config"
+	"stringoram/internal/obs"
 )
 
 // benchRing builds a mid-size ring for throughput benchmarks.
@@ -73,6 +74,34 @@ func warmedFunctionalRing(b *testing.B) *Ring {
 func BenchmarkAccessFunctional(b *testing.B) {
 	b.ReportAllocs()
 	r := warmedFunctionalRing(b)
+	payload := make([]byte, r.Config().BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if i%2 == 0 {
+			_, _, err = r.Access(BlockID(i%4096), true, payload)
+		} else {
+			_, _, err = r.Access(BlockID(i%4096), false, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessFunctionalObs is BenchmarkAccessFunctional with the
+// full instrument set and a live flight recorder attached; the pair
+// quantifies instrumentation overhead (scripts/bench.sh records the
+// delta in BENCH_obs.json, budget ≤5%). The shared warmed ring is
+// re-instrumented on entry and detached on exit so benchmark order does
+// not matter.
+func BenchmarkAccessFunctionalObs(b *testing.B) {
+	b.ReportAllocs()
+	r := warmedFunctionalRing(b)
+	ins := NewInstruments(obs.NewRegistry(), "")
+	ins.Recorder = obs.NewRecorder("accesses", 4096)
+	r.Instrument(ins)
+	defer r.Instrument(Instruments{})
 	payload := make([]byte, r.Config().BlockSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

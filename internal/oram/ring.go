@@ -8,6 +8,7 @@ import (
 
 	"stringoram/internal/config"
 	"stringoram/internal/invariant"
+	"stringoram/internal/obs"
 	"stringoram/internal/rng"
 )
 
@@ -128,6 +129,7 @@ type Ring struct {
 	balLevel     int
 
 	stats Stats
+	ins   Instruments
 
 	pathBuf []int64 // scratch for path walks
 	scr     ringScratch
@@ -478,6 +480,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	readPath, haveTarget := r.pos.Lookup(id)
 	if r.stash.Contains(id) { //oramlint:allow secret-branch both arms issue one full read path; a stash hit only redirects it to a fresh random path, indistinguishable on the bus
 		r.stats.StashHits++
+		r.ins.StashHits.Inc()
 		haveTarget = false
 	}
 	if !haveTarget {
@@ -560,12 +563,19 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 			return nil, r.scr.ops, ErrStashOverflow
 		}
 		p := r.pos.RandomPath()
+		before := r.stash.Len()
 		r.readPathOp(OpDummyReadPath, p, InvalidBlock, false)
 		r.stats.BackgroundDummyReads++
+		r.ins.BackgroundDummyReads.Inc()
+		r.ins.Recorder.Emit(obs.Event{TS: r.obsNow(), Kind: obs.EvBackgroundDummy,
+			Arg0: int64(r.stash.Len()), Arg1: int64(rounds)})
 		wasBoundary := r.roundCount == r.cfg.A-1
 		r.bumpRound()
 		if wasBoundary {
 			r.stats.BackgroundEvictions++
+			r.ins.BackgroundEvictions.Inc()
+			r.ins.Recorder.Emit(obs.Event{TS: r.obsNow(), Kind: obs.EvBackgroundEviction,
+				Arg0: int64(before), Arg1: int64(r.stash.Len())})
 		}
 	}
 	if invariant.Enabled {
@@ -584,6 +594,12 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	if r.onSample != nil {
 		r.onSample(r.stash.Len())
 	}
+	occ := int64(r.stash.Len())
+	r.ins.Accesses.Inc()
+	r.ins.Stash.Set(occ)
+	r.ins.StashPeak.Max(occ)
+	r.ins.Recorder.Emit(obs.Event{TS: r.obsNow(), Kind: obs.EvAccess,
+		Arg0: occ, Arg1: int64(len(r.scr.ops))})
 	return out, r.scr.ops, nil
 }
 
@@ -742,6 +758,9 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool) {
 			b.consumeReal(slot)
 			r.putBlockBuf(r.stash.Put(green, gp, data))
 			r.stats.GreenFetches++
+			r.ins.GreenFetches.Inc()
+			r.ins.Recorder.Emit(obs.Event{TS: r.obsNow(), Kind: obs.EvGreenFetch,
+				Arg0: int64(lvl), Arg1: int64(slot)})
 		} else if r.xor {
 			r.xorFold(idx, slot, true, b.Epoch)
 		}
@@ -758,8 +777,10 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool) {
 
 	if kind == OpReadPath {
 		r.stats.ReadPaths++
+		r.ins.ReadPaths.Inc()
 	} else {
 		r.stats.DummyReadPaths++
+		r.ins.DummyReadPaths.Inc()
 	}
 	r.stats.ReadPathBlocks += int64(len(op.Accesses))
 }
@@ -819,6 +840,9 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) {
 	}
 
 	r.stats.EarlyReshuffles++
+	r.ins.EarlyReshuffles.Inc()
+	r.ins.Recorder.Emit(obs.Event{TS: r.obsNow(), Kind: obs.EvEarlyReshuffle,
+		Arg0: int64(level), Arg1: idx})
 	r.stats.ReshuffledBuckets++
 	r.stats.ReshuffleBlocks += int64(len(op.Accesses))
 }
@@ -948,6 +972,7 @@ func (r *Ring) evictPathOp() {
 	}
 
 	r.stats.EvictPaths++
+	r.ins.EvictPaths.Inc()
 	r.stats.EvictBlocks += int64(len(op.Accesses))
 }
 

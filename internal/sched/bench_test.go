@@ -6,6 +6,7 @@ import (
 	"stringoram/internal/addrmap"
 	"stringoram/internal/config"
 	"stringoram/internal/dram"
+	"stringoram/internal/obs"
 	"stringoram/internal/rng"
 )
 
@@ -42,10 +43,21 @@ func drainBench(c *Controller, txns [][]*Request) {
 // request stream whose Request objects are recycled in place, and each
 // benchmark iteration is exactly one Tick. The allocs/op report is the
 // zero-allocation gate for the scheduler hot path.
-func BenchmarkSchedTick(b *testing.B) {
+func BenchmarkSchedTick(b *testing.B) { benchSchedTick(b, false) }
+
+// BenchmarkSchedTickObs is the same workload with a live metrics
+// registry and flight recorder attached; the pair quantifies the
+// instrumentation overhead (scripts/bench.sh records the delta in
+// BENCH_obs.json, budget ≤5%).
+func BenchmarkSchedTickObs(b *testing.B) { benchSchedTick(b, true) }
+
+func benchSchedTick(b *testing.B, instrumented bool) {
 	b.ReportAllocs()
 	d := config.Default().DRAM
 	c := New(d, config.SchedProactiveBank)
+	if instrumented {
+		c.Instrument(obs.NewRegistry(), obs.NewRecorder("cycles", 4096))
+	}
 
 	// Pre-generate the coordinate stream and a request pool outside the
 	// timed loop; transaction t reuses pool slot t%poolTxns, which is

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"stringoram/internal/obs"
 	"stringoram/internal/oram"
 	"stringoram/internal/stats"
 )
@@ -49,116 +52,137 @@ func (m Metrics) ThroughputPerSecond() float64 {
 	return float64(m.Gets+m.Puts) / m.UptimeSeconds
 }
 
-// shardMetrics is one shard's counter set. The worker goroutine is the
-// main writer; the dispatcher bumps rejected and Metrics() reads a
-// consistent view, so a mutex (guarding counters only — never protocol
-// state) keeps it race-free.
+// shardMetrics is one shard's counter set, held as obs instruments so a
+// single update site feeds both the Prometheus exposition and the
+// Metrics snapshot. The counters are atomic (the worker goroutine, the
+// dispatcher, and scrapes touch them concurrently); the mutex guards
+// only the latency reservoir and the protocol-stats copy.
 type shardMetrics struct {
-	mu sync.Mutex
+	gets, puts, misses *obs.Counter
+	rejected           *obs.Counter
+	expired, failed    *obs.Counter
 
-	gets, puts, misses uint64
-	rejected           uint64
-	expired, failed    uint64
+	batches, batchedReqs *obs.Counter
+	maxBatch             *obs.Gauge
 
-	batches, batchedReqs uint64
-	maxBatch             int
+	oramAccesses *obs.Counter
+	slotAccesses *obs.Counter
 
-	oramAccesses uint64
-	slotAccesses uint64
+	keys *obs.Gauge
 
-	keys  int
-	depth int
-
+	mu    sync.Mutex
 	lat   *stats.Reservoir
 	proto oram.Stats
 }
 
-func (m *shardMetrics) init(shard int, seed uint64) {
+// init registers shard i's instruments on reg (never nil: the Server
+// creates a private registry when the Config does not supply one, so the
+// counters always count) and seeds the latency reservoir.
+func (m *shardMetrics) init(reg *obs.Registry, shard int, seed uint64) {
+	l := func(fam, op string) string {
+		if op == "" {
+			return fmt.Sprintf(`%s{shard="%d"}`, fam, shard)
+		}
+		return fmt.Sprintf(`%s{shard="%d",op=%q}`, fam, shard, op)
+	}
+	m.gets = reg.Counter(l("server_requests_total", "get"), "Completed requests by operation.")
+	m.puts = reg.Counter(l("server_requests_total", "put"), "Completed requests by operation.")
+	m.misses = reg.Counter(l("server_misses_total", ""), "Gets that found no value (still one real ORAM access).")
+	m.rejected = reg.Counter(l("server_rejected_total", ""), "Enqueue-time backlog rejections.")
+	m.expired = reg.Counter(l("server_expired_total", ""), "Requests answered with a deadline error.")
+	m.failed = reg.Counter(l("server_failed_total", ""), "Requests answered with a non-retryable error.")
+	m.batches = reg.Counter(l("server_batches_total", ""), "Worker wakeups.")
+	m.batchedReqs = reg.Counter(l("server_batched_requests_total", ""), "Requests served across all batches.")
+	m.maxBatch = reg.Gauge(l("server_max_batch", ""), "Largest batch observed.")
+	m.oramAccesses = reg.Counter(l("server_oram_accesses_total", ""), "Logical ORAM accesses issued.")
+	m.slotAccesses = reg.Counter(l("server_slot_accesses_total", ""), "Physical slot accesses emitted.")
+	m.keys = reg.Gauge(l("server_keys", ""), "Keys in the shard directory as of its last batch.")
 	m.lat = stats.NewReservoir(stats.DefaultReservoirSize, shardSeed(seed, shard)^0xc0ffee)
 }
 
 func (m *shardMetrics) noteRejected() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
+	m.rejected.Inc()
 }
 
 func (m *shardMetrics) noteBus(op busOp) {
-	m.mu.Lock()
-	m.oramAccesses++
-	m.slotAccesses += uint64(op.slots)
-	m.mu.Unlock()
+	m.oramAccesses.Inc()
+	m.slotAccesses.Add(uint64(op.slots))
 }
 
 func (m *shardMetrics) noteDone(op opKind, res result, lat time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch {
 	case res.err == nil:
 		if op == opGet {
-			m.gets++
+			m.gets.Inc()
 			if !res.found {
-				m.misses++
+				m.misses.Inc()
 			}
 		} else {
-			m.puts++
+			m.puts.Inc()
 		}
 	case Retryable(res.err):
-		m.expired++
+		m.expired.Inc()
 	default:
-		m.failed++
+		m.failed.Inc()
 	}
+	m.mu.Lock()
 	m.lat.Add(lat.Seconds())
+	m.mu.Unlock()
 }
 
-func (m *shardMetrics) noteBatch(n, keys, depth int, proto oram.Stats) {
+func (m *shardMetrics) noteBatch(n, keys int, proto oram.Stats) {
+	m.batches.Inc()
+	m.batchedReqs.Add(uint64(n))
+	m.maxBatch.Max(int64(n))
+	m.keys.Set(int64(keys))
 	m.mu.Lock()
-	m.batches++
-	m.batchedReqs += uint64(n)
-	if n > m.maxBatch {
-		m.maxBatch = n
-	}
-	m.keys = keys
-	m.depth = depth
 	m.proto = proto
 	m.mu.Unlock()
 }
 
-// Metrics aggregates the per-shard counters into one snapshot.
+// Metrics aggregates the per-shard counters into one snapshot. The
+// latency merge reuses a server-owned scratch buffer (one scrape at a
+// time, serialized by scrapeMu), so a warmed call allocates only the
+// QueueDepths slice regardless of reservoir sizes — see
+// TestMetricsScrapeAllocBound.
 func (s *Server) Metrics() Metrics {
 	out := Metrics{
 		Shards:        len(s.shards),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		QueueDepths:   make([]int, len(s.shards)),
 	}
-	var samples []float64
+	s.scrapeMu.Lock()
+	defer s.scrapeMu.Unlock()
+	s.scrapeBuf = s.scrapeBuf[:0]
 	for i, sh := range s.shards {
-		sh.m.mu.Lock()
-		out.Gets += sh.m.gets
-		out.Puts += sh.m.puts
-		out.Misses += sh.m.misses
-		out.Rejected += sh.m.rejected
-		out.Expired += sh.m.expired
-		out.Failed += sh.m.failed
-		out.Batches += sh.m.batches
-		out.BatchedRequests += sh.m.batchedReqs
-		if sh.m.maxBatch > out.MaxBatch {
-			out.MaxBatch = sh.m.maxBatch
+		out.Gets += sh.m.gets.Value()
+		out.Puts += sh.m.puts.Value()
+		out.Misses += sh.m.misses.Value()
+		out.Rejected += sh.m.rejected.Value()
+		out.Expired += sh.m.expired.Value()
+		out.Failed += sh.m.failed.Value()
+		out.Batches += sh.m.batches.Value()
+		out.BatchedRequests += sh.m.batchedReqs.Value()
+		if mb := int(sh.m.maxBatch.Value()); mb > out.MaxBatch {
+			out.MaxBatch = mb
 		}
-		out.Keys += sh.m.keys
-		out.ORAMAccesses += sh.m.oramAccesses
-		out.SlotAccesses += sh.m.slotAccesses
+		out.Keys += int(sh.m.keys.Value())
+		out.ORAMAccesses += sh.m.oramAccesses.Value()
+		out.SlotAccesses += sh.m.slotAccesses.Value()
+		sh.m.mu.Lock()
 		out.LatencySamples += sh.m.lat.Count()
-		samples = append(samples, sh.m.lat.Samples()...)
+		s.scrapeBuf = sh.m.lat.AppendSamples(s.scrapeBuf)
 		sh.m.mu.Unlock()
 		out.QueueDepths[i] = len(sh.reqs)
 	}
 	if out.Batches > 0 {
 		out.AvgBatch = float64(out.BatchedRequests) / float64(out.Batches)
 	}
-	if len(samples) > 0 {
-		qs := stats.Percentiles(samples, 0.5, 0.95, 0.99)
-		out.P50Seconds, out.P95Seconds, out.P99Seconds = qs[0], qs[1], qs[2]
+	if len(s.scrapeBuf) > 0 {
+		sort.Float64s(s.scrapeBuf)
+		out.P50Seconds = stats.SortedQuantile(s.scrapeBuf, 0.5)
+		out.P95Seconds = stats.SortedQuantile(s.scrapeBuf, 0.95)
+		out.P99Seconds = stats.SortedQuantile(s.scrapeBuf, 0.99)
 	}
 	return out
 }

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"stringoram/internal/config"
+	"stringoram/internal/obs"
 	"stringoram/internal/oram"
 )
 
@@ -118,6 +119,11 @@ type Config struct {
 	// MaxKeysPerShard bounds each shard's directory. Zero derives a
 	// conservative bound from the tree size (one key per leaf).
 	MaxKeysPerShard int
+	// Obs, when non-nil, receives every serving and per-shard protocol
+	// instrument (exposed by oramd on /metrics). When nil the server
+	// registers on a private registry, so the counters always count and
+	// Metrics() reads the same instruments either way.
+	Obs *obs.Registry
 
 	// onBatch, when set, runs at the start of every worker batch with
 	// (shard, batch size). Test hook: lets tests stall a worker to
@@ -200,6 +206,12 @@ type Server struct {
 	wg     sync.WaitGroup
 	start  time.Time
 
+	reg *obs.Registry // never nil after New (cfg.Obs or private)
+	rec *obs.Recorder // wall-clock batch spans (µs since start)
+
+	scrapeMu  sync.Mutex // serializes Metrics; guards scrapeBuf
+	scrapeBuf []float64  // reused latency-sample merge buffer
+
 	mu     sync.RWMutex // guards closed against in-flight enqueues
 	closed bool
 }
@@ -212,6 +224,8 @@ type shard struct {
 	reqs    chan *request
 	m       shardMetrics
 	onBatch func(shard, n int)
+	rec     *obs.Recorder // server-wide batch-span recorder
+	epoch   time.Time     // server start; batch spans are µs since epoch
 
 	ring      *oram.Ring
 	dir       map[string]oram.BlockID
@@ -231,6 +245,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{cfg: cfg, start: time.Now()}
+	s.reg = cfg.Obs
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.rec = obs.NewRecorder("wall_us", serverFlightRecCap)
 
 	restore, err := snapshotsPresent(cfg.SnapshotDir, cfg.Shards)
 	if err != nil {
@@ -241,10 +260,12 @@ func New(cfg Config) (*Server, error) {
 			id:       i,
 			reqs:     make(chan *request, cfg.QueueDepth),
 			onBatch:  cfg.onBatch,
+			rec:      s.rec,
+			epoch:    s.start,
 			maxKeys:  cfg.MaxKeysPerShard,
 			maxBatch: cfg.MaxBatch,
 		}
-		sh.m.init(i, cfg.Seed)
+		sh.m.init(s.reg, i, cfg.Seed)
 		if restore {
 			if err := sh.restore(snapshotPath(cfg.SnapshotDir, i), cfg); err != nil {
 				return nil, err
@@ -254,6 +275,16 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 		}
+		// The Ring's protocol instruments (stash occupancy, green
+		// fetches, reshuffles, ...) land on the same registry under a
+		// shard label; updates stay atomic, so live scrapes are safe
+		// while the worker goroutine serves.
+		sh.ring.Instrument(oram.NewInstruments(s.reg, fmt.Sprintf(`shard="%d"`, i)))
+		s.reg.GaugeFunc(fmt.Sprintf(`server_queue_depth{shard="%d"}`, i),
+			"Current shard queue occupancy.",
+			func(q chan *request) func() float64 {
+				return func() float64 { return float64(len(q)) }
+			}(sh.reqs))
 		sh.blockSize = sh.ring.Config().BlockSize
 		sh.encBuf = make([]byte, sh.blockSize)
 		s.shards = append(s.shards, sh)
@@ -328,6 +359,20 @@ func (s *Server) PutDeadline(key string, val []byte, deadline time.Time) error {
 func (s *Server) MaxValueLen() int {
 	return s.shards[0].blockSize - valueHeaderLen
 }
+
+// serverFlightRecCap bounds the batch-span flight recorder: 4096 spans
+// of 40 bytes each keep the ring under 200 KiB while covering minutes
+// of steady serving at typical batch rates.
+const serverFlightRecCap = 4096
+
+// Obs returns the registry holding every serving and per-shard protocol
+// instrument (the Config's registry, or the server's private one).
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// FlightRecorder returns the server's batch-span recorder. Its
+// timestamps are wall-clock microseconds since server start — unlike
+// the simulator recorders, which are cycle-stamped.
+func (s *Server) FlightRecorder() *obs.Recorder { return s.rec }
 
 // do validates, routes and enqueues one request, then waits for its
 // single response. Validation failures and backpressure reject before
@@ -430,7 +475,19 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 		for _, r := range batch {
 			sh.serve(now, r)
 		}
-		sh.m.noteBatch(len(batch), len(sh.dir), len(sh.reqs), sh.ring.Stats())
+		sh.m.noteBatch(len(batch), len(sh.dir), sh.ring.Stats())
+		// One span per batch in the server flight recorder. The server
+		// is the one wall-clock domain in the repo: it is never part of
+		// the determinism contract, and the recorder's domain field
+		// ("wall_us") marks the traces as such.
+		sh.rec.Emit(obs.Event{
+			TS:    now.Sub(sh.epoch).Microseconds(),
+			Dur:   time.Since(now).Microseconds(),
+			Kind:  obs.EvBatch,
+			Track: int32(sh.id),
+			Arg0:  int64(sh.id),
+			Arg1:  int64(len(batch)),
+		})
 	}
 }
 

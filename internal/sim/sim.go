@@ -20,6 +20,7 @@ import (
 	"stringoram/internal/config"
 	"stringoram/internal/cpu"
 	"stringoram/internal/invariant"
+	"stringoram/internal/obs"
 	"stringoram/internal/oram"
 	"stringoram/internal/sched"
 	"stringoram/internal/trace"
@@ -48,6 +49,17 @@ type Options struct {
 	// access) so the two protocols can be compared in execution time on
 	// the same memory system. S, Y and A of the ORAM config are ignored.
 	PathORAM bool
+	// Obs, when set, receives the run's instruments: the controller's
+	// row-class and PB hidden-cycle counters, the ring's stash/CB
+	// instruments, and per-phase transaction latency histograms. The
+	// registry adds no allocations to the simulation hot path and does
+	// not perturb scheduling.
+	Obs *obs.Registry
+	// FlightRecorder, when set, captures typed events (accesses, early
+	// reshuffles, PB early commands, transaction spans) stamped with the
+	// simulator's DRAM cycle — never wall clock, so runs stay seed
+	// deterministic.
+	FlightRecorder *obs.Recorder
 }
 
 // protocol abstracts the ORAM engine the simulator drives; both *oram.Ring
@@ -106,6 +118,7 @@ type txnWork struct {
 	tag  sched.Tag
 	reqs []*sched.Request
 	next int
+	born int64 // cycle the transaction was created (latency spans)
 }
 
 // waiter ties a core's outstanding miss to the transaction whose
@@ -204,6 +217,12 @@ type Sim struct {
 	waiters  []waiter
 	accesses int64
 
+	// now mirrors the run loop's current cycle so instrument clocks and
+	// transaction birth stamps read the simulated time, not wall clock.
+	now     int64
+	rec     *obs.Recorder
+	txnHist [sched.NumTags]*obs.Histogram
+
 	res *Result
 }
 
@@ -212,11 +231,11 @@ func (s *Sim) getWork(id int64, tag sched.Tag) *txnWork {
 	if n := len(s.freeWork); n > 0 {
 		w := s.freeWork[n-1]
 		s.freeWork = s.freeWork[:n-1]
-		w.id, w.tag, w.next = id, tag, 0
+		w.id, w.tag, w.next, w.born = id, tag, 0, s.now
 		w.reqs = w.reqs[:0]
 		return w
 	}
-	return &txnWork{id: id, tag: tag}
+	return &txnWork{id: id, tag: tag, born: s.now}
 }
 
 // getReq returns a recycled (or new) request, zeroed.
@@ -320,7 +339,7 @@ func newSim(sys config.System, trs []*trace.Trace, name string, opts Options) (*
 	} else {
 		clus = cpu.NewClusterMulti(trs, sys.CPU, sys.DRAM.CPUClockMul)
 	}
-	return &Sim{
+	s := &Sim{
 		sys:    sys,
 		ring:   ring,
 		path:   path,
@@ -331,7 +350,26 @@ func newSim(sys config.System, trs []*trace.Trace, name string, opts Options) (*
 		clus:   clus,
 		tags:   newTagWindow(),
 		res:    res,
-	}, nil
+		rec:    opts.FlightRecorder,
+	}
+	if opts.Obs != nil || opts.FlightRecorder != nil {
+		s.ctrl.Instrument(opts.Obs, opts.FlightRecorder)
+		if ring != nil {
+			ins := oram.NewInstruments(opts.Obs, "")
+			ins.Recorder = opts.FlightRecorder
+			ins.Clock = func() int64 { return s.now }
+			ring.Instrument(ins)
+		}
+		for tag := sched.Tag(0); tag < sched.NumTags; tag++ {
+			s.txnHist[tag] = opts.Obs.Histogram(
+				fmt.Sprintf(`sim_txn_cycles{tag=%q}`, tag.String()),
+				"per-transaction service latency in DRAM cycles (creation to drain), by ORAM phase",
+				obs.ExpBuckets(16, 2, 16))
+		}
+		opts.Obs.GaugeFunc("sim_cycles", "current simulated cycle",
+			func() float64 { return float64(s.now) })
+	}
+	return s, nil
 }
 
 // oramAccess pushes one logical access through the protocol and turns its
@@ -398,8 +436,9 @@ func (s *Sim) feed(now int64) {
 }
 
 // completeWaiters unblocks cores whose data transaction has drained and
-// recycles the memory of fully drained transactions.
-func (s *Sim) completeWaiters() {
+// recycles the memory of fully drained transactions, emitting each
+// drained transaction's latency span on the way out.
+func (s *Sim) completeWaiters(now int64) {
 	cur := s.ctrl.CurrentTxn()
 	kept := s.waiters[:0]
 	for _, w := range s.waiters {
@@ -415,6 +454,9 @@ func (s *Sim) completeWaiters() {
 	s.tags.prune(cur)
 	for s.inflHead < len(s.inflight) && s.inflight[s.inflHead].id < cur {
 		w := s.inflight[s.inflHead]
+		s.txnHist[w.tag].Observe(float64(now - w.born))
+		s.rec.Emit(obs.Event{TS: w.born, Dur: now - w.born, Kind: obs.EvTxn,
+			Track: int32(w.tag), Arg0: int64(w.tag), Arg1: int64(len(w.reqs))})
 		s.freeReq = append(s.freeReq, w.reqs...)
 		s.freeWork = append(s.freeWork, w)
 		s.inflHead++
@@ -478,6 +520,7 @@ func (s *Sim) run(opts Options) (*Result, error) {
 		if iter > maxIters {
 			return nil, errors.New("sim: exceeded iteration budget; likely deadlock")
 		}
+		s.now = now
 		s.feed(now)
 
 		if tracing && opts.MaxAccesses > 0 && s.accesses >= int64(opts.MaxAccesses) {
@@ -494,7 +537,7 @@ func (s *Sim) run(opts Options) (*Result, error) {
 		}
 
 		next := s.ctrl.Tick(now)
-		s.completeWaiters()
+		s.completeWaiters(now)
 
 		memDone := s.pendHead == len(s.pending) && s.ctrl.Pending() == 0
 		if !tracing && memDone {
@@ -502,6 +545,7 @@ func (s *Sim) run(opts Options) (*Result, error) {
 			// command) before stopping.
 			s.attribute(now, now+1)
 			now++
+			s.now = now
 			break
 		}
 

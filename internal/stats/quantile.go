@@ -58,6 +58,13 @@ func (r *Reservoir) Samples() []float64 {
 	return out
 }
 
+// AppendSamples appends the currently retained sample to dst and returns
+// it — the allocation-free variant of Samples for callers merging many
+// reservoirs through a reusable scratch buffer (e.g. a metrics scrape).
+func (r *Reservoir) AppendSamples(dst []float64) []float64 {
+	return append(dst, r.vals...)
+}
+
 // Quantile estimates the q-quantile (q in [0, 1]) from the retained
 // sample; NaN when nothing has been observed.
 func (r *Reservoir) Quantile(q float64) float64 {
@@ -83,6 +90,18 @@ func Percentiles(vals []float64, qs ...float64) []float64 {
 		out[i] = quantileSorted(sorted, q)
 	}
 	return out
+}
+
+// SortedQuantile reads the q-quantile (clamped to [0, 1]) off an
+// already-ascending slice with the same linear-interpolation estimator
+// as Percentiles, without allocating; NaN on empty input. The caller
+// guarantees sortedness (e.g. one sort.Float64s over a merged scrape
+// buffer serving several quantiles).
+func SortedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(sorted, q)
 }
 
 // quantileSorted reads the q-quantile off an ascending slice.

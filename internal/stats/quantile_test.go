@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"stringoram/internal/rng"
@@ -81,6 +82,130 @@ func TestReservoirLargeNAccuracy(t *testing.T) {
 		got := r.Quantile(tc.q)
 		if math.Abs(got-tc.q) > tc.tol {
 			t.Errorf("Quantile(%v) = %v, want within %v of %v", tc.q, got, tc.tol, tc.q)
+		}
+	}
+}
+
+func TestPercentilesDuplicateHeavy(t *testing.T) {
+	// A heavily tied distribution (90% of mass at one value) must not
+	// confuse the interpolation: mid quantiles sit on the plateau, and
+	// only the extreme tail reads the outliers.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 7
+	}
+	for i := 0; i < 5; i++ {
+		vals[i] = 1
+		vals[len(vals)-1-i] = 100
+	}
+	got := Percentiles(vals, 0.1, 0.5, 0.9, 1)
+	want := []float64{7, 7, 7, 100}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("duplicate-heavy quantile %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// All-identical input: every quantile is the constant.
+	same := []float64{3, 3, 3, 3}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if v := Percentiles(same, q)[0]; v != 3 {
+			t.Errorf("constant-input Percentiles(%v) = %v, want 3", q, v)
+		}
+	}
+}
+
+func TestReservoirZeroObservations(t *testing.T) {
+	r := NewReservoir(0, 1) // capacity <= 0 falls back to the default
+	if r.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", r.Count())
+	}
+	if s := r.Samples(); len(s) != 0 {
+		t.Fatalf("Samples on empty reservoir has %d entries, want 0", len(s))
+	}
+	if got := r.AppendSamples(nil); len(got) != 0 {
+		t.Fatalf("AppendSamples on empty reservoir appended %d entries", len(got))
+	}
+	if !math.IsNaN(r.Quantile(0.5)) {
+		t.Fatal("Quantile on empty reservoir should be NaN")
+	}
+	if !math.IsNaN(SortedQuantile(nil, 0.5)) {
+		t.Fatal("SortedQuantile(nil) should be NaN")
+	}
+}
+
+func TestReservoirAtExactCapacity(t *testing.T) {
+	// Feed exactly DefaultReservoirSize observations: the reservoir is
+	// full but nothing has been replaced yet, so the sample is the entire
+	// stream and quantiles are still exact. One more Add keeps the size
+	// pinned at capacity.
+	r := NewReservoir(DefaultReservoirSize, 3)
+	for i := 0; i < DefaultReservoirSize; i++ {
+		r.Add(float64(i))
+	}
+	if r.Count() != DefaultReservoirSize {
+		t.Fatalf("Count = %d, want %d", r.Count(), DefaultReservoirSize)
+	}
+	s := r.Samples()
+	if len(s) != DefaultReservoirSize {
+		t.Fatalf("sample size = %d, want %d", len(s), DefaultReservoirSize)
+	}
+	for i, v := range s {
+		if v != float64(i) {
+			t.Fatalf("sample[%d] = %v; below-capacity retention must be verbatim", i, v)
+		}
+	}
+	want := float64(DefaultReservoirSize-1) / 2
+	if got := r.Quantile(0.5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("median at exact capacity = %v, want %v", got, want)
+	}
+	r.Add(1e9)
+	if got := len(r.Samples()); got != DefaultReservoirSize {
+		t.Fatalf("sample grew past capacity: %d", got)
+	}
+	if r.Count() != DefaultReservoirSize+1 {
+		t.Fatalf("Count = %d, want %d", r.Count(), DefaultReservoirSize+1)
+	}
+}
+
+func TestAppendSamplesMatchesSamples(t *testing.T) {
+	r := NewReservoir(128, 11)
+	src := rng.New(13)
+	for i := 0; i < 500; i++ {
+		r.Add(src.Float64())
+	}
+	want := r.Samples()
+	scratch := make([]float64, 0, 256)
+	got := r.AppendSamples(scratch[:0])
+	if len(got) != len(want) {
+		t.Fatalf("AppendSamples len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendSamples[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Appending to a non-empty dst preserves the prefix.
+	pre := r.AppendSamples([]float64{-1, -2})
+	if pre[0] != -1 || pre[1] != -2 || len(pre) != len(want)+2 {
+		t.Fatalf("AppendSamples clobbered dst prefix: %v...", pre[:2])
+	}
+	// Warmed AppendSamples is allocation-free — the property the server
+	// scrape path relies on.
+	if n := testing.AllocsPerRun(100, func() {
+		scratch = r.AppendSamples(scratch[:0])
+	}); n != 0 {
+		t.Fatalf("warmed AppendSamples allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestSortedQuantileMatchesPercentiles(t *testing.T) {
+	vals := []float64{9, 1, 4, 4, 7, 2, 8, 4}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{-0.5, 0, 0.1, 0.5, 0.9, 1, 2} {
+		want := Percentiles(vals, q)[0]
+		if got := SortedQuantile(sorted, q); got != want {
+			t.Errorf("SortedQuantile(%v) = %v, Percentiles = %v", q, got, want)
 		}
 	}
 }

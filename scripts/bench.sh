@@ -10,10 +10,13 @@
 #          benchmark                          -> BENCH_sched.json
 #   oram   ORAM data-plane hot path (seal, functional access, XOR
 #          decode, eviction) and the serving layer -> BENCH_oram.json
+#   obs    instrumented-vs-disabled pairs for the hot paths; the entry
+#          also records the derived overhead percentages (budget: <=5%)
+#                                               -> BENCH_obs.json
 #
 # Usage: scripts/bench.sh [label] [group]
 #   label  entry label (default: git short hash)
-#   group  sched | oram (default: sched)
+#   group  sched | oram | obs (default: sched)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,8 +48,18 @@ oram)
 	go test -run '^$' -bench 'BenchmarkServerGetPut$|BenchmarkWireRoundTrip$' \
 	    -benchmem -benchtime 2s ./internal/server | tee -a "$tmp"
 	;;
+obs)
+	out=BENCH_obs.json
+	echo "== scheduler tick: disabled vs instrumented =="
+	go test -run '^$' -bench 'BenchmarkSchedTick$|BenchmarkSchedTickObs$' \
+	    -benchmem -benchtime 2s ./internal/sched | tee -a "$tmp"
+
+	echo "== functional access: disabled vs instrumented =="
+	go test -run '^$' -bench 'BenchmarkAccessFunctional$|BenchmarkAccessFunctionalObs$' \
+	    -benchmem -benchtime 2s ./internal/oram | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown group '$group' (want sched or oram)" >&2
+	echo "bench.sh: unknown group '$group' (want sched, oram, or obs)" >&2
 	exit 1
 	;;
 esac
@@ -72,7 +85,22 @@ try:
     runs = json.load(open(out_path))
 except (FileNotFoundError, json.JSONDecodeError):
     runs = []
-runs.append({"label": label, "benchmarks": benches})
+entry = {"label": label, "benchmarks": benches}
+# For instrumented-vs-disabled pairs (the obs group), record the derived
+# overhead so the <=5% budget is auditable straight from the JSON.
+overhead = {}
+for name, bench in benches.items():
+    if not name.endswith("Obs"):
+        continue
+    base = benches.get(name[:-3])
+    if base and base["ns_per_op"] > 0:
+        pct = 100.0 * (bench["ns_per_op"] - base["ns_per_op"]) / base["ns_per_op"]
+        overhead[name[:-3]] = round(pct, 2)
+if overhead:
+    entry["obs_overhead_pct"] = overhead
+runs.append(entry)
 json.dump(runs, open(out_path, "w"), indent=2)
 print(f"appended run {label!r} with {len(benches)} benchmarks to {out_path}")
+for base, pct in sorted(overhead.items()):
+    print(f"  obs overhead on {base}: {pct:+.2f}% (budget: <=5%)")
 EOF

@@ -41,6 +41,11 @@ go test -race ./internal/server ./cmd/oramd
 echo "== alloc-regression guards (data-plane hot path) =="
 go test -run='^TestAllocFree' -count=1 ./internal/oram
 
+echo "== observability gate (alloc guards, Perfetto schema, exposition parse) =="
+go test -count=1 \
+    -run='^(TestAllocFreeInstrumentedAccess|TestInstrumentUpdatesAllocFree|TestRecorderEmitAllocFree|TestWriteTracePerfettoShape|TestWritePrometheusFormatAndDeterminism|TestValidateExpositionRejectsGarbage|TestMetricsScrapeAllocBound)$' \
+    ./internal/obs ./internal/oram ./internal/server
+
 echo "== examples/server smoke =="
 go run ./examples/server >/dev/null
 
