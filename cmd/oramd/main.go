@@ -20,6 +20,9 @@
 //	-levels N            tree levels per shard (default 12)
 //	-queue N             per-shard queue depth (default 256)
 //	-batch N             max requests drained per worker wakeup (default 32)
+//	-pipeline K          in-flight ORAM accesses per shard via the
+//	                     concurrent controller; 0 or 1 serves serially
+//	                     (default 0)
 //	-seed N              master seed for per-shard protocol randomness
 //	-snapshots DIR       snapshot directory: restore on boot, save on
 //	                     shutdown (empty disables persistence)
@@ -96,6 +99,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	levels := fs.Int("levels", 12, "ORAM tree levels per shard")
 	queue := fs.Int("queue", 256, "per-shard request queue depth")
 	batch := fs.Int("batch", 32, "max requests per worker batch")
+	pipeline := fs.Int("pipeline", 0, "in-flight ORAM accesses per shard (0 or 1: serial)")
 	seed := fs.Uint64("seed", 1, "master protocol seed")
 	snapdir := fs.String("snapshots", "", "snapshot directory (restore on boot, save on shutdown)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline (0 disables)")
@@ -109,6 +113,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	cfg.ORAM = stringoram.DefaultServerORAM(*levels)
 	cfg.QueueDepth = *queue
 	cfg.MaxBatch = *batch
+	cfg.Pipeline = *pipeline
 	cfg.Seed = *seed
 	cfg.SnapshotDir = *snapdir
 	cfg.DefaultTimeout = *timeout

@@ -44,6 +44,18 @@ const (
 	// EvBatch: the server drained a request batch on one shard; used as
 	// a duration span. Arg0 = shard, Arg1 = batch size.
 	EvBatch
+	// EvPipelineAdmit: the concurrent controller admitted an access into
+	// a pipeline slot. Arg0 = accesses in flight after admission, Arg1 =
+	// number of data-plane jobs recorded for the slot.
+	EvPipelineAdmit
+	// EvPipelinePark: an admitted access entered the pipeline with at
+	// least one conflict-ledger dependency and will park until its
+	// producers complete. Arg0 = slot index, Arg1 = accesses in flight.
+	EvPipelinePark
+	// EvPipelineRetire: the oldest in-flight access completed and retired
+	// in order. Arg0 = accesses in flight after retirement, Arg1 = number
+	// of tree ops the access emitted.
+	EvPipelineRetire
 	numEventKinds
 )
 
@@ -57,6 +69,9 @@ var eventKindNames = [numEventKinds]string{
 	EvEarlyPRE:           "early_pre",
 	EvEarlyACT:           "early_act",
 	EvBatch:              "batch",
+	EvPipelineAdmit:      "pipeline_admit",
+	EvPipelinePark:       "pipeline_park",
+	EvPipelineRetire:     "pipeline_retire",
 }
 
 var eventKindCats = [numEventKinds]string{
@@ -69,6 +84,9 @@ var eventKindCats = [numEventKinds]string{
 	EvEarlyPRE:           "sched",
 	EvEarlyACT:           "sched",
 	EvBatch:              "server",
+	EvPipelineAdmit:      "pipeline",
+	EvPipelinePark:       "pipeline",
+	EvPipelineRetire:     "pipeline",
 }
 
 // argNames gives the per-kind labels for Arg0/Arg1 in the trace export.
@@ -82,6 +100,9 @@ var eventArgNames = [numEventKinds][2]string{
 	EvEarlyPRE:           {"channel", "bank"},
 	EvEarlyACT:           {"channel", "bank"},
 	EvBatch:              {"shard", "size"},
+	EvPipelineAdmit:      {"inflight", "jobs"},
+	EvPipelinePark:       {"slot", "inflight"},
+	EvPipelineRetire:     {"inflight", "ops"},
 }
 
 // String returns the kind's display name.

@@ -1,6 +1,8 @@
 package oram
 
 import (
+	"math/bits"
+
 	"stringoram/internal/invariant"
 	"stringoram/internal/rng"
 )
@@ -35,6 +37,53 @@ type Bucket struct {
 	// sealed deterministically per (bucket, slot, epoch), which lets
 	// the XOR technique cancel them out of a combined read.
 	Epoch int
+
+	// realMask/validMask mirror the Slots' Real and Valid flags as bit
+	// sets for buckets of at most 64 slots (every practical geometry:
+	// the paper's is Z+S-Y = 12), replacing the per-access linear scans
+	// of the metadata hot path with popcounts and bit iteration. They
+	// are maintained incrementally by every mutation below and rebuilt
+	// by reindex after a snapshot restore; wider buckets fall back to
+	// the scans. realMask is secret for the same reason Real is.
+	realMask  uint64 `oramlint:"secret"`
+	validMask uint64
+}
+
+// maskable reports whether the bucket's slot count fits the bit masks.
+func (b *Bucket) maskable() bool { return len(b.Slots) <= 64 }
+
+// onesMask returns a mask of the low n bits (n capped at 64).
+func onesMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<n - 1
+}
+
+// reindex rebuilds the masks from the Slots. Callers that construct a
+// Bucket directly (snapshot restore) must invoke it before use.
+func (b *Bucket) reindex() {
+	b.realMask, b.validMask = 0, 0
+	for i := range b.Slots {
+		if b.Slots[i].Real {
+			b.realMask |= 1 << uint(i)
+		}
+		if b.Slots[i].Valid {
+			b.validMask |= 1 << uint(i)
+		}
+	}
+}
+
+// checkMasks asserts (under -tags=invariants) that the incremental masks
+// agree with the Slots they mirror.
+func (b *Bucket) checkMasks() {
+	if !invariant.Enabled || !b.maskable() {
+		return
+	}
+	real, valid := b.realMask, b.validMask
+	b.reindex()
+	invariant.Assertf(real == b.realMask && valid == b.validMask,
+		"bucket masks drifted from slots: real %#x/%#x, valid %#x/%#x", real, b.realMask, valid, b.validMask)
 }
 
 // newBucket returns a freshly reshuffled bucket with no real blocks: all
@@ -46,11 +95,22 @@ func newBucket(slots int) *Bucket {
 	for i := range b.Slots {
 		b.Slots[i] = Slot{Real: false, Valid: true}
 	}
+	b.validMask = onesMask(slots)
 	return b
 }
 
 // findBlock returns the slot index holding the given block, or -1.
 func (b *Bucket) findBlock(id BlockID) int {
+	if b.maskable() {
+		b.checkMasks()
+		for m := b.realMask & b.validMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if b.Slots[i].ID == id {
+				return i
+			}
+		}
+		return -1
+	}
 	for i := range b.Slots {
 		if b.Slots[i].Real && b.Slots[i].Valid && b.Slots[i].ID == id {
 			return i
@@ -61,6 +121,9 @@ func (b *Bucket) findBlock(id BlockID) int {
 
 // realBlocks returns the number of valid real blocks resident.
 func (b *Bucket) realBlocks() int {
+	if b.maskable() {
+		return bits.OnesCount64(b.realMask & b.validMask)
+	}
 	n := 0
 	for i := range b.Slots {
 		if b.Slots[i].Real && b.Slots[i].Valid {
@@ -72,6 +135,9 @@ func (b *Bucket) realBlocks() int {
 
 // validDummies returns the number of untouched reserved dummy slots.
 func (b *Bucket) validDummies() int {
+	if b.maskable() {
+		return bits.OnesCount64(b.validMask &^ b.realMask)
+	}
 	n := 0
 	for i := range b.Slots {
 		if !b.Slots[i].Real && b.Slots[i].Valid {
@@ -113,6 +179,19 @@ type selectScratch struct {
 func (sc *selectScratch) split(b *Bucket) (dummies, greens []int) {
 	sc.dummies = sc.dummies[:0]
 	sc.greens = sc.greens[:0]
+	if b.maskable() {
+		// Set-bit iteration visits slots in ascending index order, the
+		// same order as the scan it replaces, so the RNG-indexed picks
+		// downstream are unchanged.
+		b.checkMasks()
+		for m := b.validMask &^ b.realMask; m != 0; m &= m - 1 {
+			sc.dummies = append(sc.dummies, bits.TrailingZeros64(m))
+		}
+		for m := b.validMask & b.realMask; m != 0; m &= m - 1 {
+			sc.greens = append(sc.greens, bits.TrailingZeros64(m))
+		}
+		return sc.dummies, sc.greens
+	}
 	for i := range b.Slots {
 		if !b.Slots[i].Valid {
 			continue
@@ -156,6 +235,7 @@ func (b *Bucket) selectDummyScratch(src *rng.Source, y int, uniform bool, sc *se
 		i := greens[src.Intn(len(greens))]
 		id := b.Slots[i].ID
 		b.Slots[i].Valid = false
+		b.validMask &^= 1 << uint(i)
 		b.Green++
 		if invariant.Enabled {
 			invariant.Assertf(b.Green <= y, "bucket green counter %d exceeds CB budget Y=%d", b.Green, y)
@@ -164,6 +244,7 @@ func (b *Bucket) selectDummyScratch(src *rng.Source, y int, uniform bool, sc *se
 	}
 	i := dummies[src.Intn(len(dummies))]
 	b.Slots[i].Valid = false
+	b.validMask &^= 1 << uint(i)
 	return i, InvalidBlock
 }
 
@@ -199,6 +280,7 @@ func (b *Bucket) selectDummyBalancedScratch(pick func(candidates []int) int, y i
 	if pickGreen {
 		id := b.Slots[i].ID
 		b.Slots[i].Valid = false
+		b.validMask &^= 1 << uint(i)
 		b.Green++
 		if invariant.Enabled {
 			invariant.Assertf(b.Green <= y, "bucket green counter %d exceeds CB budget Y=%d", b.Green, y)
@@ -206,6 +288,7 @@ func (b *Bucket) selectDummyBalancedScratch(pick func(candidates []int) int, y i
 		return i, id
 	}
 	b.Slots[i].Valid = false
+	b.validMask &^= 1 << uint(i)
 	return i, InvalidBlock
 }
 
@@ -217,6 +300,8 @@ func (b *Bucket) consumeReal(slot int) BlockID {
 	b.Slots[slot].Real = false
 	b.Slots[slot].Valid = false
 	b.Slots[slot].ID = InvalidBlock
+	b.realMask &^= 1 << uint(slot)
+	b.validMask &^= 1 << uint(slot)
 	return id
 }
 
@@ -224,6 +309,13 @@ func (b *Bucket) consumeReal(slot int) BlockID {
 // in the bucket to dst. Invalid real slots no longer hold a block: reading
 // a slot moves its block to the stash.
 func (b *Bucket) residentBlocks(dst []BlockID) []BlockID {
+	if b.maskable() {
+		b.checkMasks()
+		for m := b.realMask & b.validMask; m != 0; m &= m - 1 {
+			dst = append(dst, b.Slots[bits.TrailingZeros64(m)].ID)
+		}
+		return dst
+	}
 	for i := range b.Slots {
 		if b.Slots[i].Real && b.Slots[i].Valid {
 			dst = append(dst, b.Slots[i].ID)
@@ -272,9 +364,14 @@ func (b *Bucket) reshuffleScratch(blocks []BlockID, src *rng.Source, sc *shuffle
 	for i := range b.Slots {
 		b.Slots[i] = Slot{Real: false, Valid: true, ID: InvalidBlock}
 	}
+	b.realMask = 0
+	b.validMask = onesMask(len(b.Slots))
 	for i, id := range blocks {
 		s := perm[i]
 		b.Slots[s] = Slot{Real: true, Valid: true, ID: id}
+		if s < 64 {
+			b.realMask |= 1 << uint(s)
+		}
 		target[i] = s
 	}
 	b.Count = 0

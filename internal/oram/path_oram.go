@@ -213,11 +213,11 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 	for lvl, idx := range path {
 		b := p.bucket(idx)
 		ids := placed[lvl]
-		blockData := p.scr.resData[:0]
+		blockData := p.scr.refs[:0]
 		for _, bid := range ids {
-			blockData = append(blockData, p.stash.Remove(bid))
+			blockData = append(blockData, serialRef(p.stash.Remove(bid)))
 		}
-		p.scr.resData = blockData
+		p.scr.refs = blockData
 		targets := b.reshuffleScratch(ids, p.permSrc, &p.scr.shuf)
 		if p.store != nil {
 			owner := p.scr.slotOwner
@@ -234,7 +234,7 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 			}
 			for s := range b.Slots {
 				if i := owner[s]; i >= 0 {
-					p.store.WriteSlot(idx, s, p.sealedForStore(blockData[i]))
+					p.store.WriteSlot(idx, s, p.sealedForStore(blockData[i].buf))
 				} else {
 					p.store.WriteSlot(idx, s, p.sealedForStore(nil))
 				}
@@ -244,8 +244,8 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: s, Write: true})
 		}
 		for i := range blockData {
-			p.putBlockBuf(blockData[i])
-			blockData[i] = nil
+			p.putBlockBuf(blockData[i].buf)
+			blockData[i] = blockRef{}
 		}
 	}
 

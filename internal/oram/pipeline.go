@@ -1,0 +1,824 @@
+package oram
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+
+	"stringoram/internal/invariant"
+	"stringoram/internal/obs"
+)
+
+// Pipeline is the concurrent ORAM controller: it keeps up to Depth
+// logical accesses in flight on one Ring, overlapping their data
+// movement (store I/O, AES open/seal, XOR folding) on worker goroutines
+// while preserving bit-identical protocol behaviour.
+//
+// The split follows the metadata/data separation the Ring protocol
+// already has: every protocol decision — position-map lookups, RNG
+// draws, bucket metadata, stash membership, the emitted op list — is a
+// pure function of the access sequence and never of block contents. So
+// Submit runs the full protocol pass (admission) serially on the caller
+// goroutine, byte-for-byte identical to serial execution, and defers
+// only the data movement into a per-slot job executed by workers.
+//
+// Safety comes from a bucket-granular conflict ledger. Admission records
+// which buckets each job reads and writes; a job whose claims overlap an
+// older in-flight job's writes (or whose writes overlap its reads) parks
+// on that job's completion before executing, so store slots are always
+// read and written in serial order. Blocks whose plaintext is still in
+// flight (fetched by an earlier job that has not completed) are handled
+// by a pending-block table: a consumer either copies from the producer's
+// output buffer after its completion, or takes the buffer over entirely.
+// Sealed bytes stay bit-identical because write counters are reserved at
+// admission in serial order and each job seals under its reserved
+// counters.
+//
+// Slots retire strictly in admission order on the controller goroutine:
+// retirement delivers fetched plaintext into the stash, invokes the Done
+// callback, and recycles buffers whose last possible reader has retired.
+// One Ring has at most one Pipeline attached; while attached, the Ring
+// must not be used directly until Close (which drains and detaches).
+type Pipeline struct {
+	ring   *Ring
+	store  *lockedStore
+	crypt  *Crypt
+	depth  int
+	doneFn func(ctx any, data []byte, ops []Op, err error)
+	ins    PipelineInstruments
+
+	slots []*pipeSlot
+	// head is the seq of the oldest in-flight slot, next the seq the
+	// next admission gets. Seqs start at 1 so 0 means "no dependency";
+	// slot for seq s is slots[s%depth].
+	head, next uint64
+
+	// pending maps a block whose plaintext is still being produced by an
+	// in-flight job to its producer's output buffer. Keys are secret
+	// block IDs; all lookups steer only stash data-plumbing, never the
+	// bus-visible schedule (admission emitted the ops already).
+	pending map[BlockID]pendRef `oramlint:"secret"`
+
+	// recycleQ holds buffers that may still be read by in-flight jobs;
+	// entry i returns to the pool once every slot admitted at or before
+	// release has retired. FIFO because release values are appended in
+	// nondecreasing order.
+	recycleQ    []deferBuf
+	recycleHead int
+
+	work      chan *pipeSlot
+	mu        sync.Mutex
+	cond      *sync.Cond
+	completed []uint64 // per slot index: seq of its last completed job
+	wg        sync.WaitGroup
+	closed    bool
+
+	// zero is a read-only zero block for plaintext-mode dummy writes.
+	zero []byte
+
+	// parkedN/unparkedN drive the every-parked-job-unparks watchdog
+	// (asserted at Drain under -tags=invariants). unparkedN is guarded
+	// by mu; parkedN is controller-only.
+	parkedN   uint64
+	unparkedN uint64
+
+	// cur is the slot being admitted; pipePlane methods route to it.
+	cur *pipeSlot
+}
+
+// pendRef locates an in-flight job's output buffer.
+type pendRef struct {
+	slot int32
+	out  int32
+}
+
+// deferBuf is one deferred-recycle entry.
+type deferBuf struct {
+	release uint64
+	buf     []byte `oramlint:"secret"`
+}
+
+// Job op kinds. Each op is recorded at admission and executed verbatim
+// on a worker; none of them makes a protocol decision.
+const (
+	jobOpen       uint8 = iota // store read, open into outs[out].buf
+	jobXORReset                // clear the XOR accumulator
+	jobXORFold                 // fold one slot's ciphertext into the accumulator
+	jobXORFinish               // decode the accumulator into outs[out].buf
+	jobSeal                    // seal plaintext under the reserved counter, write slot
+	jobSealDummy               // deterministic dummy ciphertext, write slot
+	jobWritePlain              // plaintext-mode write (no Crypt)
+)
+
+// pipeJob is one recorded data-movement op.
+type pipeJob struct {
+	kind    uint8
+	isDummy bool
+	slot    int32
+	epoch   int32
+	out     int32 // outs index: destination for opens, source for seals (-1: use src)
+	bucket  int64
+	ctr     uint64 // reserved seal counter (jobSeal)
+	src     []byte `oramlint:"secret"` // external plaintext source (forwarded buffers)
+}
+
+// pipeOut is one buffer a job produces. stashPut marks buffers that
+// retire into the stash entry of id (maintained in lockstep with the
+// pending table: stashPut is true iff pending[id] still points here).
+type pipeOut struct {
+	id       BlockID `oramlint:"secret"`
+	buf      []byte  `oramlint:"secret"`
+	stashPut bool
+}
+
+// pipeSlot is one in-flight access: its recorded job, claims,
+// dependencies, response buffer and all per-slot worker scratch. The
+// fixed ring of slots is the pipeline's zero-alloc backbone — every
+// slice here is reset by reslicing and regrows only to its steady-state
+// high-water mark.
+type pipeSlot struct {
+	idx   int
+	seq   uint64
+	ctx   any
+	write bool
+	err   error
+
+	ops  []Op
+	jobs []pipeJob
+	outs []pipeOut
+
+	// readClaims/writeClaims are the buckets this job touches, sorted at
+	// dispatch. Bucket indices are public (the emitted op list names
+	// them), so the conflict ledger keys on public data only.
+	readClaims  []int64
+	writeClaims []int64
+	// depSeq[i] is the seq slot i must have completed before this job
+	// may execute (0: none).
+	depSeq []uint64
+
+	outBuf   []byte `oramlint:"secret"` // response plaintext (BlockSize)
+	outSrc   []byte `oramlint:"secret"` // copied into outBuf after job ops run
+	outValid bool
+	parked   bool
+
+	// Worker-side scratch: a Crypt view sharing the ring cipher, the XOR
+	// accumulator, and seal output buffers.
+	cv       *Crypt
+	xorAcc   []byte
+	sealBuf  []byte
+	dummyBuf []byte
+
+	executing bool // guarded by Pipeline.mu (ledger soundness asserts)
+	done      bool // guarded by Pipeline.mu
+}
+
+// PipelineOptions configures AttachPipeline.
+type PipelineOptions struct {
+	// Depth is the number of in-flight access slots k (default 4).
+	Depth int
+	// Workers is the number of data-plane worker goroutines (default
+	// min(Depth, NumCPU), clamped to Depth).
+	Workers int
+	// Done receives each access's result at retirement, in admission
+	// order, on the goroutine calling Submit/Drain. data is nil for
+	// writes and errors; for reads it aliases the slot's response
+	// scratch and is valid only until the slot is reused — Depth
+	// admissions later — so callers that keep it must copy.
+	Done func(ctx any, data []byte, ops []Op, err error)
+	// Ins supplies the pipeline telemetry bundle (zero value: no-ops).
+	Ins PipelineInstruments
+}
+
+// AttachPipeline puts the Ring under pipelined control and returns the
+// controller. The Ring must be in functional mode (a Store attached);
+// while the pipeline is attached the Ring must not be driven directly.
+func AttachPipeline(r *Ring, opt PipelineOptions) (*Pipeline, error) {
+	if r.store == nil {
+		return nil, errors.New("oram: pipeline requires a functional Store")
+	}
+	if opt.Done == nil {
+		return nil, errors.New("oram: pipeline requires a Done callback")
+	}
+	if _, serial := r.dp.(*Ring); !serial {
+		return nil, errors.New("oram: ring already has a pipeline attached")
+	}
+	depth := opt.Depth
+	if depth <= 0 {
+		depth = 4
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > depth {
+		workers = depth
+	}
+	p := &Pipeline{
+		ring:      r,
+		store:     &lockedStore{s: r.store},
+		crypt:     r.crypt,
+		depth:     depth,
+		doneFn:    opt.Done,
+		ins:       opt.Ins,
+		slots:     make([]*pipeSlot, depth),
+		head:      1,
+		next:      1,
+		pending:   make(map[BlockID]pendRef),
+		work:      make(chan *pipeSlot, depth),
+		completed: make([]uint64, depth),
+		zero:      make([]byte, r.cfg.BlockSize),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.slots {
+		s := &pipeSlot{
+			idx:    i,
+			depSeq: make([]uint64, depth),
+			outBuf: make([]byte, r.cfg.BlockSize),
+		}
+		if r.crypt != nil {
+			s.cv = r.crypt.view()
+			s.xorAcc = make([]byte, 0, r.crypt.sealedLen())
+			s.sealBuf = make([]byte, r.crypt.sealedLen())
+			s.dummyBuf = make([]byte, r.crypt.sealedLen())
+		}
+		p.slots[i] = s
+	}
+	r.dp = pipePlane{p}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker() //oramlint:allow gostmt workers only execute data jobs pre-recorded by the serial admission pass; every protocol decision (and all RNG consumption) stays on the controller goroutine in deterministic order
+	}
+	return p, nil
+}
+
+// Depth returns the configured number of in-flight slots.
+func (p *Pipeline) Depth() int { return p.depth }
+
+// InFlight returns the number of accesses currently in flight.
+func (p *Pipeline) InFlight() int { return int(p.next - p.head) }
+
+// Submit admits one logical access (a read when write is false, a write
+// of data otherwise) and returns once it is in flight, retiring the
+// oldest access first when all slots are busy. Results are delivered to
+// the Done callback in admission order. Update-style read-modify-writes
+// are not supported through the pipeline.
+func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
+	if p.closed {
+		return errors.New("oram: pipeline is closed")
+	}
+	if p.next-p.head == uint64(p.depth) {
+		p.retireOne()
+	}
+	t0 := p.now()
+	s := p.slots[p.next%uint64(p.depth)]
+	s.reset(p.next, ctx, write)
+
+	// Admission: the full serial protocol pass. Data movement lands in
+	// s.jobs/s.outs via pipePlane; the op list is built directly into
+	// the slot's own storage so it survives until retirement.
+	p.cur = s
+	savedOps := p.ring.scr.ops
+	p.ring.scr.ops = s.ops[:0]
+	_, _, err := p.ring.access(id, write, data, nil, nil)
+	s.ops = p.ring.scr.ops
+	p.ring.scr.ops = savedOps
+	p.cur = nil
+	s.err = err
+
+	p.computeDeps(s)
+	p.next++
+	if s.parked {
+		p.parkedN++
+		p.ins.Parked.Inc()
+		p.ins.Recorder.Emit(obs.Event{TS: p.now(), Kind: obs.EvPipelinePark,
+			Track: int32(s.idx), Arg0: int64(s.idx), Arg1: int64(p.next - p.head)})
+	}
+	if invariant.Enabled {
+		// Stage boundary: admission must leave the stash within its
+		// bound (the background evictor runs inside the admission pass).
+		invariant.Assertf(s.err != nil || p.ring.stash.Len() <= p.ring.stash.Cap(),
+			"pipeline admission left stash at %d over capacity %d", p.ring.stash.Len(), p.ring.stash.Cap())
+	}
+	p.ins.Admitted.Inc()
+	p.ins.InFlight.Set(int64(p.next - p.head))
+	if t0 != 0 {
+		p.ins.AdmitUs.Observe(float64(p.now() - t0))
+	}
+	p.ins.Recorder.Emit(obs.Event{TS: p.now(), Kind: obs.EvPipelineAdmit,
+		Track: int32(s.idx), Arg0: int64(p.next - p.head), Arg1: int64(len(s.jobs))})
+	p.work <- s
+	return nil
+}
+
+// Drain retires every in-flight access, delivering all outstanding Done
+// callbacks. On return the Ring's state (stash, tree, store, counters)
+// is bit-identical to serial execution of the same access sequence.
+func (p *Pipeline) Drain() {
+	for p.head < p.next {
+		p.retireOne()
+	}
+	if invariant.Enabled {
+		p.mu.Lock()
+		unparked := p.unparkedN
+		p.mu.Unlock()
+		// Watchdog: every parked job must have unparked — a stuck
+		// dependency would have deadlocked retirement above first, but
+		// the counter pair also catches accounting drift.
+		invariant.Assertf(p.parkedN == unparked, "pipeline parked %d jobs but unparked %d", p.parkedN, unparked)
+	}
+}
+
+// Close drains the pipeline, stops the workers and detaches from the
+// Ring, which returns to serial operation. Close is idempotent.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.Drain()
+	p.closed = true
+	close(p.work)
+	p.wg.Wait()
+	p.ring.dp = p.ring
+}
+
+// reset prepares a slot for a new admission.
+func (s *pipeSlot) reset(seq uint64, ctx any, write bool) {
+	s.seq = seq
+	s.ctx = ctx
+	s.write = write
+	s.err = nil
+	s.jobs = s.jobs[:0]
+	s.outs = s.outs[:0]
+	s.readClaims = s.readClaims[:0]
+	s.writeClaims = s.writeClaims[:0]
+	clear(s.depSeq)
+	s.outSrc = nil
+	s.outValid = false
+	s.parked = false
+	s.done = false
+}
+
+// depend parks s on o's completion (no-op on self).
+func (s *pipeSlot) depend(o *pipeSlot) {
+	if o == s {
+		return
+	}
+	if o.seq > s.depSeq[o.idx] {
+		s.depSeq[o.idx] = o.seq
+	}
+	s.parked = true
+}
+
+// addOut allocates one output buffer for the admitting job and returns
+// its index. Buffers come from the ring's block pool and return to it
+// through the deferred-recycle queue at retirement.
+func (p *Pipeline) addOut(s *pipeSlot, id BlockID, stashPut bool) int32 {
+	i := int32(len(s.outs))
+	s.outs = append(s.outs, pipeOut{id: id, buf: p.ring.getBlockBuf(), stashPut: stashPut})
+	return i
+}
+
+// claim records a bucket in a sorted-later claim list, deduplicating.
+func claim(list *[]int64, bucket int64) {
+	if !slices.Contains(*list, bucket) {
+		*list = append(*list, bucket)
+	}
+}
+
+// computeDeps sorts the slot's claims and parks it on every older
+// in-flight job whose data-movement order matters: write-after-write,
+// write-after-read and read-after-write on any shared bucket. Claims are
+// bucket indices from the emitted op list — public data — so the ledger
+// never branches on secrets.
+func (p *Pipeline) computeDeps(s *pipeSlot) {
+	slices.Sort(s.readClaims)
+	slices.Sort(s.writeClaims)
+	for seq := p.head; seq < s.seq; seq++ {
+		o := p.slots[seq%uint64(p.depth)]
+		if intersects(s.writeClaims, o.writeClaims) ||
+			intersects(s.writeClaims, o.readClaims) ||
+			intersects(s.readClaims, o.writeClaims) {
+			s.depend(o)
+			p.ins.Conflicts.Inc()
+		}
+	}
+	if invariant.Enabled {
+		// Ledger soundness: any older in-flight job sharing a bucket
+		// with this job's writes must now be a recorded dependency.
+		for seq := p.head; seq < s.seq; seq++ {
+			o := p.slots[seq%uint64(p.depth)]
+			if intersects(s.writeClaims, o.writeClaims) || intersects(s.writeClaims, o.readClaims) || intersects(s.readClaims, o.writeClaims) {
+				invariant.Assertf(s.depSeq[o.idx] >= o.seq,
+					"pipeline slot %d (seq %d) conflicts with slot %d (seq %d) but has no dependency on it", s.idx, s.seq, o.idx, o.seq)
+			}
+		}
+	}
+}
+
+// intersects reports whether two ascending-sorted bucket lists share an
+// element.
+func intersects(a, b []int64) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// retireOne retires the oldest in-flight slot: waits for its job,
+// delivers fetched plaintext into the stash, invokes Done, and recycles
+// buffers whose last possible reader has now retired.
+func (p *Pipeline) retireOne() {
+	s := p.slots[p.head%uint64(p.depth)]
+	p.mu.Lock()
+	for !s.done {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	t0 := p.now()
+
+	for i := range s.outs {
+		o := &s.outs[i]
+		if o.stashPut {
+			if invariant.Enabled {
+				pr, ok := p.pending[o.id]
+				invariant.Assertf(ok && pr.slot == int32(s.idx) && pr.out == int32(i),
+					"pipeline retire: stale pending ref for block %d", o.id)
+			}
+			delete(p.pending, o.id)
+			if e, ok := p.ring.stash.entries[o.id]; ok && e.data == nil {
+				// Hand the buffer to the stash: the fetch completes here,
+				// exactly as the serial plane's stash.Put did inline.
+				e.data = o.buf
+				p.ring.stash.entries[o.id] = e
+				o.buf = nil
+			}
+		}
+		if o.buf != nil {
+			p.deferRecycle(o.buf, p.next-1)
+			o.buf = nil
+		}
+		o.id = InvalidBlock
+	}
+
+	var data []byte
+	if s.err == nil && s.outValid {
+		data = s.outBuf
+	}
+	p.doneFn(s.ctx, data, s.ops, s.err)
+	p.head++
+	p.drainRecycle()
+	if invariant.Enabled {
+		invariant.Assertf(p.ring.stash.Len() <= p.ring.stash.Cap(),
+			"pipeline retirement left stash at %d over capacity %d", p.ring.stash.Len(), p.ring.stash.Cap())
+	}
+	p.ins.InFlight.Set(int64(p.next - p.head))
+	if t0 != 0 {
+		p.ins.RetireUs.Observe(float64(p.now() - t0))
+	}
+	p.ins.Recorder.Emit(obs.Event{TS: p.now(), Kind: obs.EvPipelineRetire,
+		Track: int32(s.idx), Arg0: int64(p.next - p.head), Arg1: int64(len(s.ops))})
+}
+
+// deferRecycle queues a buffer for return to the block pool once every
+// slot admitted at or before release has retired. Callers pass the
+// newest admitted seq (any job that could alias the buffer captured it
+// at its own admission, so none younger can hold it).
+func (p *Pipeline) deferRecycle(buf []byte, release uint64) {
+	if buf == nil {
+		return
+	}
+	p.recycleQ = append(p.recycleQ, deferBuf{release: release, buf: buf})
+}
+
+// drainRecycle returns every queued buffer whose release seq has
+// retired to the block pool.
+func (p *Pipeline) drainRecycle() {
+	retired := p.head - 1
+	for p.recycleHead < len(p.recycleQ) && p.recycleQ[p.recycleHead].release <= retired {
+		p.ring.putBlockBuf(p.recycleQ[p.recycleHead].buf)
+		p.recycleQ[p.recycleHead].buf = nil
+		p.recycleHead++
+	}
+	if p.recycleHead == len(p.recycleQ) {
+		p.recycleQ = p.recycleQ[:0]
+		p.recycleHead = 0
+	}
+}
+
+// now returns the instrumentation clock, or 0 when none is attached.
+func (p *Pipeline) now() int64 {
+	if p.ins.Clock != nil {
+		return p.ins.Clock()
+	}
+	return 0
+}
+
+// worker pulls dispatched slots off the queue, parks until their
+// dependencies complete, executes their job ops, and signals completion.
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for s := range p.work {
+		p.waitDeps(s)
+		p.beginExec(s)
+		p.execute(s)
+		p.mu.Lock()
+		s.executing = false
+		s.done = true
+		p.completed[s.idx] = s.seq
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	}
+}
+
+// waitDeps blocks until every dependency recorded for s has completed.
+// Dependencies always point at earlier-admitted jobs, which are
+// dispatched earlier, so the wait graph is acyclic and deadlock-free for
+// any worker count.
+func (p *Pipeline) waitDeps(s *pipeSlot) {
+	t0 := p.now()
+	waited := false
+	p.mu.Lock()
+	for i, want := range s.depSeq {
+		if want == 0 {
+			continue
+		}
+		for p.completed[i] < want {
+			waited = true
+			p.cond.Wait()
+		}
+	}
+	if s.parked {
+		p.unparkedN++
+	}
+	p.mu.Unlock()
+	if waited && t0 != 0 {
+		p.ins.WaitUs.Observe(float64(p.now() - t0))
+	}
+}
+
+// beginExec marks the slot executing and, under -tags=invariants,
+// asserts the conflict ledger kept every pair of concurrently executing
+// jobs bucket-disjoint on writes.
+func (p *Pipeline) beginExec(s *pipeSlot) {
+	p.mu.Lock()
+	if invariant.Enabled {
+		for _, o := range p.slots {
+			if o == s || !o.executing {
+				continue
+			}
+			invariant.Assertf(!intersects(s.writeClaims, o.writeClaims),
+				"pipeline slots %d and %d executing with overlapping write buckets", s.idx, o.idx)
+			invariant.Assertf(!intersects(s.writeClaims, o.readClaims) && !intersects(s.readClaims, o.writeClaims),
+				"pipeline slots %d and %d executing with a read/write bucket overlap", s.idx, o.idx)
+		}
+	}
+	s.executing = true
+	p.mu.Unlock()
+}
+
+// execute runs the slot's recorded job ops in order. Everything here is
+// pure data movement against pre-admitted metadata: store I/O on claimed
+// buckets, AES open/seal under reserved counters, XOR folding.
+func (p *Pipeline) execute(s *pipeSlot) {
+	t0 := p.now()
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		switch j.kind {
+		case jobOpen:
+			dst := s.outs[j.out].buf
+			sealed := p.store.ReadSlot(j.bucket, int(j.slot))
+			if sealed == nil {
+				clear(dst)
+			} else if s.cv != nil {
+				if _, err := s.cv.OpenInto(dst, sealed); err != nil {
+					panic(err) // corrupt store contents; unreachable with MemStore
+				}
+			} else {
+				copy(dst, sealed)
+			}
+		case jobXORReset:
+			s.xorAcc = s.xorAcc[:0]
+		case jobXORFold:
+			sealed := p.store.ReadSlot(j.bucket, int(j.slot))
+			if sealed == nil {
+				continue // never-written slot: contributes nothing
+			}
+			if len(s.xorAcc) == 0 {
+				s.xorAcc = append(s.xorAcc, sealed...)
+			} else {
+				XORBlocks(s.xorAcc, sealed)
+			}
+			if j.isDummy {
+				s.dummyBuf = s.cv.SealDummyInto(s.dummyBuf, j.bucket, int(j.slot), int(j.epoch))
+				XORBlocks(s.xorAcc, s.dummyBuf)
+			}
+		case jobXORFinish:
+			if _, err := s.cv.OpenInto(s.outs[j.out].buf, s.xorAcc); err != nil {
+				panic(fmt.Sprintf("oram: pipelined XOR decode: %v", err))
+			}
+		case jobSeal:
+			src := j.src
+			if j.out >= 0 {
+				src = s.outs[j.out].buf
+			}
+			s.sealBuf = s.cv.sealWith(s.sealBuf, j.ctr, src)
+			p.store.WriteSlot(j.bucket, int(j.slot), s.sealBuf)
+		case jobSealDummy:
+			s.dummyBuf = s.cv.SealDummyInto(s.dummyBuf, j.bucket, int(j.slot), int(j.epoch))
+			p.store.WriteSlot(j.bucket, int(j.slot), s.dummyBuf)
+		case jobWritePlain:
+			src := j.src
+			if j.out >= 0 {
+				src = s.outs[j.out].buf
+			}
+			if src == nil {
+				src = p.zero
+			}
+			p.store.WriteSlot(j.bucket, int(j.slot), src)
+		}
+		j.src = nil
+	}
+	// Response epilogue: the snapshot source resolved to an in-flight
+	// buffer (our own fetch or a completed producer's); copy it now that
+	// the producing ops have run.
+	if s.outSrc != nil {
+		copy(s.outBuf, s.outSrc)
+		s.outSrc = nil
+	}
+	if t0 != 0 {
+		p.ins.ExecUs.Observe(float64(p.now() - t0))
+	}
+}
+
+// --- pipePlane: the dataPlane that records instead of moving ---
+
+// pipePlane implements dataPlane during pipelined admission: each call
+// appends job ops and bucket claims to the admitting slot instead of
+// touching the store. Stash/metadata mutations mirror the serial plane
+// exactly so the protocol pass stays bit-identical.
+type pipePlane struct{ p *Pipeline }
+
+func (pp pipePlane) fetchToStash(bucket int64, slot int, id BlockID, path PathID) {
+	p, s := pp.p, pp.p.cur
+	claim(&s.readClaims, bucket)
+	out := p.addOut(s, id, true)
+	s.jobs = append(s.jobs, pipeJob{kind: jobOpen, bucket: bucket, slot: int32(slot), out: out})
+	// The stash entry materializes now (metadata, serial-identical); its
+	// data arrives when this slot retires. Until then the block is
+	// pending: consumers forward from the producing buffer.
+	p.ring.stash.Put(id, path, nil)
+	p.pending[id] = pendRef{slot: int32(s.idx), out: out}
+}
+
+func (pp pipePlane) xorReset() {
+	s := pp.p.cur
+	s.jobs = append(s.jobs, pipeJob{kind: jobXORReset})
+}
+
+func (pp pipePlane) xorFoldSlot(bucket int64, slot int, isDummy bool, epoch int) {
+	s := pp.p.cur
+	claim(&s.readClaims, bucket)
+	s.jobs = append(s.jobs, pipeJob{kind: jobXORFold, bucket: bucket, slot: int32(slot), isDummy: isDummy, epoch: int32(epoch)})
+}
+
+func (pp pipePlane) xorFinishToStash(id BlockID, path PathID) {
+	p, s := pp.p, pp.p.cur
+	out := p.addOut(s, id, true)
+	s.jobs = append(s.jobs, pipeJob{kind: jobXORFinish, out: out})
+	p.ring.stash.Put(id, path, nil)
+	p.pending[id] = pendRef{slot: int32(s.idx), out: out}
+}
+
+func (pp pipePlane) reshuffleFetch(bucket int64, slot int) blockRef {
+	p, s := pp.p, pp.p.cur
+	claim(&s.readClaims, bucket)
+	out := p.addOut(s, InvalidBlock, false)
+	s.jobs = append(s.jobs, pipeJob{kind: jobOpen, bucket: bucket, slot: int32(slot), out: out})
+	return blockRef{tok: out}
+}
+
+func (pp pipePlane) takeStash(id BlockID) blockRef {
+	p, s := pp.p, pp.p.cur
+	data := p.ring.stash.Remove(id)
+	if pr, ok := p.pending[id]; ok {
+		delete(p.pending, id)
+		prod := p.slots[pr.slot]
+		prod.outs[pr.out].stashPut = false
+		if prod == s {
+			// Fetched earlier in this very access: the open op runs
+			// before the seal op in the same job.
+			return blockRef{tok: pr.out}
+		}
+		// Produced by an older in-flight job: seal from its buffer once
+		// it completes. The producer's retirement defers the buffer's
+		// recycling past ours, so the reference stays valid.
+		s.depend(prod)
+		p.ins.PendingForwards.Inc()
+		return blockRef{buf: prod.outs[pr.out].buf, tok: -1}
+	}
+	// Resident plaintext: take the stash buffer along (recycled via the
+	// outs table at retirement, after the seal has consumed it).
+	out := int32(len(s.outs))
+	s.outs = append(s.outs, pipeOut{id: InvalidBlock, buf: data})
+	return blockRef{tok: out}
+}
+
+func (pp pipePlane) writeReal(bucket int64, slot int, src blockRef) {
+	p, s := pp.p, pp.p.cur
+	claim(&s.writeClaims, bucket)
+	if p.crypt != nil {
+		// Reserve the write counter now, in serial order: the sealed
+		// bytes become independent of job scheduling.
+		p.crypt.writeCtr++
+		s.jobs = append(s.jobs, pipeJob{kind: jobSeal, bucket: bucket, slot: int32(slot), ctr: p.crypt.writeCtr, out: src.tok, src: src.buf})
+	} else {
+		s.jobs = append(s.jobs, pipeJob{kind: jobWritePlain, bucket: bucket, slot: int32(slot), out: src.tok, src: src.buf})
+	}
+}
+
+func (pp pipePlane) writeDummy(bucket int64, slot int, epoch int) {
+	p, s := pp.p, pp.p.cur
+	claim(&s.writeClaims, bucket)
+	if p.crypt != nil {
+		s.jobs = append(s.jobs, pipeJob{kind: jobSealDummy, bucket: bucket, slot: int32(slot), epoch: int32(epoch)})
+	} else {
+		s.jobs = append(s.jobs, pipeJob{kind: jobWritePlain, bucket: bucket, slot: int32(slot), out: -1})
+	}
+}
+
+func (pp pipePlane) releaseRef(blockRef) {
+	// Buffer lifetimes are managed by the outs table and the
+	// deferred-recycle queue; nothing to do at the call site.
+}
+
+func (pp pipePlane) stashStore(id BlockID, path PathID, data []byte) {
+	p, s := pp.p, pp.p.cur
+	buf := p.ring.getBlockBuf()
+	copy(buf, data)
+	displaced := p.ring.stash.Put(id, path, buf)
+	if pr, ok := p.pending[id]; ok {
+		// Overwrite of a still-pending block: the in-flight fetch result
+		// is dead on arrival. The producer's retirement recycles its
+		// buffer instead of delivering it.
+		delete(p.pending, id)
+		p.slots[pr.slot].outs[pr.out].stashPut = false
+	}
+	// The displaced buffer may still be a snapshot or forwarding source
+	// for in-flight jobs (up to and including the one admitting now).
+	p.deferRecycle(displaced, s.seq)
+}
+
+func (pp pipePlane) snapshotOut(id BlockID) []byte {
+	p, s := pp.p, pp.p.cur
+	s.outValid = true
+	if pr, ok := p.pending[id]; ok {
+		prod := p.slots[pr.slot]
+		s.outSrc = prod.outs[pr.out].buf
+		if prod != s {
+			s.depend(prod)
+			p.ins.PendingForwards.Inc()
+		}
+		return nil
+	}
+	if cur := p.ring.stash.Get(id); cur == nil {
+		clear(s.outBuf)
+	} else {
+		copy(s.outBuf, cur)
+	}
+	return nil
+}
+
+// --- lockedStore: store access shared by the workers ---
+
+// lockedStore serializes map-level mutation of the underlying Store
+// (MemStore materializes buckets lazily) while letting reads run
+// concurrently. Slot-level read/write races are excluded by the conflict
+// ledger — a returned read slice is safe to use after RUnlock because no
+// in-flight job may write a bucket another is reading.
+type lockedStore struct {
+	mu sync.RWMutex
+	s  Store
+}
+
+func (l *lockedStore) ReadSlot(bucket int64, slot int) []byte {
+	l.mu.RLock()
+	sealed := l.s.ReadSlot(bucket, slot)
+	l.mu.RUnlock()
+	return sealed
+}
+
+func (l *lockedStore) WriteSlot(bucket int64, slot int, sealed []byte) {
+	l.mu.Lock()
+	l.s.WriteSlot(bucket, slot, sealed)
+	l.mu.Unlock()
+}

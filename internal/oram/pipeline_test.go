@@ -1,0 +1,370 @@
+package oram
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"stringoram/internal/config"
+	"stringoram/internal/invariant"
+)
+
+// traceStep is one access of a deterministic workload trace.
+type traceStep struct {
+	id    BlockID
+	write bool
+	ver   int
+}
+
+// genTrace builds a deterministic mixed read/write trace over a small id
+// space (plus a few never-written ids, which read back as zero blocks).
+func genTrace(n int, seed uint64) []traceStep {
+	x := seed | 1
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	steps := make([]traceStep, n)
+	for i := range steps {
+		r := next()
+		id := BlockID(r % 56) // ids 48..55 are never written
+		write := id < 48 && (r>>8)%4 == 0
+		steps[i] = traceStep{id: id, write: write, ver: i}
+	}
+	return steps
+}
+
+// accessResult captures one access's observable outcome.
+type accessResult struct {
+	data []byte
+	ops  []Op
+	err  error
+}
+
+// runSerialTrace drives the trace through the plain serial controller.
+func runSerialTrace(t *testing.T, r *Ring, cfg config.ORAM, trace []traceStep) []accessResult {
+	t.Helper()
+	out := make([]accessResult, len(trace))
+	for i, st := range trace {
+		var res accessResult
+		if st.write {
+			ops, err := r.Write(st.id, blockData(cfg, st.id, st.ver))
+			res = accessResult{ops: cloneOps(ops), err: err}
+		} else {
+			data, ops, err := r.Read(st.id)
+			res = accessResult{data: bytes.Clone(data), ops: cloneOps(ops), err: err}
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// runPipelinedTrace drives the trace through an attached Pipeline and
+// collects the Done callbacks in delivery order.
+func runPipelinedTrace(t *testing.T, r *Ring, cfg config.ORAM, trace []traceStep, depth, workers int) []accessResult {
+	t.Helper()
+	out := make([]accessResult, 0, len(trace))
+	p, err := AttachPipeline(r, PipelineOptions{
+		Depth:   depth,
+		Workers: workers,
+		Done: func(ctx any, data []byte, ops []Op, err error) {
+			out = append(out, accessResult{data: bytes.Clone(data), ops: cloneOps(ops), err: err})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range trace {
+		var data []byte
+		if st.write {
+			data = blockData(cfg, st.id, st.ver)
+		}
+		if err := p.Submit(nil, st.id, st.write, data); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	p.Close()
+	return out
+}
+
+// saveBytes serializes the ring's complete state.
+func saveBytes(t *testing.T, r *Ring) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// pipelineConfigs are the protocol variants the equivalence tests cover:
+// Compact Bucket with greens, the XOR technique, and a plaintext store.
+func pipelineConfigs(t *testing.T) []struct {
+	name  string
+	cfg   config.ORAM
+	build func(seed uint64) *Ring
+} {
+	t.Helper()
+	mk := func(cfg config.ORAM, xor, plain bool) func(uint64) *Ring {
+		return func(seed uint64) *Ring {
+			opts := &Options{Store: NewMemStore(cfg.SlotsPerBucket()), XOR: xor}
+			if !plain {
+				crypt, err := NewCrypt(testKey(), cfg.BlockSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Crypt = crypt
+			}
+			r, err := NewRing(cfg, seed, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+	}
+	return []struct {
+		name  string
+		cfg   config.ORAM
+		build func(seed uint64) *Ring
+	}{
+		{name: "compact", cfg: smallCfg(2), build: mk(smallCfg(2), false, false)},
+		{name: "xor", cfg: smallCfg(0), build: mk(smallCfg(0), true, false)},
+		{name: "plaintext", cfg: smallCfg(0), build: mk(smallCfg(0), false, true)},
+	}
+}
+
+// TestPipelineSerialEquivalence is the central correctness gate for the
+// concurrent controller: for every protocol variant and several
+// depth/worker shapes, a pipelined ring fed a seeded trace must produce
+// byte-identical responses, identical op lists (the bus-visible
+// schedule), and a byte-identical Save checkpoint — stash, position map,
+// bucket metadata, RNG streams, crypt counter and every sealed store
+// slot — versus a serial ring fed the same trace.
+func TestPipelineSerialEquivalence(t *testing.T) {
+	shapes := []struct{ depth, workers int }{
+		{1, 1}, // degenerate pipeline: pure overhead, no overlap
+		{4, 2},
+		{8, 4},
+	}
+	const seed = 0x5eed
+	for _, tc := range pipelineConfigs(t) {
+		trace := genTrace(600, 0xace0f+uint64(len(tc.name)))
+		serial := tc.build(seed)
+		want := runSerialTrace(t, serial, tc.cfg, trace)
+		wantSave := saveBytes(t, serial)
+		for _, sh := range shapes {
+			t.Run(fmt.Sprintf("%s/k%dw%d", tc.name, sh.depth, sh.workers), func(t *testing.T) {
+				piped := tc.build(seed)
+				got := runPipelinedTrace(t, piped, tc.cfg, trace, sh.depth, sh.workers)
+				if len(got) != len(want) {
+					t.Fatalf("pipeline delivered %d results, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if (want[i].err == nil) != (got[i].err == nil) {
+						t.Fatalf("step %d: error mismatch: serial %v, pipelined %v", i, want[i].err, got[i].err)
+					}
+					if !bytes.Equal(want[i].data, got[i].data) {
+						t.Fatalf("step %d (%+v): response diverged from serial", i, trace[i])
+					}
+					if !opsEqual(want[i].ops, got[i].ops) {
+						t.Fatalf("step %d (%+v): op list diverged from serial", i, trace[i])
+					}
+				}
+				if !bytes.Equal(wantSave, saveBytes(t, piped)) {
+					t.Fatal("final ring state diverged from serial execution")
+				}
+			})
+		}
+	}
+}
+
+// opsEqual compares two op lists structurally.
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Path != b[i].Path || len(a[i].Accesses) != len(b[i].Accesses) {
+			return false
+		}
+		for j := range a[i].Accesses {
+			if a[i].Accesses[j] != b[i].Accesses[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPipelineInterleavedDrain checks that Drain mid-stream (a batch
+// boundary, as the server uses it) preserves equivalence and leaves the
+// pipeline usable for further submissions.
+func TestPipelineInterleavedDrain(t *testing.T) {
+	tc := pipelineConfigs(t)[0]
+	trace := genTrace(300, 0xd1a1)
+	const seed = 77
+	serial := tc.build(seed)
+	want := runSerialTrace(t, serial, tc.cfg, trace)
+
+	piped := tc.build(seed)
+	var got []accessResult
+	p, err := AttachPipeline(piped, PipelineOptions{
+		Depth: 8, Workers: 3,
+		Done: func(ctx any, data []byte, ops []Op, err error) {
+			got = append(got, accessResult{data: bytes.Clone(data), ops: cloneOps(ops), err: err})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range trace {
+		var data []byte
+		if st.write {
+			data = blockData(tc.cfg, st.id, st.ver)
+		}
+		if err := p.Submit(nil, st.id, st.write, data); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 6 {
+			p.Drain()
+			if n := p.InFlight(); n != 0 {
+				t.Fatalf("InFlight() = %d after Drain", n)
+			}
+		}
+	}
+	p.Close()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i].data, got[i].data) {
+			t.Fatalf("step %d: response diverged", i)
+		}
+	}
+	if !bytes.Equal(saveBytes(t, serial), saveBytes(t, piped)) {
+		t.Fatal("final state diverged")
+	}
+}
+
+// TestPipelineAttachGuards pins the attachment preconditions and the
+// serial-only Update guard.
+func TestPipelineAttachGuards(t *testing.T) {
+	cfg := smallCfg(0)
+	done := func(any, []byte, []Op, error) {}
+
+	timing, err := NewRing(cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachPipeline(timing, PipelineOptions{Done: done}); err == nil {
+		t.Fatal("AttachPipeline accepted a timing-only ring")
+	}
+
+	r := newFunctionalRing(t, cfg, 2)
+	if _, err := AttachPipeline(r, PipelineOptions{}); err == nil {
+		t.Fatal("AttachPipeline accepted a nil Done callback")
+	}
+	p, err := AttachPipeline(r, PipelineOptions{Done: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachPipeline(r, PipelineOptions{Done: done}); err == nil {
+		t.Fatal("AttachPipeline accepted a double attach")
+	}
+	if _, _, err := r.Update(1, func(old []byte) []byte { return old }); err == nil {
+		t.Fatal("Update succeeded with a pipeline attached")
+	}
+	p.Close()
+	// Detached: the ring serves serially again, including Update.
+	if _, err := r.Write(1, blockData(cfg, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Update(1, func(old []byte) []byte { return old }); err != nil {
+		t.Fatalf("Update after Close: %v", err)
+	}
+	if err := p.Submit(nil, 1, false, nil); err == nil {
+		t.Fatal("Submit succeeded on a closed pipeline")
+	}
+	p.Close() // idempotent
+}
+
+// TestPipelineRaceStress hammers one pipelined ring with a long trace at
+// full depth so `go test -race` can catch data races between the
+// admission goroutine and the workers. Correctness of the final state is
+// still asserted against a serial twin.
+func TestPipelineRaceStress(t *testing.T) {
+	n := 4000
+	if testing.Short() {
+		n = 800
+	}
+	cfg := smallCfg(2)
+	trace := genTrace(n, 0x57e55)
+	serial := newFunctionalRing(t, cfg, 99)
+	want := runSerialTrace(t, serial, cfg, trace)
+	piped := newFunctionalRing(t, cfg, 99)
+	got := runPipelinedTrace(t, piped, cfg, trace, 8, 4)
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d (lost or duplicated responses)", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i].data, got[i].data) {
+			t.Fatalf("step %d: response diverged", i)
+		}
+	}
+	if !bytes.Equal(saveBytes(t, serial), saveBytes(t, piped)) {
+		t.Fatal("final tree state diverged from serial")
+	}
+}
+
+// TestPipelineAllocFree extends the PR 4 zero-alloc contract to the
+// concurrent controller: once slot scratch, job lists and the block pool
+// are warm, steady-state Submit+Drain cycles allocate nothing on any
+// goroutine.
+func TestPipelineAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; the zero-alloc guarantee binds on the default build")
+	}
+	cfg := smallCfg(2)
+	r := newFunctionalRing(t, cfg, 7)
+	p, err := AttachPipeline(r, PipelineOptions{
+		Depth: 8, Workers: 4,
+		Done: func(any, []byte, []Op, error) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	trace := genTrace(4000, 0xa110c)
+	writeBuf := make([]byte, cfg.BlockSize)
+	run := func(steps []traceStep) {
+		for _, st := range steps {
+			var data []byte
+			if st.write {
+				for i := range writeBuf { // blockData would allocate
+					writeBuf[i] = byte(int(st.id)*31 + st.ver*7 + i)
+				}
+				data = writeBuf
+			}
+			if err := p.Submit(nil, st.id, st.write, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Drain()
+	}
+	run(trace[:2000]) // warm pools, job lists and map tables
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run(trace[2000:])
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / 2000
+	// Concurrent goroutines make AllocsPerRun unusable here; budget a
+	// small per-op slack for runtime-internal allocations instead.
+	if allocs > 0.05 {
+		t.Fatalf("pipelined access allocates %.3f objects/op in steady state, want ~0", allocs)
+	}
+}

@@ -1,0 +1,160 @@
+package oram
+
+import "fmt"
+
+// dataPlane is the seam between the Ring protocol engine and the data
+// movement it causes. Every decision the protocol makes — which paths to
+// read, which slots to touch, how buckets reshuffle, where the RNG
+// stream advances — is metadata-only and never depends on block
+// contents, so one serial admission pass produces a bit-identical
+// protocol trace no matter how the data moves. The dataPlane receives
+// the data work that trace implies:
+//
+//   - the serial plane (the Ring itself) performs each call inline,
+//     exactly as the pre-pipeline controller did;
+//   - the pipelined plane (pipePlane) records each call as a deferred
+//     job op executed later on a worker, with bucket claims feeding the
+//     conflict ledger and seal counters reserved at admission so the
+//     sealed bytes stay bit-identical to serial execution.
+//
+// All methods run on the controller goroutine during admission.
+type dataPlane interface {
+	// fetchToStash moves one real block's plaintext from the store slot
+	// into the stash under (id, p).
+	fetchToStash(bucket int64, slot int, id BlockID, p PathID)
+	// xorReset clears the XOR accumulator for a new read path.
+	xorReset()
+	// xorFoldSlot folds one selected slot's ciphertext into the XOR
+	// accumulator, canceling deterministic dummies.
+	xorFoldSlot(bucket int64, slot int, isDummy bool, epoch int)
+	// xorFinishToStash decodes the XOR accumulator and stashes the
+	// recovered target under (id, p).
+	xorFinishToStash(id BlockID, p PathID)
+	// reshuffleFetch reads one slot's plaintext and holds it for the
+	// same operation's bucket rewrite.
+	reshuffleFetch(bucket int64, slot int) blockRef
+	// takeStash removes a block's data from the stash for placement
+	// into a bucket.
+	takeStash(id BlockID) blockRef
+	// writeReal seals src and writes it to the slot. Calls arrive in
+	// the exact slot order of the serial controller, so counter-mode
+	// sealers may bind one fresh counter per call.
+	writeReal(bucket int64, slot int, src blockRef)
+	// writeDummy writes the slot's deterministic dummy ciphertext (or a
+	// zero block without a Crypt).
+	writeDummy(bucket int64, slot int, epoch int)
+	// releaseRef recycles a ref consumed by writeReal.
+	releaseRef(ref blockRef)
+	// stashStore copies caller data into the stash under (id, p),
+	// recycling any displaced buffer.
+	stashStore(id BlockID, p PathID, data []byte)
+	// snapshotOut captures the block's current contents for the
+	// caller-visible response and returns the response buffer (the
+	// pipelined plane returns nil: its response is delivered at slot
+	// retirement instead).
+	snapshotOut(id BlockID) []byte
+}
+
+// blockRef is a handle to one block's plaintext while it moves between
+// the stash, the store and a bucket rewrite. The serial plane uses buf
+// directly (nil means a zero block); the pipelined plane uses tok >= 0
+// for buffers produced by the same in-flight job and buf for buffers
+// owned by the stash or another job.
+type blockRef struct {
+	buf []byte `oramlint:"secret"`
+	tok int32
+}
+
+// serialRef wraps a plain buffer for the serial plane.
+func serialRef(buf []byte) blockRef { return blockRef{buf: buf, tok: -1} }
+
+// --- serial plane: the Ring performs data movement inline ---
+
+func (r *Ring) fetchToStash(bucket int64, slot int, id BlockID, p PathID) {
+	data, err := r.readSlotData(bucket, slot)
+	if err != nil {
+		panic(err) // corrupt store contents; unreachable with MemStore
+	}
+	r.putBlockBuf(r.stash.Put(id, p, data))
+}
+
+func (r *Ring) xorReset() { r.scr.xorAcc = r.scr.xorAcc[:0] }
+
+// xorFoldSlot folds one selected slot's ciphertext into the XOR
+// accumulator, canceling deterministic dummy ciphertexts as it goes.
+func (r *Ring) xorFoldSlot(bucket int64, slot int, isDummy bool, epoch int) {
+	sealed := r.store.ReadSlot(bucket, slot)
+	if sealed == nil {
+		// A never-written slot contributes nothing, and the controller
+		// knows it (slot epochs are controller state).
+		return
+	}
+	if len(r.scr.xorAcc) == 0 {
+		r.scr.xorAcc = append(r.scr.xorAcc, sealed...)
+	} else {
+		XORBlocks(r.scr.xorAcc, sealed)
+	}
+	if isDummy {
+		r.scr.dummySeal = r.crypt.SealDummyInto(r.scr.dummySeal, bucket, slot, epoch)
+		XORBlocks(r.scr.xorAcc, r.scr.dummySeal)
+	}
+}
+
+func (r *Ring) xorFinishToStash(id BlockID, p PathID) {
+	data, err := r.crypt.OpenInto(r.getBlockBuf(), r.scr.xorAcc)
+	if err != nil {
+		panic(fmt.Sprintf("oram: XOR decode of block %d: %v", id, err))
+	}
+	r.putBlockBuf(r.stash.Put(id, p, data))
+}
+
+func (r *Ring) reshuffleFetch(bucket int64, slot int) blockRef {
+	data, err := r.readSlotData(bucket, slot)
+	if err != nil {
+		panic(err)
+	}
+	return serialRef(data)
+}
+
+func (r *Ring) takeStash(id BlockID) blockRef {
+	return serialRef(r.stash.Remove(id))
+}
+
+func (r *Ring) writeReal(bucket int64, slot int, src blockRef) {
+	r.store.WriteSlot(bucket, slot, r.sealedForStore(src.buf))
+}
+
+func (r *Ring) writeDummy(bucket int64, slot int, epoch int) {
+	if r.crypt != nil {
+		// Dummies seal deterministically per (bucket, slot, epoch) so
+		// XOR reads can cancel them; each epoch is written once, so
+		// bus-visible ciphertexts are still always fresh.
+		r.scr.dummySeal = r.crypt.SealDummyInto(r.scr.dummySeal, bucket, slot, epoch)
+		r.store.WriteSlot(bucket, slot, r.scr.dummySeal)
+	} else {
+		r.store.WriteSlot(bucket, slot, r.sealedForStore(nil))
+	}
+}
+
+func (r *Ring) releaseRef(ref blockRef) { r.putBlockBuf(ref.buf) }
+
+func (r *Ring) stashStore(id BlockID, p PathID, data []byte) {
+	var stored []byte
+	if r.store != nil {
+		stored = r.getBlockBuf()
+		copy(stored, data)
+	}
+	r.putBlockBuf(r.stash.Put(id, p, stored))
+}
+
+func (r *Ring) snapshotOut(id BlockID) []byte {
+	cur := r.stash.Get(id)
+	out := ensure(r.scr.outBuf, r.cfg.BlockSize)
+	r.scr.outBuf = out
+	if cur == nil {
+		clear(out)
+	} else {
+		copy(out, cur)
+	}
+	return out
+}

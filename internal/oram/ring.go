@@ -79,9 +79,9 @@ type ringScratch struct {
 	// sel and shuf are the dummy-selection and reshuffle scratches.
 	sel  selectScratch
 	shuf shuffleScratch
-	// res, resData, blocks and readSlots serve reshuffles and evictions.
+	// res, refs, blocks and readSlots serve reshuffles and evictions.
 	res       []residentBlock `oramlint:"secret"`
-	resData   [][]byte        `oramlint:"secret"`
+	refs      []blockRef      `oramlint:"secret"`
 	blocks    []BlockID       `oramlint:"secret"`
 	readSlots []int
 	// byLevel and placed are the eviction placement tables, one slot per
@@ -131,6 +131,10 @@ type Ring struct {
 	stats Stats
 	ins   Instruments
 
+	// dp is the data-movement seam (see plane.go): the Ring itself in
+	// serial operation, a pipePlane while a Pipeline is attached.
+	dp dataPlane
+
 	pathBuf []int64 // scratch for path walks
 	scr     ringScratch
 }
@@ -170,6 +174,7 @@ func NewRing(cfg config.ORAM, seed uint64, opts *Options) (*Ring, error) {
 	r.pos = NewPositionMap(r.tree.Leaves(), root.Fork())
 	r.warmSeed = root.Uint64()
 	r.nextFiller = FillerBase
+	r.dp = r
 	return r, nil
 }
 
@@ -263,6 +268,7 @@ func (r *Ring) warmBucket(idx int64, b *Bucket) {
 	}
 	b.Count = dc + gc
 	b.Green = gc
+	b.reindex()
 }
 
 // poisson draws a Poisson(mean) variate (Knuth's method; mean is small —
@@ -417,6 +423,11 @@ func (r *Ring) Write(id BlockID, data []byte) (ops []Op, err error) {
 //
 // The returned data and ops alias controller-owned scratch reused by the
 // next operation on this Ring: callers that need them longer must copy.
+// When a concurrent controller is attached (AttachPipeline), results are
+// delivered through the pipeline's Done callback instead and the rule
+// tightens: returned data aliases the in-flight slot's scratch and is
+// valid only until that slot retires — i.e. for at most Depth further
+// submissions — so consume or copy it inside the callback.
 func (r *Ring) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error) {
 	return r.access(id, write, data, nil, nil)
 }
@@ -460,6 +471,11 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	}
 	if r.cfg.WarmFill > 0 && id >= FillerBase {
 		return nil, nil, fmt.Errorf("oram: block id %d collides with the warm-fill filler space", id)
+	}
+	if updateFn != nil {
+		if _, serial := r.dp.(*Ring); !serial {
+			return nil, nil, errors.New("oram: Update requires the serial controller (detach the Pipeline first)")
+		}
 	}
 	if write {
 		if updateFn == nil && r.store != nil && len(data) != r.cfg.BlockSize {
@@ -507,17 +523,12 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	r.stash.SetPath(id, newPath)
 
 	// Snapshot the block's pre-update contents into the out scratch.
-	// Plain writes skip it: their callers receive no data.
+	// Plain writes skip it: their callers receive no data. (With a
+	// Pipeline attached the snapshot is deferred to slot retirement and
+	// out stays nil; see pipePlane.snapshotOut.)
 	var out []byte
 	if r.store != nil && (updateFn != nil || !write) {
-		cur := r.stash.Get(id)
-		out = ensure(r.scr.outBuf, r.cfg.BlockSize)
-		r.scr.outBuf = out
-		if cur == nil {
-			clear(out)
-		} else {
-			copy(out, cur)
-		}
+		out = r.dp.snapshotOut(id)
 	}
 	switch {
 	case updateFn != nil:
@@ -542,12 +553,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 		copy(stored, updated)
 		r.putBlockBuf(r.stash.Put(id, newPath, stored))
 	case write:
-		var stored []byte
-		if r.store != nil {
-			stored = r.getBlockBuf()
-			copy(stored, data)
-		}
-		r.putBlockBuf(r.stash.Put(id, newPath, stored))
+		r.dp.stashStore(id, newPath, data)
 		out = nil
 	}
 
@@ -613,26 +619,6 @@ func (r *Ring) bumpRound() {
 	}
 }
 
-// xorFold folds one selected slot's ciphertext into the XOR accumulator,
-// canceling deterministic dummy ciphertexts as it goes.
-func (r *Ring) xorFold(idx int64, slot int, isDummy bool, epoch int) {
-	sealed := r.store.ReadSlot(idx, slot)
-	if sealed == nil {
-		// A never-written slot contributes nothing, and the controller
-		// knows it (slot epochs are controller state).
-		return
-	}
-	if len(r.scr.xorAcc) == 0 {
-		r.scr.xorAcc = append(r.scr.xorAcc, sealed...)
-	} else {
-		XORBlocks(r.scr.xorAcc, sealed)
-	}
-	if isDummy {
-		r.scr.dummySeal = r.crypt.SealDummyInto(r.scr.dummySeal, idx, slot, epoch)
-		XORBlocks(r.scr.xorAcc, r.scr.dummySeal)
-	}
-}
-
 // readPathOp performs one read path operation (real or dummy) along path
 // p, appending the early-reshuffle ops it had to issue and the read-path
 // op itself to the access's op list.
@@ -689,12 +675,8 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool) {
 	// the DRAM path below is then all dummies.
 	if targetLevel >= 0 && targetLevel < emitFrom {
 		b := r.bucket(path[targetLevel])
-		data, err := r.readSlotData(path[targetLevel], targetSlot)
-		if err != nil {
-			panic(err) // corrupt store contents; unreachable with MemStore
-		}
+		r.dp.fetchToStash(path[targetLevel], targetSlot, id, p)
 		b.consumeReal(targetSlot)
-		r.putBlockBuf(r.stash.Put(id, p, data))
 		targetLevel = -1
 	}
 
@@ -707,7 +689,9 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool) {
 	// path; the controller cancels the deterministically sealed dummies
 	// and decrypts what remains (the target, or nothing on an all-dummy
 	// path).
-	r.scr.xorAcc = r.scr.xorAcc[:0]
+	if r.xor {
+		r.dp.xorReset()
+	}
 	xorHasTarget := false
 
 	for lvl := emitFrom; lvl < len(path); lvl++ {
@@ -719,14 +703,10 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool) {
 		}
 		if lvl == targetLevel {
 			if r.xor {
-				r.xorFold(idx, targetSlot, false, b.Epoch)
+				r.dp.xorFoldSlot(idx, targetSlot, false, b.Epoch)
 				xorHasTarget = true
 			} else {
-				data, err := r.readSlotData(idx, targetSlot)
-				if err != nil {
-					panic(err)
-				}
-				r.putBlockBuf(r.stash.Put(id, p, data))
+				r.dp.fetchToStash(idx, targetSlot, id, p)
 			}
 			b.consumeReal(targetSlot)
 			op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: targetSlot, Write: false})
@@ -751,27 +731,19 @@ func (r *Ring) readPathOp(kind OpKind, p PathID, id BlockID, wantTarget bool) {
 			if !known {
 				panic(fmt.Sprintf("oram: green block %d resident but unmapped", green))
 			}
-			data, err := r.readSlotData(idx, slot)
-			if err != nil {
-				panic(err)
-			}
+			r.dp.fetchToStash(idx, slot, green, gp)
 			b.consumeReal(slot)
-			r.putBlockBuf(r.stash.Put(green, gp, data))
 			r.stats.GreenFetches++
 			r.ins.GreenFetches.Inc()
 			r.ins.Recorder.Emit(obs.Event{TS: r.obsNow(), Kind: obs.EvGreenFetch,
 				Arg0: int64(lvl), Arg1: int64(slot)})
 		} else if r.xor {
-			r.xorFold(idx, slot, true, b.Epoch)
+			r.dp.xorFoldSlot(idx, slot, true, b.Epoch)
 		}
 		op.Accesses = append(op.Accesses, Access{Bucket: idx, Level: lvl, Slot: slot, Write: false})
 	}
 	if r.xor && xorHasTarget {
-		data, err := r.crypt.OpenInto(r.getBlockBuf(), r.scr.xorAcc)
-		if err != nil {
-			panic(fmt.Sprintf("oram: XOR decode of block %d: %v", id, err))
-		}
-		r.putBlockBuf(r.stash.Put(id, p, data))
+		r.dp.xorFinishToStash(id, p)
 		r.stats.XORDecodes++
 	}
 
@@ -799,11 +771,7 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) {
 	readSlots := r.scr.readSlots[:0]
 	for s := range b.Slots {
 		if b.Slots[s].Real && b.Slots[s].Valid { //oramlint:allow secret-branch exactly Z slots are read (padded below); which physical slots hold reals is a secret uniform permutation refreshed every epoch, so the read set leaks nothing
-			data, err := r.readSlotData(idx, s)
-			if err != nil {
-				panic(err)
-			}
-			res = append(res, residentBlock{id: b.Slots[s].ID, data: data})
+			res = append(res, residentBlock{id: b.Slots[s].ID, ref: r.dp.reshuffleFetch(idx, s)})
 			readSlots = append(readSlots, s)
 		}
 	}
@@ -821,22 +789,22 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) {
 	}
 
 	blocks := r.scr.blocks[:0]
-	blockData := r.scr.resData[:0]
+	refs := r.scr.refs[:0]
 	for i := range res {
 		blocks = append(blocks, res[i].id)
-		blockData = append(blockData, res[i].data)
+		refs = append(refs, res[i].ref)
 	}
 	r.scr.blocks = blocks
-	r.scr.resData = blockData
+	r.scr.refs = refs
 	if invariant.Enabled {
 		invariant.Assertf(len(res) <= r.cfg.Z, "bucket %d holds %d real blocks, Z=%d", idx, len(res), r.cfg.Z)
 	}
 	targets := b.reshuffleScratch(blocks, r.permSrc, &r.scr.shuf)
-	r.writeBucket(idx, level, b, blockData, targets, op)
+	r.writeBucket(idx, level, b, refs, targets, op)
 	// The plaintext was re-sealed into the store; recycle the buffers.
 	for i := range res {
-		r.putBlockBuf(res[i].data)
-		res[i].data = nil
+		r.dp.releaseRef(res[i].ref)
+		res[i].ref = blockRef{}
 	}
 
 	r.stats.EarlyReshuffles++
@@ -847,18 +815,19 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) {
 	r.stats.ReshuffleBlocks += int64(len(op.Accesses))
 }
 
-// residentBlock pairs a resident block's ID with its plaintext data while
+// residentBlock pairs a resident block's ID with its plaintext ref while
 // a reshuffle is in flight.
 type residentBlock struct {
-	id   BlockID
-	data []byte
+	id  BlockID
+	ref blockRef
 }
 
 // writeBucket emits the write phase of a reshuffle/eviction for one
 // bucket: every physical slot is rewritten (real slots with re-sealed
 // data, the rest with fresh dummy ciphertext). targets[i] is the slot
-// chosen for blockData[i].
-func (r *Ring) writeBucket(idx int64, level int, b *Bucket, blockData [][]byte, targets []int, op *Op) {
+// chosen for refs[i]. Slots are written in ascending physical order, so
+// the data plane sees a deterministic seal sequence.
+func (r *Ring) writeBucket(idx int64, level int, b *Bucket, refs []blockRef, targets []int, op *Op) {
 	if r.store != nil {
 		owner := r.scr.slotOwner
 		if cap(owner) < len(b.Slots) {
@@ -873,18 +842,10 @@ func (r *Ring) writeBucket(idx int64, level int, b *Bucket, blockData [][]byte, 
 			owner[s] = i
 		}
 		for s := range b.Slots {
-			switch i := owner[s]; {
-			case i >= 0:
-				r.store.WriteSlot(idx, s, r.sealedForStore(blockData[i]))
-			case r.crypt != nil:
-				// Dummies seal deterministically per (bucket, slot,
-				// epoch) so XOR reads can cancel them; each epoch is
-				// written once, so bus-visible ciphertexts are still
-				// always fresh.
-				r.scr.dummySeal = r.crypt.SealDummyInto(r.scr.dummySeal, idx, s, b.Epoch)
-				r.store.WriteSlot(idx, s, r.scr.dummySeal)
-			default:
-				r.store.WriteSlot(idx, s, r.sealedForStore(nil))
+			if i := owner[s]; i >= 0 {
+				r.dp.writeReal(idx, s, refs[i])
+			} else {
+				r.dp.writeDummy(idx, s, b.Epoch)
 			}
 		}
 	}
@@ -915,15 +876,11 @@ func (r *Ring) evictPathOp() {
 		for s := range b.Slots {
 			if b.Slots[s].Real && b.Slots[s].Valid { //oramlint:allow secret-branch eviction reads exactly Z slots per bucket (padded below); slot positions are a secret uniform permutation, so the read set leaks nothing
 				id := b.Slots[s].ID
-				data, err := r.readSlotData(idx, s)
-				if err != nil {
-					panic(err)
-				}
 				bp, known := r.pos.Lookup(id)
 				if !known {
 					panic(fmt.Sprintf("oram: resident block %d unmapped", id))
 				}
-				r.putBlockBuf(r.stash.Put(id, bp, data))
+				r.dp.fetchToStash(idx, s, id, bp)
 				b.consumeReal(s)
 				readSlots = append(readSlots, s)
 			}
@@ -958,16 +915,16 @@ func (r *Ring) evictPathOp() {
 	for lvl, idx := range path {
 		b := r.bucket(idx)
 		ids := placed[lvl]
-		data := r.scr.resData[:0]
+		refs := r.scr.refs[:0]
 		for _, id := range ids {
-			data = append(data, r.stash.Remove(id))
+			refs = append(refs, r.dp.takeStash(id))
 		}
-		r.scr.resData = data
+		r.scr.refs = refs
 		targets := b.reshuffleScratch(ids, r.permSrc, &r.scr.shuf)
-		r.writeBucket(idx, lvl, b, data, targets, op)
-		for i := range data {
-			r.putBlockBuf(data[i])
-			data[i] = nil
+		r.writeBucket(idx, lvl, b, refs, targets, op)
+		for i := range refs {
+			r.dp.releaseRef(refs[i])
+			refs[i] = blockRef{}
 		}
 	}
 

@@ -191,6 +191,7 @@ func Load(rd io.Reader, key []byte) (*Ring, error) {
 		nextFiller:    snap.NextFiller,
 		stats:         snap.Stats,
 	}
+	r.dp = r
 	r.pos = &PositionMap{
 		m:      make(map[BlockID]PathID, len(snap.PosMap)),
 		leaves: r.tree.Leaves(),
@@ -207,9 +208,11 @@ func Load(rd io.Reader, key []byte) (*Ring, error) {
 			return nil, fmt.Errorf("oram: checkpoint bucket %d metadata has %d slots, want %d",
 				b.Index, len(b.Slots), snap.Cfg.SlotsPerBucket())
 		}
-		r.buckets[b.Index] = &Bucket{
+		rb := &Bucket{
 			Slots: b.Slots, Count: b.Count, Green: b.Green, Epoch: b.Epoch,
 		}
+		rb.reindex()
+		r.buckets[b.Index] = rb
 	}
 	if r.stash.Len() > r.stash.Cap() {
 		return nil, fmt.Errorf("oram: checkpoint stash (%d) exceeds capacity (%d)", r.stash.Len(), r.stash.Cap())

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -46,6 +47,67 @@ func BenchmarkServerGetPut(b *testing.B) {
 		}
 	}
 }
+
+// benchServerThroughput measures sustained single-shard serving
+// throughput under many concurrent clients — the shape the concurrent
+// controller targets: the worker drains full batches and (when pipeline
+// > 1) keeps up to k accesses in flight. pipeline = 0 is the serial
+// baseline. Reported p99-ns is the request-latency 99th percentile from
+// the server's own reservoir over the timed run.
+func benchServerThroughput(b *testing.B, pipeline int) {
+	srv, err := New(Config{
+		Shards:     1,
+		MaxBatch:   32,
+		QueueDepth: 4096,
+		ORAM:       DefaultORAM(10),
+		Seed:       1,
+		Key:        []byte("bench-key-16byte"),
+		Pipeline:   pipeline,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	const keys = 128
+	val := bytes.Repeat([]byte{7}, 48)
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("key-%03d", i)
+		if err := srv.Put(names[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Enough concurrent clients to keep the shard queue full even at
+	// GOMAXPROCS=1, so batches fill and the pipeline can overlap.
+	b.SetParallelism(64)
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			key := names[int(i)%keys]
+			if i%2 == 0 {
+				if err := srv.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, _, err := srv.Get(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(srv.Metrics().P99Seconds*1e9, "p99-ns")
+}
+
+func BenchmarkServerThroughputSerial(b *testing.B) { benchServerThroughput(b, 0) }
+func BenchmarkServerThroughputK1(b *testing.B)     { benchServerThroughput(b, 1) }
+func BenchmarkServerThroughputK2(b *testing.B)     { benchServerThroughput(b, 2) }
+func BenchmarkServerThroughputK4(b *testing.B)     { benchServerThroughput(b, 4) }
+func BenchmarkServerThroughputK8(b *testing.B)     { benchServerThroughput(b, 8) }
 
 // BenchmarkWireRoundTrip measures the wire codec alone: encode one
 // request and one response frame and decode both back.

@@ -102,6 +102,13 @@ type Config struct {
 	// MaxBatch caps how many queued requests one worker wakeup drains.
 	// 1 disables batching (strict arrival-order determinism).
 	MaxBatch int
+	// Pipeline, when >1, attaches the concurrent ORAM controller to each
+	// shard with that many in-flight access slots (oram.AttachPipeline's
+	// k): the worker admits a whole batch back to back and the accesses'
+	// data movement overlaps on worker goroutines, while the bus-visible
+	// schedule, sealed bytes and final tree state stay bit-identical to
+	// serial serving. 0 or 1 serves strictly serially.
+	Pipeline int
 	// ORAM configures each shard's Ring. Zero value: DefaultORAM(12).
 	ORAM config.ORAM
 	// Seed derives every shard's protocol randomness; shard i uses
@@ -183,7 +190,11 @@ type request struct {
 	val      []byte `oramlint:"secret"`
 	deadline time.Time
 	enqueued time.Time
-	done     chan result
+	// miss marks a Get routed to the shard's probe block (key absent at
+	// admission): its pipelined completion must answer found=false and
+	// discard the probe data.
+	miss bool
+	done chan result
 }
 
 // reqPool recycles request structs (and their single-slot done
@@ -228,6 +239,7 @@ type shard struct {
 	epoch   time.Time     // server start; batch spans are µs since epoch
 
 	ring      *oram.Ring
+	pipe      *oram.Pipeline // non-nil when cfg.Pipeline > 1
 	dir       map[string]oram.BlockID
 	nextID    oram.BlockID
 	maxKeys   int
@@ -287,6 +299,22 @@ func New(cfg Config) (*Server, error) {
 			}(sh.reqs))
 		sh.blockSize = sh.ring.Config().BlockSize
 		sh.encBuf = make([]byte, sh.blockSize)
+		if cfg.Pipeline > 1 {
+			pins := oram.NewPipelineInstruments(s.reg, fmt.Sprintf(`shard="%d"`, i))
+			pins.Recorder = s.rec
+			pins.Clock = func() int64 { return time.Since(s.start).Microseconds() }
+			pipe, err := oram.AttachPipeline(sh.ring, oram.PipelineOptions{
+				Depth: cfg.Pipeline,
+				Done: func(ctx any, data []byte, ops []oram.Op, err error) {
+					sh.finish(ctx.(*request), data, ops, err)
+				},
+				Ins: pins,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("server: shard %d pipeline: %w", i, err)
+			}
+			sh.pipe = pipe
+		}
 		s.shards = append(s.shards, sh)
 	}
 	s.wg.Add(len(s.shards))
@@ -475,6 +503,12 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 		for _, r := range batch {
 			sh.serve(now, r)
 		}
+		if sh.pipe != nil {
+			// Batch boundary: retire everything still in flight so every
+			// dequeued request is answered before the batch is accounted.
+			// Within the batch, up to Depth accesses overlapped.
+			sh.pipe.Drain()
+		}
 		sh.m.noteBatch(len(batch), len(sh.dir), sh.ring.Stats())
 		// One span per batch in the server flight recorder. The server
 		// is the one wall-clock domain in the repo: it is never part of
@@ -488,6 +522,11 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 			Arg0:  int64(sh.id),
 			Arg1:  int64(len(batch)),
 		})
+	}
+	if sh.pipe != nil {
+		// Shutdown: detach so the snapshot path sees a serial, fully
+		// retired Ring. Drain above answered every request already.
+		sh.pipe.Close()
 	}
 }
 
@@ -504,16 +543,11 @@ func (sh *shard) serve(now time.Time, r *request) {
 	case opGet:
 		//oramlint:allow secret-branch both arms issue exactly one read-path access: a hit reads the mapped block, a miss reads the shard's resident probe block; hit and miss are bus-indistinguishable
 		if id, ok := sh.dir[r.key]; ok {
-			block, err := sh.access(id, false, nil)
-			if err != nil {
-				sh.respond(r, result{err: err})
-				return
-			}
-			val, err := decodeValue(block)
-			sh.respond(r, result{val: val, found: true, err: err})
+			r.miss = false
+			sh.access(r, id, false, nil)
 		} else {
-			_, err := sh.access(probeID, false, nil)
-			sh.respond(r, result{found: false, err: err})
+			r.miss = true
+			sh.access(r, probeID, false, nil)
 		}
 	case opPut:
 		// New-key allocation happens before the single write access;
@@ -532,8 +566,7 @@ func (sh *shard) serve(now time.Time, r *request) {
 			sh.nextID++
 			sh.dir[r.key] = id
 		}
-		_, err := sh.access(id, true, sh.encodeValueScratch(r.val))
-		sh.respond(r, result{err: err})
+		sh.access(r, id, true, sh.encodeValueScratch(r.val))
 	default:
 		sh.respond(r, result{err: fmt.Errorf("server: unknown op %d", r.op)})
 	}
@@ -548,9 +581,18 @@ type busOp struct {
 	slots int // physical slot accesses emitted by the operation
 }
 
-// access performs the single ORAM access a request maps to and accounts
-// its physical traffic.
-func (sh *shard) access(id oram.BlockID, write bool, block []byte) ([]byte, error) {
+// access issues the single ORAM access a request maps to. Pipelined
+// shards admit it into the concurrent controller — block is copied
+// during admission, so the caller's scratch is free on return, and the
+// completion reaches finish via the Done callback in admission order.
+// Serial shards run the access inline and finish immediately.
+func (sh *shard) access(r *request, id oram.BlockID, write bool, block []byte) {
+	if sh.pipe != nil {
+		if err := sh.pipe.Submit(r, id, write, block); err != nil {
+			sh.respond(r, result{err: fmt.Errorf("shard %d: %w", sh.id, err)})
+		}
+		return
+	}
 	var (
 		data []byte
 		ops  []oram.Op
@@ -561,15 +603,32 @@ func (sh *shard) access(id oram.BlockID, write bool, block []byte) ([]byte, erro
 	} else {
 		data, ops, err = sh.ring.Read(id)
 	}
+	sh.finish(r, data, ops, err)
+}
+
+// finish accounts one completed access's physical traffic and answers
+// its request: inline on serial shards, from the pipeline's in-order
+// Done callback (still on the worker goroutine) on pipelined ones.
+func (sh *shard) finish(r *request, data []byte, ops []oram.Op, err error) {
 	slots := 0
 	for _, op := range ops {
 		slots += len(op.Accesses)
 	}
 	sh.m.noteBus(busOp{shard: sh.id, slots: slots})
 	if err != nil {
-		return nil, fmt.Errorf("shard %d: %w", sh.id, err)
+		sh.respond(r, result{err: fmt.Errorf("shard %d: %w", sh.id, err)})
+		return
 	}
-	return data, nil
+	if r.op == opGet {
+		if r.miss {
+			sh.respond(r, result{found: false})
+			return
+		}
+		val, derr := decodeValue(data)
+		sh.respond(r, result{val: val, found: true, err: derr})
+		return
+	}
+	sh.respond(r, result{})
 }
 
 // respond delivers the request's single response and records latency.

@@ -13,10 +13,14 @@
 #   obs    instrumented-vs-disabled pairs for the hot paths; the entry
 #          also records the derived overhead percentages (budget: <=5%)
 #                                               -> BENCH_obs.json
+#   server pipelined serving throughput: the serial shard worker vs the
+#          concurrent controller at k in {1,2,4,8} in-flight accesses;
+#          entries carry ops/s and the server's own p99 request latency
+#                                               -> BENCH_server.json
 #
 # Usage: scripts/bench.sh [label] [group]
 #   label  entry label (default: git short hash)
-#   group  sched | oram | obs (default: sched)
+#   group  sched | oram | obs | server (default: sched)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,8 +62,14 @@ obs)
 	go test -run '^$' -bench 'BenchmarkAccessFunctional$|BenchmarkAccessFunctionalObs$' \
 	    -benchmem -benchtime 2s ./internal/oram | tee -a "$tmp"
 	;;
+server)
+	out=BENCH_server.json
+	echo "== pipelined serving throughput: serial vs k in-flight =="
+	go test -run '^$' -bench 'BenchmarkServerThroughput(Serial|K1|K2|K4|K8)$' \
+	    -benchmem -benchtime 2s ./internal/server | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown group '$group' (want sched, oram, or obs)" >&2
+	echo "bench.sh: unknown group '$group' (want sched, oram, obs, or server)" >&2
 	exit 1
 	;;
 esac
@@ -79,6 +89,13 @@ for line in open(raw_path):
     if m.group(4) is not None:
         entry["bytes_per_op"] = int(m.group(3))
         entry["allocs_per_op"] = int(m.group(4))
+    # Throughput benchmarks report the server's own p99 request latency
+    # as a custom metric; surface it plus the derived ops/s.
+    pm = re.search(r'([\d.]+(?:e[+-]?\d+)?) p99-ns', line)
+    if pm:
+        entry["p99_ns"] = float(pm.group(1))
+        if entry["ns_per_op"] > 0:
+            entry["ops_per_sec"] = round(1e9 / entry["ns_per_op"], 1)
     benches[m.group(1)] = entry
 
 try:

@@ -38,6 +38,15 @@ go test -race ./internal/sched ./internal/sim ./internal/experiments
 echo "== go test -race (server stress: 64 clients x 4 shards) =="
 go test -race ./internal/server ./cmd/oramd
 
+echo "== pipeline race stress (64 pipelined clients x 4 shards x k=8) =="
+go test -race -count=1 -run='^(TestPipelineRaceStress|TestServerPipelineStress)$' \
+    ./internal/oram ./internal/server
+
+echo "== pipeline golden equivalence (serial vs k in-flight) =="
+go test -count=1 \
+    -run='^(TestPipelineSerialEquivalence|TestPipelineInterleavedDrain|TestServerPipelineSerialEquivalence|TestGolden)' \
+    ./internal/oram ./internal/server
+
 echo "== alloc-regression guards (data-plane hot path) =="
 go test -run='^TestAllocFree' -count=1 ./internal/oram
 
