@@ -6,16 +6,37 @@
 // Simulation packages are checked for determinism (seed-only
 // reproducibility); internal/oram and internal/server are additionally
 // checked for secret-dependent branching on address-emitting paths
-// (internal/server anchors on its busOp bus-event type). Packages
-// outside those sets are skipped. Exit status: 0 clean, 1 findings,
-// 2 operational error (parse/type-check failure, bad pattern).
+// (internal/server anchors on its busOp bus-event type); internal/oram,
+// internal/server and internal/obs run the interprocedural timing and
+// scratch-ownership analyzers. Packages outside those sets are skipped.
+//
+// By default every package is analyzed twice — once under the default
+// build context and once with -tags=invariants — so allow directives in
+// tag-gated files are checked in the configuration that compiles them,
+// and an allow that is load-bearing in only one configuration is not
+// reported as stale. Pass -tags to pin a single configuration.
+//
+// Flags:
+//
+//	-json         emit findings as a JSON array (includes allow-
+//	              suppressed findings with their justifications)
+//	-rules a,b    run only the named analyzers
+//	              (determinism, oblivious, timing, ownership)
+//	-tags t1,t2   lint a single build configuration with these tags
+//
+// Exit status: 0 clean, 1 findings, 2 operational error (parse/
+// type-check failure, bad pattern).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"stringoram/internal/analysis"
 )
@@ -42,34 +63,101 @@ var obliviousPkgs = map[string]*analysis.Analyzer{
 	"internal/server": analysis.Oblivious([]string{"busOp"}, nil),
 }
 
+// taintPkgs get the interprocedural analyzers: the timing analyzer
+// (anchored on the union of the project's bus-event types plus the
+// pipeline's park call) and the scratch-ownership analyzer.
+var taintPkgs = map[string]bool{
+	"internal/oram":   true,
+	"internal/server": true,
+	"internal/obs":    true,
+}
+
+// timingAnalyzer is shared across packages: emission anchors are
+// matched program-wide, so one instance sees oram's Access records and
+// server's busOp events no matter which package is being reported on.
+var timingAnalyzer = analysis.Timing(
+	[]string{"Access", "busOp"},
+	[]string{"Accesses"},
+	[]string{"depend"},
+)
+
+var ownershipAnalyzer = analysis.Ownership()
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // analyzersFor returns the analyzers that apply to one module-relative
-// package path; an empty slice means the package is not checked.
-func analyzersFor(rel string) []*analysis.Analyzer {
+// package path, filtered by the -rules selection (nil selection = all);
+// an empty slice means the package is not checked.
+func analyzersFor(rel string, rules map[string]bool) []*analysis.Analyzer {
 	var as []*analysis.Analyzer
+	add := func(a *analysis.Analyzer) {
+		if rules == nil || rules[a.Name] {
+			as = append(as, a)
+		}
+	}
 	if determinismPkgs[rel] {
-		as = append(as, analysis.Determinism)
+		add(analysis.Determinism)
 	}
 	if a := obliviousPkgs[rel]; a != nil {
-		as = append(as, a)
+		add(a)
+	}
+	if taintPkgs[rel] {
+		add(timingAnalyzer)
+		add(ownershipAnalyzer)
 	}
 	return as
 }
 
+// jsonFinding is the machine-readable shape of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Allowed bool   `json:"allowed"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// findingKey identifies one finding across build configurations.
+type findingKey struct {
+	file      string
+	line, col int
+	rule, msg string
+}
+
+func keyOf(f analysis.Finding) findingKey {
+	return findingKey{file: f.Pos.Filename, line: f.Pos.Line, col: f.Pos.Column, rule: f.Rule, msg: f.Msg}
+}
+
 func run(args []string, out, errOut io.Writer) int {
-	patterns := args
+	fs := flag.NewFlagSet("oramlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (includes allow-suppressed findings)")
+	rulesFlag := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	tagsFlag := fs.String("tags", "", "build tags for a single lint configuration (default: lint both the default and the invariants configurations)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cwd, err := os.Getwd()
-	if err != nil {
-		fmt.Fprintln(errOut, "oramlint:", err)
-		return 2
+	var rules map[string]bool
+	if *rulesFlag != "" {
+		rules = make(map[string]bool)
+		for _, r := range strings.Split(*rulesFlag, ",") {
+			rules[strings.TrimSpace(r)] = true
+		}
 	}
-	loader, err := analysis.NewLoader(cwd)
+	configs := [][]string{nil, {"invariants"}}
+	if *tagsFlag != "" {
+		configs = [][]string{strings.Split(*tagsFlag, ",")}
+	}
+
+	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(errOut, "oramlint:", err)
 		return 2
@@ -79,35 +167,139 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "oramlint:", err)
 		return 2
 	}
-	total := 0
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(loader.ModuleDir, dir)
+
+	// Run every configuration, then merge: a finding reported in any
+	// configuration stands (preferring the un-allowed instance); a stale
+	// allow stands only if it is stale in every configuration that
+	// compiled its file, so allows matching tag-gated findings are not
+	// false-flagged.
+	merged := make(map[findingKey]analysis.Finding)
+	staleSeen := make(map[findingKey]int)
+	fileSeen := make(map[string]int)
+	for _, tags := range configs {
+		findings, files, err := runConfig(cwd, dirs, rules, tags)
 		if err != nil {
 			fmt.Fprintln(errOut, "oramlint:", err)
 			return 2
 		}
-		analyzers := analyzersFor(filepath.ToSlash(rel))
+		for f := range files {
+			fileSeen[f]++
+		}
+		for _, f := range findings {
+			k := keyOf(f)
+			if f.Rule == "allow" && strings.Contains(f.Msg, "stale escape") {
+				staleSeen[k]++
+				merged[k] = f
+				continue
+			}
+			if old, ok := merged[k]; !ok || (old.Allowed && !f.Allowed) {
+				merged[k] = f
+			}
+		}
+	}
+	for k, n := range staleSeen {
+		if n < fileSeen[k.file] {
+			delete(merged, k)
+		}
+	}
+
+	all := make([]analysis.Finding, 0, len(merged))
+	for _, f := range merged {
+		all = append(all, f)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Rule < all[j].Rule
+	})
+
+	live := 0
+	for _, f := range all {
+		if !f.Allowed {
+			live++
+		}
+	}
+	if *jsonOut {
+		js := make([]jsonFinding, 0, len(all))
+		for _, f := range all {
+			js = append(js, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+				Rule: f.Rule, Message: f.Msg, Allowed: f.Allowed, Reason: f.Reason,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(js); err != nil {
+			fmt.Fprintln(errOut, "oramlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			if !f.Allowed {
+				fmt.Fprintln(out, f)
+			}
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(errOut, "oramlint: %d finding(s)\n", live)
+		return 1
+	}
+	return 0
+}
+
+// runConfig lints one build configuration: load every checked package
+// (and, transitively, its module-internal dependencies), build the
+// whole-program view, and run each package's analyzers against it.
+// files reports which source files this configuration compiled, for the
+// cross-configuration stale-allow merge.
+func runConfig(cwd string, dirs []string, rules map[string]bool, tags []string) ([]analysis.Finding, map[string]bool, error) {
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return nil, nil, err
+	}
+	loader.SetBuildTags(tags)
+
+	type target struct {
+		pkg       *analysis.Package
+		analyzers []*analysis.Analyzer
+	}
+	var targets []target
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(loader.ModuleDir, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		analyzers := analyzersFor(filepath.ToSlash(rel), rules)
 		if len(analyzers) == 0 {
 			continue
 		}
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			fmt.Fprintln(errOut, "oramlint:", err)
-			return 2
+			return nil, nil, err
 		}
-		findings, err := analysis.RunPackage(pkg, analyzers)
+		targets = append(targets, target{pkg: pkg, analyzers: analyzers})
+	}
+
+	prog := analysis.NewProgram(loader.Packages())
+	var all []analysis.Finding
+	files := make(map[string]bool)
+	for _, t := range targets {
+		for _, f := range t.pkg.Files {
+			files[t.pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+		findings, err := analysis.Run(prog, t.pkg, t.analyzers)
 		if err != nil {
-			fmt.Fprintln(errOut, "oramlint:", err)
-			return 2
+			return nil, nil, err
 		}
-		for _, f := range findings {
-			fmt.Fprintln(out, f)
-		}
-		total += len(findings)
+		all = append(all, findings...)
 	}
-	if total > 0 {
-		fmt.Fprintf(errOut, "oramlint: %d finding(s)\n", total)
-		return 1
-	}
-	return 0
+	return all, files, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 )
 
@@ -10,7 +11,9 @@ func TestAnalyzersFor(t *testing.T) {
 		rel  string
 		want []string
 	}{
-		{"internal/oram", []string{"determinism", "oblivious"}},
+		{"internal/oram", []string{"determinism", "oblivious", "timing", "ownership"}},
+		{"internal/server", []string{"oblivious", "timing", "ownership"}},
+		{"internal/obs", []string{"determinism", "timing", "ownership"}},
 		{"internal/sched", []string{"determinism"}},
 		{"internal/sim", []string{"determinism"}},
 		{"internal/dram", []string{"determinism"}},
@@ -24,7 +27,7 @@ func TestAnalyzersFor(t *testing.T) {
 		{"cmd/stringoram", nil},
 	}
 	for _, c := range cases {
-		got := analyzersFor(c.rel)
+		got := analyzersFor(c.rel, nil)
 		if len(got) != len(c.want) {
 			t.Errorf("analyzersFor(%q) = %d analyzers, want %d", c.rel, len(got), len(c.want))
 			continue
@@ -34,6 +37,17 @@ func TestAnalyzersFor(t *testing.T) {
 				t.Errorf("analyzersFor(%q)[%d] = %s, want %s", c.rel, i, a.Name, c.want[i])
 			}
 		}
+	}
+}
+
+// TestAnalyzersForRules: the -rules selection filters the analyzer set.
+func TestAnalyzersForRules(t *testing.T) {
+	got := analyzersFor("internal/oram", map[string]bool{"timing": true})
+	if len(got) != 1 || got[0].Name != "timing" {
+		t.Fatalf("rules filter: got %d analyzers, want exactly [timing]", len(got))
+	}
+	if got := analyzersFor("internal/rng", map[string]bool{"timing": true}); len(got) != 0 {
+		t.Fatalf("rules filter: internal/rng should have no timing analyzer, got %d", len(got))
 	}
 }
 
@@ -56,5 +70,30 @@ func TestRunCheckedPackage(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"../../internal/rng"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestRunJSON: -json over a clean package emits a well-formed array (the
+// allow-suppressed findings of the package, if any, each carrying a
+// non-empty justification).
+func TestRunJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "../../internal/rng"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Rule == "" {
+			t.Errorf("finding missing location/rule: %+v", f)
+		}
+		if !f.Allowed {
+			t.Errorf("clean package reported a live finding: %+v", f)
+		}
+		if f.Allowed && f.Reason == "" {
+			t.Errorf("allowed finding without justification: %+v", f)
+		}
 	}
 }

@@ -28,20 +28,28 @@ import (
 	"strings"
 )
 
-// Finding is one analyzer diagnostic.
+// Finding is one analyzer diagnostic. Findings silenced by a matching
+// //oramlint:allow are still returned — with Allowed set and the
+// justification in Reason — so machine consumers (-json) can see the
+// full picture; text output and exit codes skip them.
 type Finding struct {
-	Pos  token.Position
-	Rule string // short rule id, e.g. "maprange", "secret-branch"
-	Msg  string
+	Pos     token.Position
+	Rule    string // short rule id, e.g. "maprange", "secret-branch"
+	Msg     string
+	Allowed bool   // suppressed by a load-bearing allow directive
+	Reason  string // the allow's justification, when Allowed
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
 }
 
-// Pass carries one package through one analyzer.
+// Pass carries one package through one analyzer. Prog is the whole-
+// module view for interprocedural analyzers; it is nil when running
+// through the single-package entry point.
 type Pass struct {
 	Pkg      *Package
+	Prog     *Program
 	findings []Finding
 }
 
@@ -121,11 +129,17 @@ func collectAllows(pkg *Package) ([]*allowDirective, []Finding) {
 }
 
 // RunPackage runs the given analyzers over one package, applies the
-// allow-comment contract, and returns surviving findings (including
-// malformed or non-load-bearing allows, reported as findings of rule
-// "allow").
+// allow-comment contract, and returns all findings: unsuppressed ones,
+// suppressed ones (Allowed=true, with the justification), and malformed
+// or non-load-bearing allows reported as findings of rule "allow".
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	pass := &Pass{Pkg: pkg}
+	return Run(nil, pkg, analyzers)
+}
+
+// Run is RunPackage with a whole-program view attached to the pass, for
+// interprocedural analyzers. prog may be nil.
+func Run(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	pass := &Pass{Pkg: pkg, Prog: prog}
 	for _, a := range analyzers {
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -135,19 +149,17 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 
 	var kept []Finding
 	for _, f := range pass.findings {
-		suppressed := false
 		for _, d := range allows {
 			if d.rule != f.Rule || d.pos.Filename != f.Pos.Filename {
 				continue
 			}
 			if d.pos.Line == f.Pos.Line || d.target == f.Pos.Line {
 				d.used = true
-				suppressed = true
+				f.Allowed = true
+				f.Reason = d.reason
 			}
 		}
-		if !suppressed {
-			kept = append(kept, f)
-		}
+		kept = append(kept, f)
 	}
 	for _, d := range allows {
 		if !d.used {

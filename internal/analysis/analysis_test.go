@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bufio"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -86,8 +87,18 @@ func checkFixture(t *testing.T, name string, analyzers []*Analyzer) {
 	if err != nil {
 		t.Fatalf("RunPackage: %v", err)
 	}
+	diffFindings(t, pkg, findings)
+}
+
+// diffFindings compares analyzer output (minus allow-suppressed
+// findings) against the package's want markers.
+func diffFindings(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
 	wants := scanWants(t, pkg)
 	for _, f := range findings {
+		if f.Allowed {
+			continue
+		}
 		key := expectation{file: f.Pos.Filename, line: f.Pos.Line, rule: f.Rule}
 		if _, ok := wants[key]; !ok {
 			t.Errorf("unexpected finding: %s", f)
@@ -120,6 +131,78 @@ func TestObliviousNegative(t *testing.T) {
 
 func TestAllowContract(t *testing.T) {
 	checkFixture(t, "allowcase", []*Analyzer{Determinism})
+}
+
+func TestTimingPositive(t *testing.T) {
+	checkFixture(t, "timingpos", []*Analyzer{Timing([]string{"Access"}, []string{"Accesses"}, []string{"depend"})})
+}
+
+func TestTimingNegative(t *testing.T) {
+	checkFixture(t, "timingneg", []*Analyzer{Timing([]string{"Access"}, []string{"Accesses"}, []string{"depend"})})
+}
+
+func TestOwnershipPositive(t *testing.T) {
+	checkFixture(t, "ownpos", []*Analyzer{Ownership()})
+}
+
+func TestOwnershipNegative(t *testing.T) {
+	checkFixture(t, "ownneg", []*Analyzer{Ownership()})
+}
+
+// TestCrossPackageTaint proves summaries cross package boundaries: the
+// app fixture leaks scratch and guards a park on secrets it can only
+// see through the lib fixture's accessors.
+func TestCrossPackageTaint(t *testing.T) {
+	app := fixture(t, "xtaint/app")
+	lib, err := loader.Load(loader.ModulePath + "/internal/analysis/testdata/xtaint/lib")
+	if err != nil {
+		t.Fatalf("loading lib fixture: %v", err)
+	}
+	prog := NewProgram([]*Package{app, lib})
+	findings, err := Run(prog, app, []*Analyzer{
+		Ownership(),
+		Timing(nil, nil, nil),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	diffFindings(t, app, findings)
+}
+
+// TestTaintAPI spot-checks the engine's summary surface.
+func TestTaintAPI(t *testing.T) {
+	app := fixture(t, "xtaint/app")
+	lib, err := loader.Load(loader.ModulePath + "/internal/analysis/testdata/xtaint/lib")
+	if err != nil {
+		t.Fatalf("loading lib fixture: %v", err)
+	}
+	prog := NewProgram([]*Package{app, lib})
+	scratch := prog.Taint(TagScratch)
+	secret := prog.Taint(TagSecret)
+	var fetch, hit *types.Func
+	for fn := range prog.funcs {
+		switch fn.Name() {
+		case "Fetch":
+			fetch = fn
+		case "Hit":
+			hit = fn
+		}
+	}
+	if fetch == nil || hit == nil {
+		t.Fatal("fixture functions not indexed")
+	}
+	if !scratch.ReturnsTagged(fetch) {
+		t.Error("Fetch should return scratch-tagged state")
+	}
+	if scratch.ReturnsTagged(hit) {
+		t.Error("Hit returns a bool; bools cannot alias scratch")
+	}
+	if !secret.ReturnsTagged(hit) {
+		t.Error("Hit should return secret-derived state")
+	}
+	if !secret.ReadsTagged(hit) {
+		t.Error("Hit reads the secret table directly")
+	}
 }
 
 func TestMalformedAllow(t *testing.T) {

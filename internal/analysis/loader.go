@@ -82,6 +82,25 @@ func NewLoader(dir string) (*Loader, error) {
 	}, nil
 }
 
+// SetBuildTags sets the build tags the loader's file selection honours
+// (e.g. "invariants"). Call before any Load; cached packages are not
+// re-parsed.
+func (l *Loader) SetBuildTags(tags []string) {
+	l.ctx.BuildTags = append([]string(nil), tags...)
+}
+
+// Packages returns every package this loader has loaded so far —
+// analysis targets and their module-internal dependencies — suitable
+// for NewProgram.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // modulePath extracts the module path from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)

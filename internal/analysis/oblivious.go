@@ -3,14 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"reflect"
-)
-
-// SecretTag is the struct-tag key/value marking fields whose contents
-// the memory-bus adversary must not learn: `oramlint:"secret"`.
-const (
-	secretTagKey   = "oramlint"
-	secretTagValue = "secret"
 )
 
 // Oblivious flags secret-dependent control flow in functions that can
@@ -216,24 +208,8 @@ func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
 }
 
 // isSecretField reports whether the selector reads a struct field
-// tagged `oramlint:"secret"`, following the selection's embedding path.
+// tagged `oramlint:"secret"` (possibly among other comma-separated
+// values), following the selection's embedding path.
 func isSecretField(info *types.Info, sel *ast.SelectorExpr) bool {
-	s, ok := info.Selections[sel]
-	if !ok || s.Kind() != types.FieldVal {
-		return false
-	}
-	t := s.Recv()
-	tag := ""
-	for _, idx := range s.Index() {
-		if ptr, ok := t.Underlying().(*types.Pointer); ok {
-			t = ptr.Elem()
-		}
-		st, ok := t.Underlying().(*types.Struct)
-		if !ok {
-			return false
-		}
-		tag = st.Tag(idx)
-		t = st.Field(idx).Type()
-	}
-	return reflect.StructTag(tag).Get(secretTagKey) == secretTagValue
+	return taggedSelection(info, sel, TagSecret)
 }

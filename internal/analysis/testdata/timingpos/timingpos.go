@@ -1,0 +1,84 @@
+// Package timingpos exercises the timing analyzer: secret-dependent
+// sleeps, early exits, trip counts, and parks in timing-relevant code
+// must be reported.
+package timingpos
+
+import "time"
+
+// Access is the configured emit type.
+type Access struct {
+	Addr uint64
+}
+
+type entry struct {
+	Count int `oramlint:"secret"`
+}
+
+// Ctl mixes public plumbing with secret-tagged state.
+type Ctl struct {
+	Accesses []Access
+	pending  map[int]entry `oramlint:"secret"`
+	work     chan int
+	n        int `oramlint:"secret"`
+}
+
+func (c *Ctl) emit(a uint64) {
+	c.Accesses = append(c.Accesses, Access{Addr: a})
+}
+
+// padSleep sleeps for a secret-derived duration.
+func (c *Ctl) padSleep() {
+	time.Sleep(time.Duration(c.n)) // want secret-sleep
+	c.emit(1)
+}
+
+// guardSleep sleeps only when the secret counter is positive.
+func (c *Ctl) guardSleep() {
+	if c.n > 0 {
+		time.Sleep(time.Millisecond) // want secret-sleep
+	}
+	c.emit(2)
+}
+
+// lookup returns early on a miss in the secret pending table, skipping
+// the emission below: response latency now says whether id was pending.
+func (c *Ctl) lookup(id int) bool {
+	if _, ok := c.pending[id]; !ok {
+		return false // want secret-early-exit
+	}
+	c.emit(3)
+	return true
+}
+
+// flush iterates the secret pending table, emitting per entry.
+func (c *Ctl) flush() {
+	for id := range c.pending { // want secret-trip-count
+		c.emit(uint64(id))
+	}
+}
+
+// pad loops a secret number of times around emission.
+func (c *Ctl) pad() {
+	for i := 0; i < c.n; i++ { // want secret-trip-count
+		c.emit(uint64(i))
+	}
+}
+
+// hand sends on the work channel only for pending entries.
+func (c *Ctl) hand(id int) {
+	if e, ok := c.pending[id]; ok && e.Count > 0 {
+		c.work <- id // want secret-park
+	}
+}
+
+// depend parks the caller (configured park call).
+func (c *Ctl) depend() {
+	<-c.work
+}
+
+// maybePark parks only when the secret table holds id.
+func (c *Ctl) maybePark(id int) {
+	if _, ok := c.pending[id]; ok {
+		c.depend() // want secret-park
+	}
+}

@@ -1,0 +1,29 @@
+// Package app is the consuming side of the cross-package taint fixture:
+// every tagged value it mishandles arrived through lib's accessors, so
+// each finding below proves a summary crossed the package boundary.
+package app
+
+import "stringoram/internal/analysis/testdata/xtaint/lib"
+
+// keep is package-level state outliving every access.
+var keep [][]byte
+
+type Server struct {
+	p    *lib.Pool
+	work chan int
+	out  []byte
+}
+
+// retain leaks a buffer fetched from the other package.
+func (s *Server) retain() {
+	b := s.p.Fetch()
+	s.out = b              // want scratch-store
+	keep = append(keep, b) // want scratch-store
+}
+
+// notify parks on a secret known only through the lib helper.
+func (s *Server) notify(id int) {
+	if s.p.Hit(id) {
+		s.work <- id // want secret-park
+	}
+}

@@ -1,0 +1,24 @@
+// Package lib is the providing side of the cross-package taint fixture:
+// it owns the tagged state and exports accessors that return it.
+package lib
+
+// Frame is a pooled frame; Buf aliases controller scratch.
+type Frame struct {
+	Buf []byte `oramlint:"scratch"`
+}
+
+// Pool owns scratch and a secret hit table.
+type Pool struct {
+	Cur  Frame
+	hits map[int]bool `oramlint:"secret"`
+}
+
+// Fetch returns the pooled buffer: callers receive scratch.
+func (p *Pool) Fetch() []byte {
+	return p.Cur.Buf
+}
+
+// Hit reads the secret table: callers receive a secret-derived bool.
+func (p *Pool) Hit(id int) bool {
+	return p.hits[id]
+}

@@ -132,6 +132,7 @@ func (p *Path) Read(id BlockID) ([]byte, []Op, error) {
 // next operation on this Path.
 func (p *Path) Write(id BlockID, data []byte) ([]Op, error) {
 	_, ops, err := p.Access(id, true, data)
+	//oramlint:allow scratch-return the ops list aliases controller scratch by the documented API contract: valid until the next operation on this Path, callers that retain must copy
 	return ops, err
 }
 
@@ -258,8 +259,10 @@ func (p *Path) Access(id BlockID, write bool, data []byte) ([]byte, []Op, error)
 		p.stats.StashPeak = n
 	}
 	if p.stash.Len() > p.stash.Cap() { //oramlint:allow secret-branch overflow detection aborts the run after the op is fully emitted; it never alters the trace
+		//oramlint:allow scratch-return the ops list aliases controller scratch by the documented API contract: valid until the next operation on this Path
 		return nil, p.scr.ops, ErrStashOverflow
 	}
+	//oramlint:allow scratch-return returned data and ops alias controller scratch by the documented API contract: valid until the next operation on this Path, callers that retain must copy
 	return out, p.scr.ops, nil
 }
 

@@ -46,7 +46,7 @@ type Pipeline struct {
 	store  *lockedStore
 	crypt  *Crypt
 	depth  int
-	doneFn func(ctx any, data []byte, ops []Op, err error)
+	doneFn func(ctx any, data []byte, ops []Op, err error) `oramlint:"scratch"`
 	ins    PipelineInstruments
 
 	slots []*pipeSlot
@@ -65,10 +65,10 @@ type Pipeline struct {
 	// entry i returns to the pool once every slot admitted at or before
 	// release has retired. FIFO because release values are appended in
 	// nondecreasing order.
-	recycleQ    []deferBuf
+	recycleQ    []deferBuf `oramlint:"scratch"`
 	recycleHead int
 
-	work      chan *pipeSlot
+	work      chan *pipeSlot `oramlint:"scratch"`
 	mu        sync.Mutex
 	cond      *sync.Cond
 	completed []uint64 // per slot index: seq of its last completed job
@@ -97,7 +97,7 @@ type pendRef struct {
 // deferBuf is one deferred-recycle entry.
 type deferBuf struct {
 	release uint64
-	buf     []byte `oramlint:"secret"`
+	buf     []byte `oramlint:"secret,scratch"`
 }
 
 // Job op kinds. Each op is recorded at admission and executed verbatim
@@ -121,7 +121,7 @@ type pipeJob struct {
 	out     int32 // outs index: destination for opens, source for seals (-1: use src)
 	bucket  int64
 	ctr     uint64 // reserved seal counter (jobSeal)
-	src     []byte `oramlint:"secret"` // external plaintext source (forwarded buffers)
+	src     []byte `oramlint:"secret,scratch"` // external plaintext source (forwarded buffers)
 }
 
 // pipeOut is one buffer a job produces. stashPut marks buffers that
@@ -129,7 +129,7 @@ type pipeJob struct {
 // pending table: stashPut is true iff pending[id] still points here).
 type pipeOut struct {
 	id       BlockID `oramlint:"secret"`
-	buf      []byte  `oramlint:"secret"`
+	buf      []byte  `oramlint:"secret,scratch"`
 	stashPut bool
 }
 
@@ -145,9 +145,9 @@ type pipeSlot struct {
 	write bool
 	err   error
 
-	ops  []Op
-	jobs []pipeJob
-	outs []pipeOut
+	ops  []Op      `oramlint:"scratch"`
+	jobs []pipeJob `oramlint:"scratch"`
+	outs []pipeOut `oramlint:"scratch"`
 
 	// readClaims/writeClaims are the buckets this job touches, sorted at
 	// dispatch. Bucket indices are public (the emitted op list names
@@ -158,17 +158,17 @@ type pipeSlot struct {
 	// may execute (0: none).
 	depSeq []uint64
 
-	outBuf   []byte `oramlint:"secret"` // response plaintext (BlockSize)
-	outSrc   []byte `oramlint:"secret"` // copied into outBuf after job ops run
+	outBuf   []byte `oramlint:"secret,scratch"` // response plaintext (BlockSize)
+	outSrc   []byte `oramlint:"secret,scratch"` // copied into outBuf after job ops run
 	outValid bool
 	parked   bool
 
 	// Worker-side scratch: a Crypt view sharing the ring cipher, the XOR
 	// accumulator, and seal output buffers.
 	cv       *Crypt
-	xorAcc   []byte
-	sealBuf  []byte
-	dummyBuf []byte
+	xorAcc   []byte `oramlint:"scratch"`
+	sealBuf  []byte `oramlint:"scratch"`
+	dummyBuf []byte `oramlint:"scratch"`
 
 	executing bool // guarded by Pipeline.mu (ledger soundness asserts)
 	done      bool // guarded by Pipeline.mu
@@ -717,11 +717,13 @@ func (pp pipePlane) takeStash(id BlockID) blockRef {
 		if prod == s {
 			// Fetched earlier in this very access: the open op runs
 			// before the seal op in the same job.
+			//oramlint:allow secret-early-exit the pending-table hit only selects which buffer the seal op reads; the op list and claims were already emitted at admission, so the bus schedule is unchanged
 			return blockRef{tok: pr.out}
 		}
 		// Produced by an older in-flight job: seal from its buffer once
 		// it completes. The producer's retirement defers the buffer's
 		// recycling past ours, so the reference stays valid.
+		//oramlint:allow secret-park the forwarding stall is inherent to the conflict ledger: it serializes a consumer behind a producer whose bucket collision is already bus-visible, and only delays worker execution, never reshapes emitted ops
 		s.depend(prod)
 		p.ins.PendingForwards.Inc()
 		return blockRef{buf: prod.outs[pr.out].buf, tok: -1}
@@ -785,6 +787,7 @@ func (pp pipePlane) snapshotOut(id BlockID) []byte {
 		prod := p.slots[pr.slot]
 		s.outSrc = prod.outs[pr.out].buf
 		if prod != s {
+			//oramlint:allow secret-park response-snapshot forwarding parks behind the same producer the conflict ledger already serializes on; the stall shifts worker timing only, the admission-emitted op schedule is fixed
 			s.depend(prod)
 			p.ins.PendingForwards.Inc()
 		}

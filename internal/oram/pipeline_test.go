@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"stringoram/internal/config"
 	"stringoram/internal/invariant"
@@ -366,5 +367,168 @@ func TestPipelineAllocFree(t *testing.T) {
 	// small per-op slack for runtime-internal allocations instead.
 	if allocs > 0.05 {
 		t.Fatalf("pipelined access allocates %.3f objects/op in steady state, want ~0", allocs)
+	}
+}
+
+// TestPipelineLedgerWriteWriteAdjacent exercises the conflict ledger's
+// W∩W' edge directly: an admission whose write claims intersect the
+// write claims of the immediately preceding in-flight job (admission
+// distance 1) must park on it, and one with disjoint claims must not.
+// Claims are bucket-granular — a shared bucket covers every slot-level
+// overlap the protocol can produce.
+func TestPipelineLedgerWriteWriteAdjacent(t *testing.T) {
+	const depth = 2
+	p := &Pipeline{depth: depth, slots: make([]*pipeSlot, depth)}
+	for i := range p.slots {
+		p.slots[i] = &pipeSlot{idx: i, depSeq: make([]uint64, depth)}
+	}
+
+	// Seq 1 is in flight and wrote bucket 9.
+	p.head, p.next = 1, 2
+	older := p.slots[1%depth]
+	older.reset(1, nil, true)
+	older.writeClaims = append(older.writeClaims, 9)
+
+	s := p.slots[2%depth]
+	s.reset(2, nil, true)
+	s.writeClaims = append(s.writeClaims, 9)
+	p.computeDeps(s)
+	if !s.parked {
+		t.Fatal("W∩W' on a shared bucket at distance 1 did not park the younger job")
+	}
+	if got := s.depSeq[older.idx]; got != older.seq {
+		t.Fatalf("dependency records seq %d, want the producer's seq %d", got, older.seq)
+	}
+
+	// Disjoint write sets must stay independent.
+	s.reset(2, nil, true)
+	s.writeClaims = append(s.writeClaims, 11)
+	p.computeDeps(s)
+	if s.parked {
+		t.Fatal("disjoint write claims parked spuriously")
+	}
+}
+
+// TestPipelineLedgerParkChain fills the ledger with k consecutive
+// writers of one bucket and checks the dependency chain: every slot
+// after the first parks, and each records a dependency on its immediate
+// predecessor (the transitive chain retirement unwinds in order).
+func TestPipelineLedgerParkChain(t *testing.T) {
+	const k = 6
+	p := &Pipeline{depth: k, slots: make([]*pipeSlot, k)}
+	for i := range p.slots {
+		p.slots[i] = &pipeSlot{idx: i, depSeq: make([]uint64, k)}
+	}
+	p.head = 1
+	for seq := uint64(1); seq <= k; seq++ {
+		s := p.slots[seq%k]
+		s.reset(seq, nil, true)
+		s.writeClaims = append(s.writeClaims, 3)
+		p.next = seq
+		p.computeDeps(s)
+		if seq == 1 {
+			if s.parked {
+				t.Fatal("the chain head has no older job to park on")
+			}
+			continue
+		}
+		if !s.parked {
+			t.Fatalf("seq %d did not park on the chain", seq)
+		}
+		prev := p.slots[(seq-1)%k]
+		if got := s.depSeq[prev.idx]; got != prev.seq {
+			t.Fatalf("seq %d records dep seq %d on slot %d, want %d (its predecessor)",
+				seq, got, prev.idx, prev.seq)
+		}
+	}
+}
+
+// gateStore blocks every store access until its gate channel is closed,
+// pinning in-flight jobs on their workers so park states can be observed
+// deterministically. Admission never touches the store (the protocol
+// pass is metadata-only), so gating stalls only the data plane.
+type gateStore struct {
+	inner Store
+	gate  chan struct{}
+}
+
+func (g *gateStore) ReadSlot(bucket int64, slot int) []byte {
+	<-g.gate
+	return g.inner.ReadSlot(bucket, slot)
+}
+
+func (g *gateStore) WriteSlot(bucket int64, slot int, sealed []byte) {
+	<-g.gate
+	g.inner.WriteSlot(bucket, slot, sealed)
+}
+
+// TestPipelineDrainWhileParked calls Drain while a job is verifiably
+// parked behind a gated producer: the drain must block until the
+// producer completes, unwind every park (watchdog counters agree), and
+// leave the pipeline fully usable.
+func TestPipelineDrainWhileParked(t *testing.T) {
+	cfg := smallCfg(2)
+	crypt, err := NewCrypt(testKey(), cfg.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	gs := &gateStore{inner: NewMemStore(cfg.SlotsPerBucket()), gate: gate}
+	// Seed 3 is pinned: the probe trace below parks two jobs within the
+	// first 8 admissions (parking is decided at admission from emitted
+	// claims, so the count is seed-deterministic and gate-independent).
+	r, err := NewRing(cfg, 3, &Options{Store: gs, Crypt: crypt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	p, err := AttachPipeline(r, PipelineOptions{
+		Depth: 8, Workers: 2,
+		Done: func(any, []byte, []Op, error) { delivered++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := genTrace(8, 3*977)
+	for _, st := range trace {
+		var data []byte
+		if st.write {
+			data = blockData(cfg, st.id, st.ver)
+		}
+		if err := p.Submit(nil, st.id, st.write, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.parkedN == 0 {
+		t.Fatal("pinned trace admitted no parked job; the test cannot exercise Drain-while-parked")
+	}
+	// Every parked job is still parked: its producer cannot have
+	// completed with the gate closed. Release the gate only after Drain
+	// has committed to waiting.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(gate)
+	}()
+	p.Drain()
+	if n := p.InFlight(); n != 0 {
+		t.Fatalf("InFlight() = %d after Drain", n)
+	}
+	if delivered != len(trace) {
+		t.Fatalf("delivered %d results, want %d", delivered, len(trace))
+	}
+	p.mu.Lock()
+	unparked := p.unparkedN
+	p.mu.Unlock()
+	if unparked != p.parkedN {
+		t.Fatalf("parked %d jobs but unparked %d across Drain", p.parkedN, unparked)
+	}
+	// The pipeline stays usable after a drain that interrupted parks.
+	if err := p.Submit(nil, 1, true, blockData(cfg, 1, 99)); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+	p.Close()
+	if data, _, err := r.Read(1); err != nil || !bytes.Equal(data, blockData(cfg, 1, 99)) {
+		t.Fatalf("post-drain write not readable: %v", err)
 	}
 }

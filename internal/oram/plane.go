@@ -61,7 +61,7 @@ type dataPlane interface {
 // for buffers produced by the same in-flight job and buf for buffers
 // owned by the stash or another job.
 type blockRef struct {
-	buf []byte `oramlint:"secret"`
+	buf []byte `oramlint:"secret,scratch"`
 	tok int32
 }
 

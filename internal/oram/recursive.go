@@ -261,8 +261,10 @@ func (rr *RecursiveRing) Access(id BlockID, write bool, data []byte) ([]byte, []
 	ops = append(ops, dops...)
 	rr.opsBuf = ops
 	if err != nil {
+		//oramlint:allow scratch-return returned data aliases the data ring's response scratch by the documented API contract: valid until the next operation on this RecursiveRing
 		return out, ops, err
 	}
+	//oramlint:allow scratch-return returned data aliases the data ring's response scratch by the documented API contract: valid until the next operation on this RecursiveRing, callers that retain must copy
 	return out, ops, nil
 }
 

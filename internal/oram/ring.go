@@ -60,29 +60,29 @@ type ringScratch struct {
 	// ops is the operation list one access builds and returns. Op entries
 	// are reused index-for-index, so each index's Accesses backing array
 	// survives across accesses.
-	ops []Op
+	ops []Op `oramlint:"scratch"`
 	// outBuf carries the plaintext handed back to the caller.
-	outBuf []byte `oramlint:"secret"`
+	outBuf []byte `oramlint:"secret,scratch"`
 	// updBuf carries the plaintext copy handed to Update callbacks.
-	updBuf []byte `oramlint:"secret"`
+	updBuf []byte `oramlint:"secret,scratch"`
 	// sealBuf receives sealed bytes on their way into the store; stores
 	// copy (see Store), so one buffer serves every write.
-	sealBuf []byte
+	sealBuf []byte `oramlint:"scratch"`
 	// dummySeal receives deterministic dummy ciphertexts.
-	dummySeal []byte
+	dummySeal []byte `oramlint:"scratch"`
 	// xorAcc accumulates the XOR-combined ciphertext of a read path.
 	// Length zero marks "nothing folded yet".
-	xorAcc []byte
+	xorAcc []byte `oramlint:"scratch"`
 	// blockPool recycles plaintext block buffers circulating between the
 	// store, the stash and the controller.
-	blockPool [][]byte `oramlint:"secret"`
+	blockPool [][]byte `oramlint:"secret,scratch"`
 	// sel and shuf are the dummy-selection and reshuffle scratches.
 	sel  selectScratch
 	shuf shuffleScratch
 	// res, refs, blocks and readSlots serve reshuffles and evictions.
-	res       []residentBlock `oramlint:"secret"`
-	refs      []blockRef      `oramlint:"secret"`
-	blocks    []BlockID       `oramlint:"secret"`
+	res       []residentBlock `oramlint:"secret,scratch"`
+	refs      []blockRef      `oramlint:"secret,scratch"`
+	blocks    []BlockID       `oramlint:"secret,scratch"`
 	readSlots []int
 	// byLevel and placed are the eviction placement tables, one slot per
 	// tree level.
@@ -413,6 +413,7 @@ func (r *Ring) Read(id BlockID) (data []byte, ops []Op, err error) {
 // operation on this Ring.
 func (r *Ring) Write(id BlockID, data []byte) (ops []Op, err error) {
 	_, ops, err = r.Access(id, true, data)
+	//oramlint:allow scratch-return the ops list aliases controller scratch by the documented API contract: valid until the next operation on this Ring, callers that retain must copy
 	return ops, err
 }
 
@@ -467,9 +468,11 @@ func (r *Ring) PositionOf(id BlockID) (PathID, bool) {
 
 func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, updateFn func([]byte) []byte) ([]byte, []Op, error) {
 	if id < 0 {
+		//oramlint:allow secret-early-exit argument validation on the public API: block ids are allocated by a public counter, so rejecting a negative id reveals only argument well-formedness, never mapped state
 		return nil, nil, fmt.Errorf("oram: negative block id %d", id)
 	}
 	if r.cfg.WarmFill > 0 && id >= FillerBase {
+		//oramlint:allow secret-early-exit the filler-space boundary is a public configuration constant; the rejection depends on the caller-supplied id against that constant, not on any mapped secret
 		return nil, nil, fmt.Errorf("oram: block id %d collides with the warm-fill filler space", id)
 	}
 	if updateFn != nil {
@@ -479,6 +482,7 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	}
 	if write {
 		if updateFn == nil && r.store != nil && len(data) != r.cfg.BlockSize {
+			//oramlint:allow secret-early-exit the size check is the public API contract (BlockSize is configuration); server encoders normalize every value to exactly BlockSize before calling, so the rejection depends only on caller framing, not content
 			return nil, nil, fmt.Errorf("oram: write of %d bytes, want %d", len(data), r.cfg.BlockSize)
 		}
 		r.stats.Writes++
@@ -564,8 +568,11 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	// evict; repeat until the stash drains. The bus sees only the usual
 	// (A reads, 1 evict) rhythm, so nothing leaks.
 	rounds := 0
-	for r.stash.Len() >= r.cfg.EvictThreshold() { //oramlint:allow secret-branch the extra ops are dummy read paths on random paths plus scheduled evictions, all in the public (A reads, 1 evict) rhythm; occupancy only stalls the CPU, it never shapes an op
+	//oramlint:allow secret-branch the extra ops are dummy read paths on random paths plus scheduled evictions, all in the public (A reads, 1 evict) rhythm; occupancy only stalls the CPU, it never shapes an op
+	//oramlint:allow secret-trip-count every extra round issues dummy read paths and scheduled evictions in the unchanged public (A reads, 1 evict) rhythm; the occupancy-dependent round count stalls only the CPU and is bounded by maxBackgroundRounds
+	for r.stash.Len() >= r.cfg.EvictThreshold() {
 		if rounds++; rounds > maxBackgroundRounds {
+			//oramlint:allow secret-early-exit stash overflow is the catastrophic safety valve: it aborts the access loudly with ErrStashOverflow, a condition the deployment treats as public (parameters were mis-sized), not as a per-access signal
 			return nil, r.scr.ops, ErrStashOverflow
 		}
 		p := r.pos.RandomPath()
@@ -818,8 +825,8 @@ func (r *Ring) earlyReshuffleOp(idx int64, level int) {
 // residentBlock pairs a resident block's ID with its plaintext ref while
 // a reshuffle is in flight.
 type residentBlock struct {
-	id  BlockID
-	ref blockRef
+	id  BlockID  `oramlint:"secret"`
+	ref blockRef `oramlint:"scratch"` // aliases pool/pending buffers until the bucket write consumes it
 }
 
 // writeBucket emits the write phase of a reshuffle/eviction for one

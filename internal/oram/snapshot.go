@@ -97,7 +97,14 @@ func (r *Ring) Save(w io.Writer) error {
 	// The walks below visit maps; sort every snapshot slice so the gob
 	// stream is byte-identical across runs of the same simulation.
 	r.stash.ForEach(func(id BlockID, p PathID) {
-		snap.Stash = append(snap.Stash, stashSnap{ID: id, Path: p, Data: r.stash.Get(id)})
+		// Copy: the snapshot must not alias stash buffers that the pool
+		// recycles on the next access (caught by oramlint's ownership
+		// analyzer — the gob encode may run after serving resumes).
+		var data []byte
+		if d := r.stash.Get(id); d != nil {
+			data = append([]byte(nil), d...)
+		}
+		snap.Stash = append(snap.Stash, stashSnap{ID: id, Path: p, Data: data})
 	})
 	sort.Slice(snap.Stash, func(i, j int) bool { return snap.Stash[i].ID < snap.Stash[j].ID })
 	r.pos.ForEach(func(id BlockID, p PathID) {

@@ -5,14 +5,14 @@ package oram
 // the map so that Put/Remove cycling allocates nothing in steady state.
 type stashEntry struct {
 	path PathID `oramlint:"secret"`
-	data []byte `oramlint:"secret"`
+	data []byte `oramlint:"secret,scratch"`
 }
 
 // Stash is the bounded on-chip buffer that holds blocks between a read
 // path and their eviction back into the tree. It lives inside the secure
 // boundary, so its contents are invisible to the memory-bus adversary.
 type Stash struct {
-	entries map[BlockID]stashEntry `oramlint:"secret"`
+	entries map[BlockID]stashEntry `oramlint:"secret,scratch"`
 	cap     int
 }
 
@@ -55,6 +55,7 @@ func (s *Stash) Put(id BlockID, path PathID, data []byte) (displaced []byte) {
 	if len(data) > 0 && len(prev.data) > 0 && &data[0] == &prev.data[0] {
 		return nil
 	}
+	//oramlint:allow scratch-return the displaced buffer is an ownership transfer by contract: the stash has dropped its reference and the caller recycles the buffer into the pool
 	return prev.data
 }
 
@@ -62,6 +63,7 @@ func (s *Stash) Put(id BlockID, path PathID, data []byte) (displaced []byte) {
 // owned by the stash: callers must not retain it past the next mutation.
 func (s *Stash) Get(id BlockID) []byte {
 	if e, ok := s.entries[id]; ok {
+		//oramlint:allow scratch-return the slice stays stash-owned by the documented API contract: callers must not retain it past the next mutation (snapshotting copies)
 		return e.data
 	}
 	return nil
@@ -93,6 +95,7 @@ func (s *Stash) Remove(id BlockID) []byte {
 		return nil
 	}
 	delete(s.entries, id)
+	//oramlint:allow scratch-return ownership of the removed buffer transfers to the caller by contract: the stash entry is gone, so no aliasing remains on this side
 	return e.data
 }
 

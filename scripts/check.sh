@@ -23,8 +23,17 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== oramlint =="
+echo "== oramlint (default + invariants configs) =="
+# The driver lints both build configurations in one run (it merges
+# findings and cross-checks allow staleness per config); time it so
+# analyzer cost regressions are visible in the check output.
+lint_start=$(date +%s%N)
 go run ./cmd/oramlint ./...
+lint_end=$(date +%s%N)
+echo "oramlint wall time: $(( (lint_end - lint_start) / 1000000 )) ms"
+
+echo "== analyzer fixture tests (taint engine, timing, ownership, driver) =="
+go test -count=1 ./internal/analysis ./cmd/oramlint
 
 echo "== go test =="
 go test ./...
