@@ -29,6 +29,20 @@
 //	-timeout D           default per-request deadline (0 disables)
 //	-key HEX             16-byte AES key (hex) sealing block contents
 //
+// Cluster flags (multi-node mode; see DESIGN.md "Cluster"):
+//
+//	-cluster             serve as one member of a multi-node cluster
+//	-node-id ID          this node's identity (must appear in -peers)
+//	-peers LIST          comma-separated id=host:port pairs naming every
+//	                     cluster member, this node included
+//	-cluster-shards N    global shard count spread over the peers
+//	                     (default: -shards × number of peers)
+//
+// In cluster mode -shards is ignored (the placement decides which
+// shards this node hosts), every member must be started with identical
+// -peers and -cluster-shards, and the metrics listener additionally
+// serves the node's placement table on /cluster/placement.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 // every queued request, then snapshot each shard atomically — on-disk
 // state is either the complete new snapshot or the previous one, never
@@ -47,6 +61,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,10 +75,11 @@ var notifyListening func(addr string)
 
 // metricsMux builds the operator HTTP surface: Prometheus text on
 // /metrics, the legacy JSON snapshot on /metrics.json, a Perfetto-ready
-// trace dump of recent batch spans on /debug/flightrec, and pprof. It
+// trace dump of recent batch spans on /debug/flightrec, pprof, and (in
+// cluster mode) the node's placement table on /cluster/placement. It
 // rides on the -metrics listener only, so none of it is exposed unless
 // the operator opts in.
-func metricsMux(srv *stringoram.Server) *http.ServeMux {
+func metricsMux(srv *stringoram.Server, node *stringoram.ClusterNode) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.PrometheusHandler(srv.Obs()))
 	mux.HandleFunc("/metrics.json", func(rw http.ResponseWriter, _ *http.Request) {
@@ -74,12 +90,43 @@ func metricsMux(srv *stringoram.Server) *http.ServeMux {
 		rw.Header().Set("Content-Type", "application/json")
 		srv.FlightRecorder().WriteTrace(rw)
 	})
+	if node != nil {
+		mux.HandleFunc("/cluster/placement", func(rw http.ResponseWriter, _ *http.Request) {
+			data, err := node.PlacementJSON()
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			rw.Header().Set("Content-Type", "application/json")
+			rw.Write(data)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// parsePeers decodes -peers ("id=host:port,id=host:port,...").
+func parsePeers(list string) ([]stringoram.ClusterNodeInfo, error) {
+	var nodes []stringoram.ClusterNodeInfo
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("-peers: %q is not id=host:port", part)
+		}
+		nodes = append(nodes, stringoram.ClusterNodeInfo{ID: id, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-peers: no peers given")
+	}
+	return nodes, nil
 }
 
 func main() {
@@ -104,6 +151,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	snapdir := fs.String("snapshots", "", "snapshot directory (restore on boot, save on shutdown)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline (0 disables)")
 	keyHex := fs.String("key", "", "16-byte AES key in hex for sealed block storage")
+	clusterMode := fs.Bool("cluster", false, "serve as one member of a multi-node cluster")
+	nodeID := fs.String("node-id", "", "this node's identity in -peers (cluster mode)")
+	peers := fs.String("peers", "", "comma-separated id=host:port cluster members (cluster mode)")
+	clusterShards := fs.Int("cluster-shards", 0, "global shard count over the cluster (0: -shards per peer)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,23 +176,70 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		cfg.Key = key
 	}
 
-	srv, err := stringoram.NewServer(cfg)
-	if err != nil {
-		return err
+	var (
+		srv        *stringoram.Server
+		node       *stringoram.ClusterNode
+		tcp        *stringoram.ServerTCP
+		listenAddr = *addr
+	)
+	if *clusterMode {
+		nodes, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if *nodeID == "" {
+			return fmt.Errorf("-cluster requires -node-id")
+		}
+		total := *clusterShards
+		if total == 0 {
+			total = *shards * len(nodes)
+		}
+		placement, err := stringoram.StaticPlacement(total, nodes)
+		if err != nil {
+			return err
+		}
+		idx := placement.NodeIndex(*nodeID)
+		if idx < 0 {
+			return fmt.Errorf("-node-id %q is not in -peers", *nodeID)
+		}
+		node, err = stringoram.NewClusterNode(stringoram.ClusterNodeConfig{
+			ID:        *nodeID,
+			Placement: placement,
+			Server:    cfg,
+		})
+		if err != nil {
+			return err
+		}
+		srv, tcp = node.Server(), node.TCP()
+		// The node must listen where the placement says it lives, or the
+		// peers and routers cannot reach it.
+		listenAddr = placement.Nodes[idx].Addr
+	} else {
+		var err error
+		srv, err = stringoram.NewServer(cfg)
+		if err != nil {
+			return err
+		}
+		tcp = stringoram.NewTCPServer(srv)
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		srv.Close()
 		return err
 	}
-	fmt.Fprintf(w, "oramd: %d shards, %d-level trees, serving on %s\n", *shards, *levels, ln.Addr())
+	if node != nil {
+		fmt.Fprintf(w, "oramd: cluster node %s hosting %d of %d shards, serving on %s\n",
+			*nodeID, len(srv.HostedShards()), srv.TotalShards(), ln.Addr())
+	} else {
+		fmt.Fprintf(w, "oramd: %d shards, %d-level trees, serving on %s\n", *shards, *levels, ln.Addr())
+	}
 	if notifyListening != nil {
 		notifyListening(ln.Addr().String())
 	}
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		mux := metricsMux(srv)
+		mux := metricsMux(srv, node)
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			srv.Close()
@@ -152,7 +250,6 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		go metricsSrv.Serve(mln)
 	}
 
-	tcp := stringoram.NewTCPServer(srv)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- tcp.Serve(ln) }()
 
@@ -178,10 +275,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 	}
 	// Close drains in-flight work and, when -snapshots is set, commits
-	// one atomic snapshot per shard.
-	if err := srv.Close(); err != nil {
+	// one atomic snapshot per shard; in cluster mode it also drops the
+	// replication links to the peers.
+	var closeErr error
+	if node != nil {
+		closeErr = node.Close()
+	} else {
+		closeErr = srv.Close()
+	}
+	if closeErr != nil {
 		if runErr == nil {
-			runErr = err
+			runErr = closeErr
 		}
 	} else if *snapdir != "" {
 		fmt.Fprintf(w, "oramd: snapshots committed to %s\n", *snapdir)

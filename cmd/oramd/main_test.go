@@ -88,16 +88,11 @@ func TestDaemonKillRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 20
+	retry := stringoram.ServerRetryPolicy{MaxAttempts: 50}
 	for i := 0; i < n; i++ {
 		key, val := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
-		for {
-			err := c.Put(key, []byte(val))
-			if err == nil {
-				break
-			}
-			if !stringoram.RetryableServerError(err) {
-				t.Fatalf("put %s: %v", key, err)
-			}
+		if err := c.PutRetry(key, []byte(val), retry); err != nil {
+			t.Fatalf("put %s: %v", key, err)
 		}
 	}
 	c.Close()
@@ -158,7 +153,7 @@ func TestMetricsMuxEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(metricsMux(srv))
+	ts := httptest.NewServer(metricsMux(srv, nil))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -214,6 +209,101 @@ func TestMetricsMuxEndpoints(t *testing.T) {
 	}
 	if len(doc.TraceEvents) == 0 {
 		t.Fatal("/debug/flightrec has no events after serving traffic")
+	}
+}
+
+// TestDaemonClusterThreeNodes boots a three-node cluster through the
+// daemon's flag surface, routes traffic with the cluster-aware client,
+// and checks the placement table the metrics listener exposes.
+func TestDaemonClusterThreeNodes(t *testing.T) {
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback listen unavailable: %v", err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	peersFlag := fmt.Sprintf("n0=%s,n1=%s,n2=%s", addrs[0], addrs[1], addrs[2])
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	maddr := mln.Addr().String()
+	mln.Close()
+
+	stops := make([]context.CancelFunc, 3)
+	dones := make([]chan error, 3)
+	for i := 0; i < 3; i++ {
+		args := []string{
+			"-cluster", "-node-id", fmt.Sprintf("n%d", i), "-peers", peersFlag,
+			"-shards", "2", "-levels", "8", "-seed", "11",
+		}
+		if i == 0 {
+			args = append(args, "-metrics", maddr)
+		}
+		var got string
+		got, stops[i], dones[i], _ = startDaemon(t, args)
+		if got != addrs[i] {
+			t.Fatalf("node %d listening on %s, placement says %s", i, got, addrs[i])
+		}
+	}
+
+	r, err := stringoram.DialCluster(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 48
+	for i := 0; i < n; i++ {
+		if err := r.Put(fmt.Sprintf("ck-%d", i), []byte(fmt.Sprintf("cv-%d", i))); err != nil {
+			t.Fatalf("cluster put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, found, err := r.Get(fmt.Sprintf("ck-%d", i))
+		if err != nil || !found || string(got) != fmt.Sprintf("cv-%d", i) {
+			t.Fatalf("cluster get %d = %q found=%v err=%v", i, got, found, err)
+		}
+	}
+	if p := r.Placement(); p.Shards != 6 {
+		t.Fatalf("router placement shards = %d, want 6 (2 per node)", p.Shards)
+	}
+	r.Close()
+
+	resp, err := http.Get("http://" + maddr + "/cluster/placement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p stringoram.ClusterPlacement
+	err = json.NewDecoder(resp.Body).Decode(&p)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/cluster/placement decode: %v", err)
+	}
+	if p.Shards != 6 || len(p.Nodes) != 3 {
+		t.Fatalf("/cluster/placement = %d shards over %d nodes, want 6 over 3", p.Shards, len(p.Nodes))
+	}
+
+	for i := 2; i >= 0; i-- {
+		waitShutdown(t, stops[i], dones[i])
+	}
+}
+
+// TestDaemonClusterBadFlags pins the cluster-flag validation paths.
+func TestDaemonClusterBadFlags(t *testing.T) {
+	base := []string{"-cluster", "-peers", "a=127.0.0.1:1,b=127.0.0.1:2"}
+	if err := run(context.Background(), base, &bytes.Buffer{}); err == nil {
+		t.Fatal("-cluster without -node-id accepted")
+	}
+	if err := run(context.Background(), append(base, "-node-id", "zz"), &bytes.Buffer{}); err == nil {
+		t.Fatal("-node-id outside -peers accepted")
+	}
+	if err := run(context.Background(), []string{"-cluster", "-node-id", "a", "-peers", "garbage"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed -peers accepted")
+	}
+	if err := run(context.Background(), []string{"-cluster", "-node-id", "a", "-peers", ""}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty -peers accepted")
 	}
 }
 

@@ -7,8 +7,8 @@
 // reproducibility); internal/oram and internal/server are additionally
 // checked for secret-dependent branching on address-emitting paths
 // (internal/server anchors on its busOp bus-event type); internal/oram,
-// internal/server and internal/obs run the interprocedural timing and
-// scratch-ownership analyzers. Packages outside those sets are skipped.
+// internal/server, internal/obs and internal/cluster run the
+// interprocedural timing and scratch-ownership analyzers. Packages outside those sets are skipped.
 //
 // By default every package is analyzed twice — once under the default
 // build context and once with -tags=invariants — so allow directives in
@@ -67,9 +67,10 @@ var obliviousPkgs = map[string]*analysis.Analyzer{
 // (anchored on the union of the project's bus-event types plus the
 // pipeline's park call) and the scratch-ownership analyzer.
 var taintPkgs = map[string]bool{
-	"internal/oram":   true,
-	"internal/server": true,
-	"internal/obs":    true,
+	"internal/oram":    true,
+	"internal/server":  true,
+	"internal/obs":     true,
+	"internal/cluster": true,
 }
 
 // timingAnalyzer is shared across packages: emission anchors are

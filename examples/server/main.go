@@ -34,11 +34,13 @@ func main() {
 		ops     = 1000 // 500 puts + 500 gets
 	)
 	var (
-		wg      sync.WaitGroup
-		retries atomic.Int64
-		misses  atomic.Int64
-		failed  atomic.Int64
+		wg     sync.WaitGroup
+		misses atomic.Int64
+		failed atomic.Int64
 	)
+	// Backpressure (ErrBacklog/ErrDeadline) is absorbed by the policy's
+	// exponential backoff instead of a hand-rolled spin loop.
+	retry := stringoram.ServerRetryPolicy{MaxAttempts: 100}
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -46,34 +48,21 @@ func main() {
 			defer wg.Done()
 			for i := range jobs {
 				key := fmt.Sprintf("user-%04d", i)
+				var err error
 				if i%2 == 0 { // even jobs write, odd jobs read
 					val := fmt.Sprintf("profile-%d", i)
-					for {
-						err := srv.Put(key, []byte(val))
-						if err == nil {
-							break
-						}
-						if !stringoram.RetryableServerError(err) {
-							failed.Add(1)
-							break
-						}
-						retries.Add(1)
-					}
+					err = retry.Do(func() error { return srv.Put(key, []byte(val)) })
 				} else {
-					for {
-						_, found, err := srv.Get(key)
-						if err == nil {
-							if !found {
-								misses.Add(1) // reader raced ahead of the writer
-							}
-							break
+					err = retry.Do(func() error {
+						_, found, gerr := srv.Get(key)
+						if gerr == nil && !found {
+							misses.Add(1) // reader raced ahead of the writer
 						}
-						if !stringoram.RetryableServerError(err) {
-							failed.Add(1)
-							break
-						}
-						retries.Add(1)
-					}
+						return gerr
+					})
+				}
+				if err != nil {
+					failed.Add(1)
 				}
 			}
 		}()
@@ -85,7 +74,7 @@ func main() {
 	wg.Wait()
 
 	if failed.Load() > 0 {
-		log.Fatalf("%d operations failed non-retryably", failed.Load())
+		log.Fatalf("%d operations failed", failed.Load())
 	}
 	// Every acknowledged write must be readable.
 	for i := 0; i < ops; i += 2 {
@@ -98,8 +87,8 @@ func main() {
 	}
 
 	m := srv.Metrics()
-	fmt.Printf("%d workers, %d ops (%d backpressure retries, %d racing-read misses)\n",
-		workers, ops, retries.Load(), misses.Load())
+	fmt.Printf("%d workers, %d ops (%d backpressure rejections absorbed, %d racing-read misses)\n",
+		workers, ops, m.Rejected+m.Expired, misses.Load())
 	fmt.Printf("all %d acknowledged writes verified readable\n", ops/2)
 	fmt.Printf("shards=%d keys=%d gets=%d puts=%d\n", m.Shards, m.Keys, m.Gets, m.Puts)
 	fmt.Printf("throughput %.0f req/s, batches=%d avg=%.2f max=%d\n",

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stringoram/internal/server"
+)
+
+// benchCluster brings up nodeCount nodes serving shardCount global
+// shards over loopback TCP (startCluster's shape, but against
+// *testing.B so benchmarks can use it).
+func benchCluster(b *testing.B, nodeCount, shardCount int) *Placement {
+	b.Helper()
+	lns := make([]net.Listener, nodeCount)
+	infos := make([]NodeInfo, nodeCount)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Skipf("loopback listen unavailable: %v", err)
+		}
+		lns[i] = ln
+		infos[i] = NodeInfo{ID: fmt.Sprintf("node-%d", i), Addr: ln.Addr().String()}
+	}
+	p, err := Static(shardCount, infos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nodeCount; i++ {
+		n, err := NewNode(NodeConfig{
+			ID:        infos[i].ID,
+			Placement: p,
+			Server:    testServerConfig(100+uint64(i), 8),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln := lns[i]
+		go n.Serve(ln)
+		b.Cleanup(func() { n.Close() })
+	}
+	return p
+}
+
+// latencyRecorder collects client-observed per-op latencies across
+// benchmark goroutines so the run can report a p99.
+type latencyRecorder struct {
+	mu sync.Mutex
+	ns []int64
+}
+
+func (l *latencyRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.ns = append(l.ns, d.Nanoseconds())
+	l.mu.Unlock()
+}
+
+func (l *latencyRecorder) p99() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ns) == 0 {
+		return 0
+	}
+	sort.Slice(l.ns, func(i, j int) bool { return l.ns[i] < l.ns[j] })
+	return float64(l.ns[(len(l.ns)-1)*99/100])
+}
+
+// BenchmarkClusterRouterPut measures cluster write throughput through
+// the router: shard-addressed routing, the primary's ORAM apply, and
+// the synchronous follower replication hop, all over loopback TCP.
+// p99-ns is the client-observed per-put latency 99th percentile.
+func BenchmarkClusterRouterPut(b *testing.B) {
+	p := benchCluster(b, 3, 6)
+	r, err := DialCluster(p.Nodes[0].Addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+
+	const keys = 96
+	val := bytes.Repeat([]byte{7}, 48)
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-key-%03d", i)
+		if err := r.Put(names[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetParallelism(8)
+	var ctr atomic.Int64
+	rec := &latencyRecorder{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			start := time.Now()
+			if err := r.Put(names[int(i)%keys], val); err != nil {
+				b.Fatal(err)
+			}
+			rec.add(time.Since(start))
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(rec.p99(), "p99-ns")
+}
+
+// BenchmarkClusterForwardHop pins the cost of the server-side relay: a
+// plain client stays pinned to node-0 and reads keys whose primary
+// lives elsewhere, so every get crosses node-0 plus one forward hop.
+// p99-ns is the client-observed latency 99th percentile.
+func BenchmarkClusterForwardHop(b *testing.B) {
+	p := benchCluster(b, 3, 6)
+	c, err := server.Dial(p.Nodes[0].Addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	// Only keys node-0 does not own: each get must take the forward path.
+	var names []string
+	for i := 0; len(names) < 64; i++ {
+		key := fmt.Sprintf("fwd-key-%04d", i)
+		if p.Primary[server.ShardOf(key, p.Shards)] != 0 {
+			names = append(names, key)
+		}
+	}
+	val := bytes.Repeat([]byte{9}, 48)
+	retry := server.RetryPolicy{MaxAttempts: 20}
+	for _, key := range names {
+		if err := c.PutRetry(key, val, retry); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rec := &latencyRecorder{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, _, err := c.GetRetry(names[i%len(names)], retry); err != nil {
+			b.Fatal(err)
+		}
+		rec.add(time.Since(start))
+	}
+	b.StopTimer()
+	b.ReportMetric(rec.p99(), "p99-ns")
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrLogTrimmed reports a CopyRange asking for entries the ring buffer
+// has already overwritten; the caller must fall back to a full snapshot
+// instead of a tail replay.
+var ErrLogTrimmed = errors.New("cluster: op log trimmed past requested sequence")
+
+// Entry is one applied write. Key and Val are copies owned by the log
+// (the ring reuses their backing arrays across generations).
+type Entry struct {
+	Seq uint64
+	Key []byte `oramlint:"secret"`
+	Val []byte `oramlint:"secret"`
+}
+
+// DefaultLogCap is the per-shard ring capacity: enough tail to cover a
+// handoff's final replay window without unbounded memory.
+const DefaultLogCap = 8192
+
+// Log is a fixed-capacity append-only op log for one shard, kept as a
+// ring buffer: entry seq lives at slot seq%cap until overwritten by
+// seq+cap. Append reuses each slot's Key/Val backing arrays, so the
+// steady-state apply path does not allocate once the ring has warmed to
+// the workload's key/value sizes.
+//
+// Appends happen on the shard's worker goroutine; CopyRange is called
+// concurrently by replication/handoff, hence the mutex (uncontended in
+// steady state).
+type Log struct {
+	mu      sync.Mutex
+	cap     int
+	entries []Entry // allocated on first Append (nodes hold a Log per global shard)
+	first   uint64  // oldest sequence still resident, 0 when empty
+	last    uint64  // newest sequence appended, 0 when empty
+}
+
+// NewLog builds an empty log with the given ring capacity (0 means
+// DefaultLogCap). The ring itself is allocated on first Append.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultLogCap
+	}
+	return &Log{cap: capacity}
+}
+
+// Append records one applied write. Sequences must arrive in order
+// (they are produced by the shard worker, which is single-threaded).
+func (l *Log) Append(seq uint64, key string, val []byte) {
+	l.mu.Lock()
+	if l.entries == nil {
+		l.entries = make([]Entry, l.cap)
+	}
+	e := &l.entries[seq%uint64(len(l.entries))]
+	e.Seq = seq
+	e.Key = append(e.Key[:0], key...)
+	e.Val = append(e.Val[:0], val...)
+	if l.first == 0 {
+		l.first = seq
+	} else if seq-l.first >= uint64(len(l.entries)) {
+		// The ring wrapped: the oldest resident entry is now seq-cap+1.
+		l.first = seq + 1 - uint64(len(l.entries))
+	}
+	l.last = seq
+	l.mu.Unlock()
+}
+
+// Bounds reports the resident sequence window [first, last]; both are 0
+// when the log is empty.
+func (l *Log) Bounds() (first, last uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first, l.last
+}
+
+// CopyRange appends copies of entries (from, to] to dst and returns it.
+// It fails with ErrLogTrimmed when entries in the range have been
+// overwritten. from == to returns dst unchanged.
+func (l *Log) CopyRange(dst []Entry, from, to uint64) ([]Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from >= to {
+		return dst, nil
+	}
+	if l.first == 0 || from+1 < l.first || to > l.last {
+		return dst, fmt.Errorf("%w: want (%d,%d], have [%d,%d]", ErrLogTrimmed, from, to, l.first, l.last)
+	}
+	for seq := from + 1; seq <= to; seq++ {
+		e := &l.entries[seq%uint64(len(l.entries))]
+		dst = append(dst, Entry{
+			Seq: e.Seq,
+			Key: append([]byte(nil), e.Key...),
+			Val: append([]byte(nil), e.Val...),
+		})
+	}
+	return dst, nil
+}

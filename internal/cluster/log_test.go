@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"stringoram/internal/invariant"
+	"stringoram/internal/server"
+)
+
+func TestLogAppendAndCopyRange(t *testing.T) {
+	l := NewLog(8)
+	if first, last := l.Bounds(); first != 0 || last != 0 {
+		t.Fatalf("empty bounds = [%d,%d], want [0,0]", first, last)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		l.Append(seq, fmt.Sprintf("k%d", seq), []byte(fmt.Sprintf("v%d", seq)))
+	}
+	if first, last := l.Bounds(); first != 1 || last != 5 {
+		t.Fatalf("bounds = [%d,%d], want [1,5]", first, last)
+	}
+	got, err := l.CopyRange(nil, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("CopyRange(2,5] returned %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		wantSeq := uint64(3 + i)
+		if e.Seq != wantSeq || string(e.Key) != fmt.Sprintf("k%d", wantSeq) || string(e.Val) != fmt.Sprintf("v%d", wantSeq) {
+			t.Fatalf("entry %d = {%d %q %q}", i, e.Seq, e.Key, e.Val)
+		}
+	}
+	// Empty range is fine.
+	if got, err := l.CopyRange(nil, 4, 4); err != nil || len(got) != 0 {
+		t.Fatalf("CopyRange(4,4] = %v, %v", got, err)
+	}
+}
+
+func TestLogWrapTrimsOldEntries(t *testing.T) {
+	l := NewLog(4)
+	for seq := uint64(1); seq <= 10; seq++ {
+		l.Append(seq, "k", []byte("v"))
+	}
+	first, last := l.Bounds()
+	if first != 7 || last != 10 {
+		t.Fatalf("bounds after wrap = [%d,%d], want [7,10]", first, last)
+	}
+	if _, err := l.CopyRange(nil, 4, 10); !errors.Is(err, ErrLogTrimmed) {
+		t.Fatalf("CopyRange past trim err = %v, want ErrLogTrimmed", err)
+	}
+	if got, err := l.CopyRange(nil, 6, 10); err != nil || len(got) != 4 {
+		t.Fatalf("CopyRange(6,10] = %d entries err=%v, want 4", len(got), err)
+	}
+	// The retry fallback: beyond the resident window the caller must
+	// restream a snapshot, never read overwritten slots.
+	if _, err := l.CopyRange(nil, 0, 10); !errors.Is(err, ErrLogTrimmed) {
+		t.Fatalf("CopyRange from 0 err = %v, want ErrLogTrimmed", err)
+	}
+}
+
+// TestAllocFreeLogAppend pins the zero-alloc apply contract: once the
+// ring has warmed to the workload's key/value sizes, Append must not
+// allocate.
+func TestAllocFreeLogAppend(t *testing.T) {
+	l := NewLog(64)
+	key, val := "warm-key-0123", []byte("warm-value-0123456789")
+	var seq uint64
+	for i := 0; i < 128; i++ { // warm every slot past the payload sizes
+		seq++
+		l.Append(seq, key, val)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		seq++
+		l.Append(seq, key, val)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Log.Append allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocFreeServerApplyWithOpLog extends the server's steady-state
+// guarantee across the cluster hook: a warmed Put with the op-log
+// append attached stays allocation-free on the apply path. The put
+// itself runs through Server.Put, whose measured budget (request pool +
+// response channel reuse) is zero; the OnApply hook must not add any.
+func TestAllocFreeServerApplyWithOpLog(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; the zero-alloc guarantee binds on the default build")
+	}
+	l := NewLog(256)
+	cfg := server.Config{
+		Shards:     1,
+		ORAM:       server.DefaultORAM(8),
+		Seed:       11,
+		QueueDepth: 128,
+		MaxBatch:   1,
+		OnApply: func(shard int, seq uint64, key string, val []byte) error {
+			l.Append(seq, key, val)
+			return nil
+		},
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	key, val := "alloc-key", []byte("alloc-value-123")
+	// The warmup spans several full eviction cycles so every lazily
+	// materialized bucket, pool buffer, and ring slot reaches steady
+	// capacity first (mirrors TestAllocFreeFunctionalAccess).
+	for i := 0; i < 8192; i++ {
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The shard worker runs on its own goroutine, so AllocsPerRun sees
+	// the global rate; a fractional bound absorbs scheduler noise while
+	// still catching any real per-op allocation.
+	if allocs > 0.5 {
+		t.Fatalf("warmed Put with op log allocates %.2f/op, want ~0", allocs)
+	}
+}

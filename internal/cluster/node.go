@@ -1,0 +1,653 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stringoram/internal/obs"
+	"stringoram/internal/server"
+)
+
+// handoffChunkSize bounds one handoff frame's snapshot slice, staying
+// well under the wire protocol's 1 MiB frame cap.
+const handoffChunkSize = 512 << 10
+
+// NodeConfig parameterizes NewNode.
+type NodeConfig struct {
+	// ID is this node's identity; it must appear in Placement.Nodes.
+	ID string
+	// Placement is the initial cluster-wide table.
+	Placement *Placement
+	// Server configures the embedded shard server. Shards, ShardIDs, and
+	// TotalShards are derived from the placement; OnApply is owned by
+	// the node (the op-log/replication hook).
+	Server server.Config
+	// LogCap sizes each per-shard op-log ring (0 = DefaultLogCap).
+	LogCap int
+	// Retry shapes the bounded backoff applied to retryable replication
+	// rejections (follower backlog) before the primary gives up.
+	Retry server.RetryPolicy
+}
+
+// Node is one cluster member: an embedded server.Server hosting the
+// shards the placement assigns it (primaries serving, followers
+// dormant), the per-shard op logs, and the ClusterBackend serving the
+// cluster wire frames. Create with NewNode, expose with Serve, stop
+// with Close (graceful) or Kill (fail-stop, for tests).
+type Node struct {
+	id    string
+	srv   *server.Server
+	tcp   *server.TCPServer
+	retry server.RetryPolicy
+
+	// logs has one lazily-filled ring per global shard; slots for shards
+	// this node never hosts stay header-only.
+	logs []*Log
+
+	pmu       sync.RWMutex
+	placement *Placement
+
+	cmu     sync.Mutex
+	clients map[string]*server.Client // outgoing links by node ID
+
+	// hmu guards in-progress handoff receives (shard → accumulated gob).
+	hmu  sync.Mutex
+	hbuf map[int][]byte
+
+	killed atomic.Bool
+
+	m   nodeMetrics
+	rec *obs.Recorder
+}
+
+// nodeMetrics is the cluster-layer instrument set (registered on the
+// embedded server's registry so one scrape covers both layers).
+type nodeMetrics struct {
+	replicated    *obs.Counter
+	replFailures  *obs.Counter
+	replicateSecs *obs.Histogram
+
+	forwardGets *obs.Counter
+	forwardPuts *obs.Counter
+
+	handoffs     *obs.Counter
+	handoffBytes *obs.Counter
+	handoffSecs  *obs.Histogram
+
+	promotions *obs.Counter
+	demotions  *obs.Counter
+}
+
+func (m *nodeMetrics) init(reg *obs.Registry, n *Node) {
+	m.replicated = reg.Counter("cluster_replicated_entries_total", "Op-log entries shipped to the follower and acked.")
+	m.replFailures = reg.Counter("cluster_replication_failures_total", "Replication attempts that failed (including demotions).")
+	m.replicateSecs = reg.Histogram("cluster_replicate_seconds", "Per-entry replication round-trip (the replication lag of an acked write).", obs.ExpBuckets(16e-6, 2, 16))
+	m.forwardGets = reg.Counter(`cluster_forwards_total{op="get"}`, "Client ops relayed node-to-node by operation.")
+	m.forwardPuts = reg.Counter(`cluster_forwards_total{op="put"}`, "Client ops relayed node-to-node by operation.")
+	m.handoffs = reg.Counter("cluster_handoffs_total", "Shards migrated away from this node.")
+	m.handoffBytes = reg.Counter("cluster_handoff_bytes_total", "Snapshot bytes streamed during handoffs.")
+	m.handoffSecs = reg.Histogram("cluster_handoff_seconds", "End-to-end shard handoff duration.", obs.ExpBuckets(1e-3, 2, 16))
+	m.promotions = reg.Counter("cluster_promotions_total", "Shards this node took over after a primary failure.")
+	m.demotions = reg.Counter("cluster_demotions_total", "Followers this node dropped after replication failures.")
+	reg.GaugeFunc("cluster_placement_version", "Highest shard epoch in this node's placement table.", func() float64 {
+		n.pmu.RLock()
+		defer n.pmu.RUnlock()
+		return float64(n.placement.Version())
+	})
+}
+
+// NewNode builds the node and its embedded server (restoring from the
+// server config's snapshot directory when present) but does not listen;
+// call Serve with this node's listener.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	p := cfg.Placement
+	if p == nil {
+		return nil, fmt.Errorf("%w: nil table", ErrBadPlacement)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.NodeIndex(cfg.ID) < 0 {
+		return nil, fmt.Errorf("%w: node %q not in placement", ErrBadPlacement, cfg.ID)
+	}
+	n := &Node{
+		id:        cfg.ID,
+		retry:     cfg.Retry,
+		placement: p.Clone(),
+		clients:   make(map[string]*server.Client),
+		hbuf:      make(map[int][]byte),
+		logs:      make([]*Log, p.Shards),
+	}
+	for s := range n.logs {
+		n.logs[s] = NewLog(cfg.LogCap)
+	}
+
+	scfg := cfg.Server
+	scfg.TotalShards = p.Shards
+	scfg.ShardIDs = append(p.PrimariesOwnedBy(cfg.ID), p.FollowersOwnedBy(cfg.ID)...)
+	if len(scfg.ShardIDs) == 0 {
+		return nil, fmt.Errorf("%w: node %q owns no shards", ErrBadPlacement, cfg.ID)
+	}
+	scfg.OnApply = n.onApply
+	srv, err := server.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	for _, s := range p.FollowersOwnedBy(cfg.ID) {
+		if err := srv.SetShardServing(s, false); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	n.rec = srv.FlightRecorder()
+	n.m.init(srv.Obs(), n)
+	n.tcp = server.NewTCPServer(srv)
+	n.tcp.AttachCluster(n, cfg.ID)
+	return n, nil
+}
+
+// Server returns the embedded shard server (metrics, direct access).
+func (n *Node) Server() *server.Server { return n.srv }
+
+// TCP returns the wire-protocol front end; pass its Serve a listener
+// bound to this node's placement address.
+func (n *Node) TCP() *server.TCPServer { return n.tcp }
+
+// ID returns the node's identity.
+func (n *Node) ID() string { return n.id }
+
+// Serve accepts connections on ln until Close or Kill.
+func (n *Node) Serve(ln net.Listener) error { return n.tcp.Serve(ln) }
+
+// Placement returns the node's current table (a private clone).
+func (n *Node) Placement() *Placement {
+	n.pmu.RLock()
+	defer n.pmu.RUnlock()
+	return n.placement.Clone()
+}
+
+// Close drains the TCP front end and the embedded server (writing
+// snapshots when configured).
+func (n *Node) Close() error {
+	n.killed.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n.tcp.Shutdown(ctx)
+	n.closeClients()
+	return n.srv.Close()
+}
+
+// Kill is the fail-stop path for chaos tests: outgoing links and the
+// listener drop immediately, in-flight requests fail, nothing is
+// drained or snapshotted. The process-level analogue is SIGKILL.
+func (n *Node) Kill() {
+	n.killed.Store(true)
+	// Outgoing links first so in-flight replication unblocks with a
+	// connection error instead of waiting out the shutdown context.
+	n.closeClients()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: force-close accepted connections now
+	n.tcp.Shutdown(ctx)
+	n.srv.Close()
+}
+
+func (n *Node) closeClients() {
+	n.cmu.Lock()
+	for id, c := range n.clients {
+		c.Close()
+		delete(n.clients, id)
+	}
+	n.cmu.Unlock()
+}
+
+// clientFor returns the cached outgoing link to peer, dialing if
+// needed.
+func (n *Node) clientFor(peer NodeInfo) (*server.Client, error) {
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	if n.killed.Load() {
+		return nil, fmt.Errorf("cluster: node %s is down: %w", n.id, server.ErrClosed)
+	}
+	if c, ok := n.clients[peer.ID]; ok {
+		return c, nil
+	}
+	c, err := server.DialNode(peer.Addr, n.id)
+	if err != nil {
+		return nil, err
+	}
+	n.clients[peer.ID] = c
+	return c, nil
+}
+
+// dropClient forgets a dead outgoing link.
+func (n *Node) dropClient(id string) {
+	n.cmu.Lock()
+	if c, ok := n.clients[id]; ok {
+		c.Close()
+		delete(n.clients, id)
+	}
+	n.cmu.Unlock()
+}
+
+// onApply is the shard worker's post-apply hook: append the op log,
+// then ship the entry to the follower and wait for its ack, so a
+// client-visible ack implies the write is applied on every live replica
+// at the current shard epoch.
+func (n *Node) onApply(shard int, seq uint64, key string, val []byte) error {
+	n.logs[shard].Append(seq, key, val)
+
+	n.pmu.RLock()
+	p := n.placement
+	self := p.NodeIndex(n.id)
+	isPrimary := shard < len(p.Primary) && p.Primary[shard] == self
+	follower, hasFollower := p.FollowerOf(shard)
+	epoch := p.EpochOf(shard)
+	n.pmu.RUnlock()
+	if !isPrimary || !hasFollower {
+		return nil // follower apply, or no replica to feed
+	}
+
+	c, err := n.clientFor(follower)
+	if err == nil {
+		start := time.Now()
+		err = n.retry.Do(func() error { return c.Replicate(epoch, shard, seq, key, val) })
+		if err == nil {
+			n.m.replicated.Inc()
+			n.m.replicateSecs.Observe(time.Since(start).Seconds())
+			n.rec.Emit(obs.Event{TS: start.UnixMicro(), Dur: time.Since(start).Microseconds(),
+				Kind: obs.EvReplicate, Track: int32(shard), Arg0: int64(shard), Arg1: int64(uint32(seq))})
+			return nil
+		}
+	}
+	n.m.replFailures.Inc()
+	if n.killed.Load() {
+		// The failure is our own shutdown (Kill/Close dropped the
+		// outgoing links), not the follower's: a fail-stopped node must
+		// not demote healthy replicas on its way down.
+		return fmt.Errorf("cluster: node %s stopping: %w", n.id, err)
+	}
+
+	switch {
+	case errors.Is(err, server.ErrStalePlacement):
+		// The follower is at a newer epoch for this shard. Adopt its
+		// table, then decide: still primary → transient (routers retry at
+		// the new epoch); deposed → surface the stale placement.
+		n.refreshPlacementFrom(follower)
+		n.pmu.RLock()
+		stillPrimary := n.placement.Primary[shard] == n.placement.NodeIndex(n.id)
+		n.pmu.RUnlock()
+		if stillPrimary {
+			return fmt.Errorf("cluster: follower ahead, retry: %w", server.ErrBacklog)
+		}
+		return fmt.Errorf("cluster: shard %d deposed: %w", shard, server.ErrStalePlacement)
+	case server.Retryable(err):
+		// Follower alive but saturated past the retry budget: fail the
+		// request retryably without demoting a healthy replica.
+		return err
+	default:
+		// Connection-level failure: treat the follower as dead, demote
+		// it, and fail this request retryably — the retry will succeed
+		// against the new (follower-less) placement.
+		n.dropClient(follower.ID)
+		n.demoteFollower(shard, follower.ID, epoch)
+		return fmt.Errorf("cluster: follower %s lost (%v): %w", follower.ID, err, server.ErrBacklog)
+	}
+}
+
+// demoteFollower removes a dead follower from shard's row at observed
+// epoch, bumping the shard's epoch and telling the peers.
+func (n *Node) demoteFollower(shard int, followerID string, epoch uint64) {
+	n.pmu.Lock()
+	p := n.placement
+	fidx := p.NodeIndex(followerID)
+	if p.EpochOf(shard) != epoch || fidx < 0 || p.Follower[shard] != fidx {
+		n.pmu.Unlock() // shard ownership moved on; nothing to demote
+		return
+	}
+	np := p.Clone()
+	np.Epochs[shard]++
+	np.Follower[shard] = -1
+	n.placement = np
+	n.pmu.Unlock()
+	n.m.demotions.Inc()
+	n.pushPlacement(np)
+}
+
+// refreshPlacementFrom adopts the peer's placement when newer.
+func (n *Node) refreshPlacementFrom(peer NodeInfo) {
+	c, err := n.clientFor(peer)
+	if err != nil {
+		return
+	}
+	data, err := c.FetchPlacement()
+	if err != nil {
+		return
+	}
+	n.AdoptPlacement(data)
+}
+
+// pushPlacement offers np to every other node, best-effort (peers that
+// are down learn the version from routers or later pushes).
+func (n *Node) pushPlacement(np *Placement) {
+	data, err := EncodePlacement(np)
+	if err != nil {
+		return
+	}
+	for _, peer := range np.Nodes {
+		if peer.ID == n.id {
+			continue
+		}
+		if c, err := n.clientFor(peer); err == nil {
+			if err := c.PushPlacement(data); err != nil {
+				n.dropClient(peer.ID)
+			}
+		}
+	}
+}
+
+// --- server.ClusterBackend ---
+
+// Replicate applies one op-log entry shipped by a primary (or a handoff
+// tail). Entries carrying a shard epoch older than this node's are
+// fenced off with ErrStalePlacement, deposing dead-but-unaware
+// primaries.
+func (n *Node) Replicate(pver uint64, shard int, seq uint64, key string, val []byte) error {
+	n.pmu.RLock()
+	epoch := n.placement.EpochOf(shard)
+	n.pmu.RUnlock()
+	if pver < epoch {
+		return fmt.Errorf("cluster: entry at shard %d epoch %d, node at %d: %w", shard, pver, epoch, server.ErrStalePlacement)
+	}
+	return n.srv.Apply(shard, seq, key, val)
+}
+
+// HandoffChunk ingests one chunk of a shard snapshot stream and
+// installs the shard (dormant) when the stream completes; the sender
+// then replays the op-log tail via Replicate and flips the placement.
+func (n *Node) HandoffChunk(shard int, first, last bool, data []byte) error {
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	if first {
+		n.hbuf[shard] = append(n.hbuf[shard][:0], data...)
+	} else {
+		buf, ok := n.hbuf[shard]
+		if !ok {
+			return fmt.Errorf("cluster: handoff chunk for shard %d without a first chunk", shard)
+		}
+		n.hbuf[shard] = append(buf, data...)
+	}
+	if !last {
+		return nil
+	}
+	snap := n.hbuf[shard]
+	delete(n.hbuf, shard)
+	return n.srv.AttachShard(shard, snap, false)
+}
+
+// PlacementJSON serves the node's current table.
+func (n *Node) PlacementJSON() ([]byte, error) {
+	n.pmu.RLock()
+	defer n.pmu.RUnlock()
+	return EncodePlacement(n.placement)
+}
+
+// AdoptPlacement folds a pushed table into the node's (higher epoch
+// wins per shard), reconciling which hosted shards are serving when
+// anything moved.
+func (n *Node) AdoptPlacement(data []byte) error {
+	p, err := DecodePlacement(data)
+	if err != nil {
+		return err
+	}
+	n.pmu.Lock()
+	merged, changed, err := n.placement.Merge(p)
+	if err != nil {
+		n.pmu.Unlock()
+		return err
+	}
+	if !changed {
+		n.pmu.Unlock()
+		return nil // already there (idempotent)
+	}
+	n.placement = merged
+	n.pmu.Unlock()
+	n.reconcile(merged)
+	return nil
+}
+
+// reconcile aligns hosted shards' serving bits with p: primaries serve,
+// everything else is dormant.
+func (n *Node) reconcile(p *Placement) {
+	self := p.NodeIndex(n.id)
+	for _, s := range n.srv.HostedShards() {
+		serving := self >= 0 && s < len(p.Primary) && p.Primary[s] == self
+		n.srv.SetShardServing(s, serving)
+	}
+}
+
+// Promote makes this node primary for shard after its old primary
+// failed; pver is the shard epoch the requester observed the failure
+// under. An observation older than the node's own epoch is fenced off —
+// the requester must refresh and re-judge before deposing anyone.
+func (n *Node) Promote(pver uint64, shard int) error {
+	n.pmu.Lock()
+	p := n.placement
+	self := p.NodeIndex(n.id)
+	if shard < 0 || shard >= p.Shards {
+		n.pmu.Unlock()
+		return fmt.Errorf("cluster: promote of unknown shard %d", shard)
+	}
+	if p.Primary[shard] == self {
+		n.pmu.Unlock()
+		return nil // already primary (concurrent promoters race benignly)
+	}
+	if pver < p.Epochs[shard] {
+		n.pmu.Unlock()
+		return fmt.Errorf("cluster: promote observed shard %d epoch %d, node at %d: %w",
+			shard, pver, p.Epochs[shard], server.ErrStalePlacement)
+	}
+	if p.Follower[shard] != self {
+		n.pmu.Unlock()
+		return fmt.Errorf("cluster: node %s is not shard %d's follower", n.id, shard)
+	}
+	np := p.Clone()
+	np.Epochs[shard] = pver + 1
+	np.Primary[shard] = self
+	np.Follower[shard] = -1
+	n.placement = np
+	n.pmu.Unlock()
+	if err := n.srv.SetShardServing(shard, true); err != nil {
+		return err
+	}
+	n.m.promotions.Inc()
+	n.rec.Emit(obs.Event{TS: time.Now().UnixMicro(), Kind: obs.EvPromote,
+		Track: int32(shard), Arg0: int64(shard), Arg1: int64(uint32(np.Epochs[shard]))})
+	n.pushPlacement(np)
+	return nil
+}
+
+// ForwardGet relays a get one hop toward the shard's primary.
+func (n *Node) ForwardGet(key string, ttl int, timeoutMillis uint32) ([]byte, bool, error) {
+	c, shard, err := n.ownerClient(key)
+	if err != nil {
+		return nil, false, err
+	}
+	n.m.forwardGets.Inc()
+	n.rec.Emit(obs.Event{TS: time.Now().UnixMicro(), Kind: obs.EvForward,
+		Track: int32(shard), Arg0: int64(shard), Arg1: int64(ttl)})
+	return c.ForwardGet(key, ttl)
+}
+
+// ForwardPut relays a put one hop toward the shard's primary.
+func (n *Node) ForwardPut(key string, val []byte, ttl int, timeoutMillis uint32) error {
+	c, shard, err := n.ownerClient(key)
+	if err != nil {
+		return err
+	}
+	n.m.forwardPuts.Inc()
+	n.rec.Emit(obs.Event{TS: time.Now().UnixMicro(), Kind: obs.EvForward,
+		Track: int32(shard), Arg0: int64(shard), Arg1: int64(ttl)})
+	return c.ForwardPut(key, val, ttl)
+}
+
+// ownerClient resolves key's shard to its primary's link.
+func (n *Node) ownerClient(key string) (*server.Client, int, error) {
+	shard := server.ShardOf(key, n.srv.TotalShards())
+	n.pmu.RLock()
+	p := n.placement
+	prim, err := p.PrimaryOf(shard)
+	n.pmu.RUnlock()
+	if err != nil {
+		return nil, shard, err
+	}
+	if prim.ID == n.id {
+		// Placement says us but the local server said ErrWrongShard: the
+		// shard is mid-handoff or mid-adoption; make the client retry.
+		return nil, shard, fmt.Errorf("cluster: shard %d settling on %s: %w", shard, n.id, server.ErrBacklog)
+	}
+	c, err := n.clientFor(prim)
+	if err != nil {
+		return nil, shard, fmt.Errorf("cluster: forward to %s: %v: %w", prim.ID, err, server.ErrBacklog)
+	}
+	return c, shard, nil
+}
+
+// Handoff migrates one shard this node serves as primary to target:
+// stream a consistent snapshot, replay the op-log tail until the gap is
+// small, seal the shard, fence with a barrier, replay the final tail,
+// then bump the shard's epoch so routers converge on the target.
+func (n *Node) Handoff(shard int, targetID string) error {
+	start := time.Now()
+	n.pmu.RLock()
+	p := n.placement
+	self := p.NodeIndex(n.id)
+	tidx := p.NodeIndex(targetID)
+	epoch := p.EpochOf(shard)
+	var target NodeInfo
+	if tidx >= 0 {
+		target = p.Nodes[tidx]
+	}
+	isPrimary := shard >= 0 && shard < p.Shards && p.Primary[shard] == self
+	n.pmu.RUnlock()
+	if tidx < 0 {
+		return fmt.Errorf("%w: handoff target %q not in placement", ErrBadPlacement, targetID)
+	}
+	if targetID == n.id {
+		return fmt.Errorf("%w: handoff of shard %d to self", ErrBadPlacement, shard)
+	}
+	if !isPrimary {
+		return fmt.Errorf("cluster: node %s is not shard %d's primary", n.id, shard)
+	}
+
+	c, err := n.clientFor(target)
+	if err != nil {
+		return fmt.Errorf("cluster: handoff dial %s: %w", targetID, err)
+	}
+
+	// 1. Consistent snapshot on the shard worker; serving continues.
+	snap, snapSeq, err := n.srv.SnapshotShard(shard)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(snap); off += handoffChunkSize {
+		end := min(off+handoffChunkSize, len(snap))
+		if err := c.HandoffChunk(shard, off == 0, end == len(snap), snap[off:end]); err != nil {
+			return fmt.Errorf("cluster: handoff stream shard %d: %w", shard, err)
+		}
+	}
+	n.m.handoffBytes.Add(uint64(len(snap)))
+
+	// 2. Chase the op-log tail while writes keep landing, until the
+	// remaining gap fits one small final batch.
+	const settleGap = 64
+	from := snapSeq
+	var tail []Entry
+	for {
+		_, last := n.logs[shard].Bounds()
+		if last <= from || last-from <= settleGap {
+			break
+		}
+		if tail, err = n.replayTail(c, shard, epoch, from, last, tail[:0]); err != nil {
+			return err
+		}
+		from = last
+	}
+
+	// 3. Seal: new client ops bounce with ErrWrongShard (routers retry
+	// until the flip below redirects them). Any failure between here and
+	// the flip unseals, so an aborted handoff leaves the shard serving.
+	if err := n.srv.SetShardServing(shard, false); err != nil {
+		return err
+	}
+	unseal := func(err error) error {
+		n.srv.SetShardServing(shard, true)
+		return err
+	}
+	// 4. Fence: the barrier flushes everything accepted before the seal
+	// (queue and pipeline), so appliedSeq is final.
+	appliedSeq, err := n.srv.Barrier(shard)
+	if err != nil {
+		return unseal(err)
+	}
+	// 5. Final tail: after this the target is bit-identical.
+	if _, err := n.replayTail(c, shard, epoch, from, appliedSeq, tail[:0]); err != nil {
+		return unseal(err)
+	}
+
+	// 6. Flip: install locally under an epoch check, push to the target
+	// synchronously (it must serve the moment routers learn the new
+	// epoch), then tell the other peers.
+	n.pmu.Lock()
+	p = n.placement
+	if p.EpochOf(shard) != epoch {
+		n.pmu.Unlock()
+		return unseal(fmt.Errorf("cluster: shard %d moved to epoch %d during handoff: %w", shard, p.EpochOf(shard), server.ErrStalePlacement))
+	}
+	np := p.Clone()
+	np.Epochs[shard]++
+	np.Primary[shard] = tidx
+	if np.Follower[shard] == tidx {
+		np.Follower[shard] = -1
+	}
+	n.placement = np
+	n.pmu.Unlock()
+	data, err := EncodePlacement(np)
+	if err != nil {
+		return err
+	}
+	if err := n.retry.Do(func() error { return c.PushPlacement(data) }); err != nil {
+		return fmt.Errorf("cluster: handoff flip to %s: %w", targetID, err)
+	}
+	n.reconcile(np)
+	if _, err := n.srv.DetachShard(shard); err != nil {
+		return err
+	}
+	n.pushPlacement(np)
+
+	n.m.handoffs.Inc()
+	n.m.handoffSecs.Observe(time.Since(start).Seconds())
+	n.rec.Emit(obs.Event{TS: start.UnixMicro(), Dur: time.Since(start).Microseconds(),
+		Kind: obs.EvHandoff, Track: int32(shard), Arg0: int64(shard), Arg1: int64(uint32(len(snap)))})
+	return nil
+}
+
+// replayTail ships op-log entries (from, to] to the handoff target.
+func (n *Node) replayTail(c *server.Client, shard int, epoch, from, to uint64, scratch []Entry) ([]Entry, error) {
+	entries, err := n.logs[shard].CopyRange(scratch, from, to)
+	if err != nil {
+		return entries, fmt.Errorf("cluster: handoff tail shard %d: %w", shard, err)
+	}
+	//oramlint:allow secret-trip-count the tail length is the public op-log sequence gap (to-from), already carried in cleartext frame headers; only entry contents are secret, and each is shipped in one fixed-shape Replicate frame
+	for _, e := range entries {
+		if err := c.Replicate(epoch, shard, e.Seq, string(e.Key), e.Val); err != nil {
+			return entries, fmt.Errorf("cluster: handoff replay shard %d seq %d: %w", shard, e.Seq, err)
+		}
+	}
+	return entries, nil
+}

@@ -1,0 +1,271 @@
+// Package cluster grows internal/server from N goroutine-shards in one
+// process to M nodes × N shards. It adds three cooperating pieces on
+// top of the existing wire protocol:
+//
+//   - an epoch-fenced placement table mapping every global shard to a
+//     primary node and an optional follower replica; every ownership
+//     change (promotion, demotion, handoff) bumps that shard's epoch,
+//     and tables merge commutatively by taking the higher epoch per
+//     shard, so nodes and routers converge without a coordinator;
+//   - per-shard append-only op logs on each primary, feeding the
+//     follower synchronously (an acked write is applied on every live
+//     replica at the acked epoch) and replaying the tail during
+//     handoff;
+//   - live shard handoff that streams the shard's snapshot gob plus the
+//     op-log tail to the receiving node and then flips the shard's
+//     epoch.
+//
+// The serving invariants pinned by earlier layers survive: each shard's
+// bus traffic stays oblivious (replicated applies reuse the ordinary
+// put path), and the steady-state apply path stays allocation-free (the
+// op log copies into preallocated ring-buffer entries).
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Errors surfaced by the cluster layer.
+var (
+	// ErrBadPlacement reports a structurally invalid placement table.
+	ErrBadPlacement = errors.New("cluster: invalid placement")
+	// ErrNoNode reports a shard whose primary cannot be resolved.
+	ErrNoNode = errors.New("cluster: no live node for shard")
+)
+
+// NodeInfo names one cluster member.
+type NodeInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Placement is the epoch-fenced shard→node map. It is immutable once
+// published: every ownership change for a shard (promotion, demotion,
+// handoff) produces a Clone with that shard's epoch bumped, and two
+// tables merge per shard by taking the higher epoch — a commutative
+// rule, so concurrent changes to different shards on different nodes
+// converge without a coordinator. Primary/Follower hold indexes into
+// Nodes, -1 meaning none.
+type Placement struct {
+	Shards   int        `json:"shards"`
+	Nodes    []NodeInfo `json:"nodes"`
+	Primary  []int      `json:"primary"`
+	Follower []int      `json:"follower"`
+	Epochs   []uint64   `json:"epochs"`
+}
+
+// Static builds the epoch-1 placement for shards global shards over
+// nodes: shard s is primary on node s%len(nodes) with its follower on
+// the next node (no follower for single-node clusters).
+func Static(shards int, nodes []NodeInfo) (*Placement, error) {
+	p := &Placement{
+		Shards:   shards,
+		Nodes:    append([]NodeInfo(nil), nodes...),
+		Primary:  make([]int, shards),
+		Follower: make([]int, shards),
+		Epochs:   make([]uint64, shards),
+	}
+	for s := 0; s < shards; s++ {
+		p.Primary[s] = s % len(nodes)
+		if len(nodes) > 1 {
+			p.Follower[s] = (s + 1) % len(nodes)
+		} else {
+			p.Follower[s] = -1
+		}
+		p.Epochs[s] = 1
+	}
+	return p, p.Validate()
+}
+
+// Version summarizes the table's age as its highest shard epoch (for
+// gauges and logs; ordering decisions use per-shard epochs, never this).
+func (p *Placement) Version() uint64 {
+	var v uint64
+	for _, e := range p.Epochs {
+		if e > v {
+			v = e
+		}
+	}
+	return v
+}
+
+// Validate checks structural consistency.
+func (p *Placement) Validate() error {
+	if p.Shards <= 0 {
+		return fmt.Errorf("%w: %d shards", ErrBadPlacement, p.Shards)
+	}
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrBadPlacement)
+	}
+	if len(p.Primary) != p.Shards || len(p.Follower) != p.Shards || len(p.Epochs) != p.Shards {
+		return fmt.Errorf("%w: primary/follower/epoch tables sized %d/%d/%d, want %d",
+			ErrBadPlacement, len(p.Primary), len(p.Follower), len(p.Epochs), p.Shards)
+	}
+	seen := make(map[string]bool, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("%w: empty node ID", ErrBadPlacement)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("%w: duplicate node ID %q", ErrBadPlacement, n.ID)
+		}
+		seen[n.ID] = true
+	}
+	for s := 0; s < p.Shards; s++ {
+		if p.Primary[s] < 0 || p.Primary[s] >= len(p.Nodes) {
+			return fmt.Errorf("%w: shard %d primary index %d", ErrBadPlacement, s, p.Primary[s])
+		}
+		if f := p.Follower[s]; f < -1 || f >= len(p.Nodes) {
+			return fmt.Errorf("%w: shard %d follower index %d", ErrBadPlacement, s, f)
+		} else if f == p.Primary[s] {
+			return fmt.Errorf("%w: shard %d follower equals primary", ErrBadPlacement, s)
+		}
+		if p.Epochs[s] == 0 {
+			return fmt.Errorf("%w: shard %d epoch 0 is reserved", ErrBadPlacement, s)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies p (the copy is safe to mutate before publishing
+// with a bumped epoch).
+func (p *Placement) Clone() *Placement {
+	return &Placement{
+		Shards:   p.Shards,
+		Nodes:    append([]NodeInfo(nil), p.Nodes...),
+		Primary:  append([]int(nil), p.Primary...),
+		Follower: append([]int(nil), p.Follower...),
+		Epochs:   append([]uint64(nil), p.Epochs...),
+	}
+}
+
+// Merge folds q into p per shard: the entry with the higher epoch wins;
+// equal epochs with different content break ties deterministically (by
+// primary then follower node ID), so every node folding the same pair
+// lands on the same table. It returns the merged table and whether any
+// shard changed relative to p; p itself is never mutated.
+func (p *Placement) Merge(q *Placement) (*Placement, bool, error) {
+	if q.Shards != p.Shards {
+		return nil, false, fmt.Errorf("%w: merge across shard counts %d and %d", ErrBadPlacement, p.Shards, q.Shards)
+	}
+	if len(q.Nodes) != len(p.Nodes) {
+		return nil, false, fmt.Errorf("%w: merge across node sets", ErrBadPlacement)
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i].ID != q.Nodes[i].ID {
+			return nil, false, fmt.Errorf("%w: merge across node sets", ErrBadPlacement)
+		}
+	}
+	merged := p.Clone()
+	changed := false
+	for s := 0; s < p.Shards; s++ {
+		if q.Epochs[s] < p.Epochs[s] {
+			continue
+		}
+		if q.Epochs[s] == p.Epochs[s] {
+			if q.Primary[s] == p.Primary[s] && q.Follower[s] == p.Follower[s] {
+				continue
+			}
+			// Same epoch, different owners: possible only under a network
+			// partition (outside the fail-stop model this layer targets).
+			// Converge deterministically anyway so the split heals.
+			if p.routeKey(s) <= q.routeKey(s) {
+				continue
+			}
+		}
+		merged.Primary[s] = q.Primary[s]
+		merged.Follower[s] = q.Follower[s]
+		merged.Epochs[s] = q.Epochs[s]
+		changed = true
+	}
+	return merged, changed, nil
+}
+
+// routeKey is the deterministic tiebreak identity of shard s's entry.
+func (p *Placement) routeKey(s int) string {
+	fol := ""
+	if p.Follower[s] >= 0 {
+		fol = p.Nodes[p.Follower[s]].ID
+	}
+	return p.Nodes[p.Primary[s]].ID + "\x00" + fol
+}
+
+// NodeIndex resolves a node ID to its index in Nodes, -1 if absent.
+func (p *Placement) NodeIndex(id string) int {
+	for i, n := range p.Nodes {
+		if n.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// PrimaryOf returns the node serving shard s as primary.
+func (p *Placement) PrimaryOf(s int) (NodeInfo, error) {
+	if s < 0 || s >= p.Shards || p.Primary[s] < 0 {
+		return NodeInfo{}, fmt.Errorf("shard %d: %w", s, ErrNoNode)
+	}
+	return p.Nodes[p.Primary[s]], nil
+}
+
+// FollowerOf returns shard s's follower replica, ok=false when none.
+func (p *Placement) FollowerOf(s int) (NodeInfo, bool) {
+	if s < 0 || s >= p.Shards || p.Follower[s] < 0 {
+		return NodeInfo{}, false
+	}
+	return p.Nodes[p.Follower[s]], true
+}
+
+// EpochOf returns shard s's fencing epoch (0 when s is out of range).
+func (p *Placement) EpochOf(s int) uint64 {
+	if s < 0 || s >= p.Shards {
+		return 0
+	}
+	return p.Epochs[s]
+}
+
+// PrimariesOwnedBy lists the shards node id serves as primary.
+func (p *Placement) PrimariesOwnedBy(id string) []int {
+	return p.owned(id, p.Primary)
+}
+
+// FollowersOwnedBy lists the shards node id replicates as follower.
+func (p *Placement) FollowersOwnedBy(id string) []int {
+	return p.owned(id, p.Follower)
+}
+
+func (p *Placement) owned(id string, table []int) []int {
+	idx := p.NodeIndex(id)
+	if idx < 0 {
+		return nil
+	}
+	var out []int
+	for s, n := range table {
+		if n == idx {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MarshalJSON-friendly helpers for the wire placement frames.
+
+// EncodePlacement serializes p for wirePlacement frames and the
+// /cluster/placement endpoint.
+func EncodePlacement(p *Placement) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// DecodePlacement parses and validates a placement table.
+func DecodePlacement(data []byte) (*Placement, error) {
+	var p Placement
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlacement, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stringoram/internal/server"
+)
+
+// Router is the cluster-aware client: it maps keys to shards with the
+// same FNV-1a hash the servers use, shards to nodes through its cached
+// placement table, and rides out failover — a dead primary triggers a
+// follower promotion and a placement refresh, transparently to the
+// caller. Safe for concurrent use.
+type Router struct {
+	// Retry shapes backoff across retryable rejections and failover
+	// windows.
+	Retry server.RetryPolicy
+	// Timeout, when positive, is applied per attempt as the server-side
+	// request deadline.
+	Timeout time.Duration
+
+	mu        sync.Mutex
+	placement *Placement
+	clients   map[string]*server.Client // by node ID
+	closed    bool
+}
+
+// DialCluster bootstraps a router from any live node: the seed's
+// placement table is fetched and connections to the rest are opened
+// lazily.
+func DialCluster(seedAddr string) (*Router, error) {
+	c, err := server.Dial(seedAddr)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.FetchPlacement()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	p, err := DecodePlacement(data)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	r := &Router{placement: p, clients: make(map[string]*server.Client)}
+	if id := c.ServerNodeID(); id != "" {
+		r.clients[id] = c
+	} else {
+		c.Close()
+	}
+	return r, nil
+}
+
+// Close drops every connection.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for id, c := range r.clients {
+		c.Close()
+		delete(r.clients, id)
+	}
+	return nil
+}
+
+// Placement returns the router's current view (a private clone).
+func (r *Router) Placement() *Placement {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.placement.Clone()
+}
+
+// primaryClient resolves key's shard to a connection to its primary.
+func (r *Router) primaryClient(key string) (*server.Client, NodeInfo, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, NodeInfo{}, 0, fmt.Errorf("cluster router: %w", server.ErrClosed)
+	}
+	shard := server.ShardOf(key, r.placement.Shards)
+	prim, err := r.placement.PrimaryOf(shard)
+	if err != nil {
+		return nil, NodeInfo{}, shard, err
+	}
+	c, err := r.clientLocked(prim)
+	return c, prim, shard, err
+}
+
+// clientLocked returns the cached connection to node, dialing if
+// needed. Caller holds r.mu.
+func (r *Router) clientLocked(node NodeInfo) (*server.Client, error) {
+	if c, ok := r.clients[node.ID]; ok {
+		return c, nil
+	}
+	c, err := server.Dial(node.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if c.Timeout == 0 {
+		c.Timeout = r.Timeout
+	}
+	r.clients[node.ID] = c
+	return c, nil
+}
+
+// dropLocked forgets a dead connection. Caller holds r.mu.
+func (r *Router) dropLocked(id string) {
+	if c, ok := r.clients[id]; ok {
+		c.Close()
+		delete(r.clients, id)
+	}
+}
+
+// refreshPlacement folds every live node's table into the router's
+// (higher epoch wins per shard), so the router sees each shard's newest
+// ownership even while the nodes themselves are still converging.
+func (r *Router) refreshPlacement() {
+	r.mu.Lock()
+	nodes := append([]NodeInfo(nil), r.placement.Nodes...)
+	r.mu.Unlock()
+	for _, node := range nodes {
+		r.mu.Lock()
+		c, err := r.clientLocked(node)
+		r.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		data, err := c.FetchPlacement()
+		if err != nil {
+			r.mu.Lock()
+			r.dropLocked(node.ID)
+			r.mu.Unlock()
+			continue
+		}
+		p, err := DecodePlacement(data)
+		if err != nil {
+			continue
+		}
+		r.mu.Lock()
+		if merged, changed, err := r.placement.Merge(p); err == nil && changed {
+			r.placement = merged
+		}
+		r.mu.Unlock()
+	}
+}
+
+// promoteFollower reacts to a dead primary: ask the shard's follower to
+// take over at the epoch the failure was observed under, then adopt
+// whatever placement results.
+func (r *Router) promoteFollower(shard int, observed *Placement) {
+	fol, ok := observed.FollowerOf(shard)
+	if !ok {
+		// No replica to promote; refresh in case someone else moved the
+		// shard (e.g. a completed handoff we haven't seen).
+		r.refreshPlacement()
+		return
+	}
+	r.mu.Lock()
+	c, err := r.clientLocked(fol)
+	r.mu.Unlock()
+	if err != nil {
+		return
+	}
+	// Promote errors are acceptable: a concurrent router may have won
+	// the race, or the follower may already be primary.
+	_ = c.Promote(observed.EpochOf(shard), shard)
+	r.refreshPlacement()
+}
+
+// do runs one operation against key's primary with failover: retryable
+// rejections back off; wrong-shard/stale responses refresh the
+// placement; connection errors promote the follower. Terminal
+// application errors return immediately.
+func (r *Router) do(key string, op func(c *server.Client) error) error {
+	p := r.Retry
+	if p.MaxAttempts == 0 {
+		// Failover needs headroom beyond the default budget: promotion
+		// plus placement convergence can span several windows.
+		p.MaxAttempts = 20
+	}
+	return p.Do(func() error {
+		c, prim, shard, err := r.primaryClient(key)
+		if err != nil {
+			if !errors.Is(err, ErrNoNode) && !errors.Is(err, server.ErrClosed) {
+				// The primary cannot even be dialed: treat it as dead
+				// and promote. A false suspicion is safe — the epoch
+				// fence deposes whichever primary is stale.
+				r.promoteFollower(shard, r.Placement())
+			} else {
+				r.refreshPlacement()
+			}
+			return fmt.Errorf("cluster router: no primary: %v: %w", err, server.ErrBacklog)
+		}
+		err = op(c)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, server.ErrWrongShard), errors.Is(err, server.ErrStalePlacement):
+			// The node's placement disagrees with ours (mid-handoff or
+			// post-failover): converge and retry.
+			r.refreshPlacement()
+			return fmt.Errorf("%v: %w", err, server.ErrBacklog)
+		case server.Retryable(err):
+			return err
+		case errors.Is(err, server.ErrRemote), errors.Is(err, server.ErrBadKey),
+			errors.Is(err, server.ErrValueTooLarge), errors.Is(err, server.ErrFull):
+			// The primary is alive and answered; surface the application
+			// error instead of failing over a healthy node.
+			return err
+		default:
+			// Transport-level failure: assume the primary died, drop the
+			// link, and promote its follower.
+			observed := r.Placement()
+			r.mu.Lock()
+			r.dropLocked(prim.ID)
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return err
+			}
+			r.promoteFollower(shard, observed)
+			return fmt.Errorf("cluster router: primary %s lost (%v): %w", prim.ID, err, server.ErrBacklog)
+		}
+	})
+}
+
+// Get fetches a value from key's shard, wherever it lives.
+func (r *Router) Get(key string) (val []byte, found bool, err error) {
+	err = r.do(key, func(c *server.Client) error {
+		val, found, err = c.Get(key)
+		return err
+	})
+	return val, found, err
+}
+
+// Put stores a value on key's shard, riding out failover; a nil return
+// means the write is applied on every live replica.
+func (r *Router) Put(key string, val []byte) error {
+	return r.do(key, func(c *server.Client) error { return c.Put(key, val) })
+}

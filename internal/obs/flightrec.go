@@ -56,6 +56,18 @@ const (
 	// in order. Arg0 = accesses in flight after retirement, Arg1 = number
 	// of tree ops the access emitted.
 	EvPipelineRetire
+	// EvReplicate: a primary shipped one op-log entry to its follower;
+	// used as a duration span. Arg0 = shard, Arg1 = sequence (mod 2^32).
+	EvReplicate
+	// EvHandoff: one shard finished migrating to another node; used as a
+	// duration span. Arg0 = shard, Arg1 = bytes streamed (mod 2^32).
+	EvHandoff
+	// EvForward: a client op was relayed node-to-node because this node
+	// does not serve the key's shard. Arg0 = shard, Arg1 = remaining TTL.
+	EvForward
+	// EvPromote: this node took over a shard as primary after a failure.
+	// Arg0 = shard, Arg1 = new placement version (mod 2^32).
+	EvPromote
 	numEventKinds
 )
 
@@ -72,6 +84,10 @@ var eventKindNames = [numEventKinds]string{
 	EvPipelineAdmit:      "pipeline_admit",
 	EvPipelinePark:       "pipeline_park",
 	EvPipelineRetire:     "pipeline_retire",
+	EvReplicate:          "replicate",
+	EvHandoff:            "handoff",
+	EvForward:            "forward",
+	EvPromote:            "promote",
 }
 
 var eventKindCats = [numEventKinds]string{
@@ -87,6 +103,10 @@ var eventKindCats = [numEventKinds]string{
 	EvPipelineAdmit:      "pipeline",
 	EvPipelinePark:       "pipeline",
 	EvPipelineRetire:     "pipeline",
+	EvReplicate:          "cluster",
+	EvHandoff:            "cluster",
+	EvForward:            "cluster",
+	EvPromote:            "cluster",
 }
 
 // argNames gives the per-kind labels for Arg0/Arg1 in the trace export.
@@ -103,6 +123,10 @@ var eventArgNames = [numEventKinds][2]string{
 	EvPipelineAdmit:      {"inflight", "jobs"},
 	EvPipelinePark:       {"slot", "inflight"},
 	EvPipelineRetire:     {"inflight", "ops"},
+	EvReplicate:          {"shard", "seq"},
+	EvHandoff:            {"shard", "bytes"},
+	EvForward:            {"shard", "ttl"},
+	EvPromote:            {"shard", "version"},
 }
 
 // String returns the kind's display name.

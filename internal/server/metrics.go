@@ -20,9 +20,10 @@ type Metrics struct {
 	UptimeSeconds float64
 	Keys          int
 
-	Gets   uint64 // completed get requests (hits and misses)
-	Puts   uint64 // completed put requests
-	Misses uint64 // gets that found no value
+	Gets    uint64 // completed get requests (hits and misses)
+	Puts    uint64 // completed put requests
+	Applies uint64 // completed replicated writes (cluster followers)
+	Misses  uint64 // gets that found no value
 
 	Rejected uint64 // enqueue-time ErrBacklog rejections
 	Expired  uint64 // requests answered with ErrDeadline
@@ -59,6 +60,7 @@ func (m Metrics) ThroughputPerSecond() float64 {
 // only the latency reservoir and the protocol-stats copy.
 type shardMetrics struct {
 	gets, puts, misses *obs.Counter
+	applies            *obs.Counter
 	rejected           *obs.Counter
 	expired, failed    *obs.Counter
 
@@ -87,6 +89,7 @@ func (m *shardMetrics) init(reg *obs.Registry, shard int, seed uint64) {
 	}
 	m.gets = reg.Counter(l("server_requests_total", "get"), "Completed requests by operation.")
 	m.puts = reg.Counter(l("server_requests_total", "put"), "Completed requests by operation.")
+	m.applies = reg.Counter(l("server_requests_total", "apply"), "Completed requests by operation.")
 	m.misses = reg.Counter(l("server_misses_total", ""), "Gets that found no value (still one real ORAM access).")
 	m.rejected = reg.Counter(l("server_rejected_total", ""), "Enqueue-time backlog rejections.")
 	m.expired = reg.Counter(l("server_expired_total", ""), "Requests answered with a deadline error.")
@@ -112,12 +115,15 @@ func (m *shardMetrics) noteBus(op busOp) {
 func (m *shardMetrics) noteDone(op opKind, res result, lat time.Duration) {
 	switch {
 	case res.err == nil:
-		if op == opGet {
+		switch op {
+		case opGet:
 			m.gets.Inc()
 			if !res.found {
 				m.misses.Inc()
 			}
-		} else {
+		case opApply:
+			m.applies.Inc()
+		case opPut:
 			m.puts.Inc()
 		}
 	case Retryable(res.err):
@@ -146,6 +152,11 @@ func (m *shardMetrics) noteBatch(n, keys int, proto oram.Stats) {
 // QueueDepths slice regardless of reservoir sizes — see
 // TestMetricsScrapeAllocBound.
 func (s *Server) Metrics() Metrics {
+	// The read lock pins the hosted-shard set for the whole scrape (no
+	// copy, preserving the alloc bound); enqueues share the lock, only
+	// attach/detach would wait.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := Metrics{
 		Shards:        len(s.shards),
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -157,6 +168,7 @@ func (s *Server) Metrics() Metrics {
 	for i, sh := range s.shards {
 		out.Gets += sh.m.gets.Value()
 		out.Puts += sh.m.puts.Value()
+		out.Applies += sh.m.applies.Value()
 		out.Misses += sh.m.misses.Value()
 		out.Rejected += sh.m.rejected.Value()
 		out.Expired += sh.m.expired.Value()
@@ -191,8 +203,11 @@ func (s *Server) Metrics() Metrics {
 // completed batch (safe to call while the server is running; the copies
 // are taken on the worker goroutine).
 func (s *Server) ShardStats() []oram.Stats {
-	out := make([]oram.Stats, len(s.shards))
-	for i, sh := range s.shards {
+	s.mu.RLock()
+	shards := append([]*shard(nil), s.shards...)
+	s.mu.RUnlock()
+	out := make([]oram.Stats, len(shards))
+	for i, sh := range shards {
 		sh.m.mu.Lock()
 		out[i] = sh.m.proto
 		sh.m.mu.Unlock()

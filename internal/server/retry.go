@@ -1,0 +1,125 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy shapes the exponential-backoff-with-jitter loop used by
+// DialRetry and the client's GetRetry/PutRetry helpers. The zero value
+// is replaced by DefaultRetryPolicy; callers that hand-rolled
+// retry-on-ErrBacklog loops should use these instead.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of tries (not retries); the
+	// last error is returned when it is exhausted. 0 means the default.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// per attempt up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Jitter in [0,1] is the fraction of each delay drawn uniformly at
+	// random (full jitter at 1 decorrelates retrying clients; 0 makes
+	// the schedule deterministic for tests).
+	Jitter float64
+}
+
+// DefaultRetryPolicy suits transient backpressure on a loaded local
+// server: 8 attempts spanning roughly half a second worst-case.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 8,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    250 * time.Millisecond,
+	Jitter:      0.5,
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy
+	if p.MaxAttempts > 0 {
+		d.MaxAttempts = p.MaxAttempts
+	}
+	if p.BaseDelay > 0 {
+		d.BaseDelay = p.BaseDelay
+	}
+	if p.MaxDelay > 0 {
+		d.MaxDelay = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		d.Jitter = min(p.Jitter, 1)
+	}
+	return d
+}
+
+// delay returns the backoff before attempt i (0-based; attempt 0 runs
+// immediately).
+func (p RetryPolicy) delay(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	d := p.BaseDelay << (i - 1)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		// Full-jitter style: subtract a random slice of the window so
+		// concurrent clients spread out instead of thundering together.
+		d -= time.Duration(p.Jitter * float64(d) * rand.Float64())
+	}
+	return d
+}
+
+// Do runs f until it succeeds, returns a non-retryable error, or the
+// policy is exhausted (the last retryable error is wrapped and
+// returned, so Retryable still recognizes it).
+func (p RetryPolicy) Do(f func() error) error {
+	p = p.withDefaults()
+	var err error
+	for i := 0; i < p.MaxAttempts; i++ {
+		time.Sleep(p.delay(i))
+		if err = f(); err == nil || !Retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("server: %d attempts exhausted: %w", p.MaxAttempts, err)
+}
+
+// DialRetry dials with exponential backoff: connection-refused windows
+// (a restarting daemon) count as retryable alongside the usual typed
+// errors.
+func DialRetry(addr string, p RetryPolicy) (*Client, error) {
+	p = p.withDefaults()
+	var (
+		c   *Client
+		err error
+	)
+	for i := 0; i < p.MaxAttempts; i++ {
+		time.Sleep(p.delay(i))
+		c, err = Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if errors.Is(err, ErrProtocolMismatch) || errors.Is(err, ErrSelfDial) {
+			return nil, err // retrying cannot fix a config error
+		}
+	}
+	return nil, fmt.Errorf("server: %d dial attempts exhausted: %w", p.MaxAttempts, err)
+}
+
+// GetRetry is Get with backoff across retryable (backlog/deadline)
+// errors.
+func (c *Client) GetRetry(key string, p RetryPolicy) (val []byte, found bool, err error) {
+	err = p.Do(func() error {
+		val, found, err = c.Get(key)
+		return err
+	})
+	return val, found, err
+}
+
+// PutRetry is Put with backoff across retryable (backlog/deadline)
+// errors.
+func (c *Client) PutRetry(key string, val []byte, p RetryPolicy) error {
+	return p.Do(func() error { return c.Put(key, val) })
+}

@@ -42,10 +42,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stringoram/internal/config"
@@ -70,6 +70,16 @@ var (
 	ErrValueTooLarge = errors.New("server: value too large for block size")
 	// ErrBadKey reports an empty or oversized key.
 	ErrBadKey = errors.New("server: invalid key")
+	// ErrWrongShard reports a key routed to a global shard this server
+	// does not currently serve (not hosted, hosted as a non-serving
+	// replica, or sealed for handoff). Cluster routers react by
+	// refreshing their placement table and retrying elsewhere.
+	ErrWrongShard = errors.New("server: shard not served by this node")
+	// ErrStalePlacement reports a cluster frame carrying a placement
+	// version older than the receiver's: the sender must refresh its
+	// placement before retrying. It is the fencing error that stops a
+	// deposed primary from acknowledging writes.
+	ErrStalePlacement = errors.New("server: stale placement version")
 )
 
 // Retryable reports whether err is a transient serving error (queue
@@ -126,6 +136,24 @@ type Config struct {
 	// MaxKeysPerShard bounds each shard's directory. Zero derives a
 	// conservative bound from the tree size (one key per leaf).
 	MaxKeysPerShard int
+	// TotalShards is the global shard count used for key routing
+	// (ShardOf's modulus). Zero means Shards: the single-node case,
+	// where this server hosts the whole key space. A cluster node sets
+	// it to the cluster-wide shard count and hosts only ShardIDs.
+	TotalShards int
+	// ShardIDs lists the global shard IDs this server hosts. Nil means
+	// 0..Shards-1 (every shard, single-node). IDs must be unique and in
+	// [0, TotalShards).
+	ShardIDs []int
+	// OnApply, when non-nil, runs on the shard worker goroutine after
+	// every applied write (Put or replica Apply), before the request is
+	// acknowledged: (global shard, the write's sequence number, key,
+	// raw value). Returning an error fails the request — the write is
+	// applied locally but reported unacknowledged, which is how a
+	// cluster primary refuses to ack a write it could not replicate.
+	// The hook is on the steady-state apply path and must not allocate
+	// (the cluster op log appends into reused buffers).
+	OnApply func(shard int, seq uint64, key string, val []byte) error
 	// Obs, when non-nil, receives every serving and per-shard protocol
 	// instrument (exposed by oramd on /metrics). When nil the server
 	// registers on a private registry, so the counters always count and
@@ -154,8 +182,19 @@ func DefaultORAM(levels int) config.ORAM {
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
-	if c.Shards <= 0 {
+	if c.ShardIDs != nil {
+		c.Shards = len(c.ShardIDs)
+	} else if c.Shards <= 0 {
 		c.Shards = 4
+	}
+	if c.TotalShards <= 0 {
+		c.TotalShards = c.Shards
+	}
+	if c.ShardIDs == nil {
+		c.ShardIDs = make([]int, c.Shards)
+		for i := range c.ShardIDs {
+			c.ShardIDs[i] = i
+		}
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
@@ -172,12 +211,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// validateShardIDs rejects duplicate or out-of-range hosted shard IDs.
+func (c Config) validateShardIDs() error {
+	if len(c.ShardIDs) == 0 {
+		return errors.New("server: no shards hosted")
+	}
+	seen := make(map[int]bool, len(c.ShardIDs))
+	for _, id := range c.ShardIDs {
+		if id < 0 || id >= c.TotalShards {
+			return fmt.Errorf("server: shard ID %d out of range [0,%d)", id, c.TotalShards)
+		}
+		if seen[id] {
+			return fmt.Errorf("server: shard ID %d hosted twice", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
 // opKind discriminates queued request types.
 type opKind uint8
 
 const (
 	opGet opKind = iota + 1
 	opPut
+	// opApply is a replicated write: a Put carrying an explicit
+	// sequence number, deduplicated against the shard's appliedSeq so a
+	// retried replication or handoff-tail frame applies at most once.
+	opApply
+	// opSnapshot asks the worker for a consistent snapshot of the shard
+	// at the current point in its request stream, without stopping it.
+	opSnapshot
+	// opBarrier completes only after every previously enqueued request
+	// has fully applied (pipelined shards drain first) and reports the
+	// shard's appliedSeq — the handoff cutover fence.
+	opBarrier
 )
 
 // request is one queued operation. key and val are the adversary-hidden
@@ -190,6 +258,9 @@ type request struct {
 	val      []byte `oramlint:"secret"`
 	deadline time.Time
 	enqueued time.Time
+	// seq is the replication sequence number of an opApply request;
+	// unused for client ops (the worker assigns Put sequence numbers).
+	seq uint64
 	// miss marks a Get routed to the shard's probe block (key absent at
 	// admission): its pipelined completion must answer found=false and
 	// discard the probe data.
@@ -206,16 +277,19 @@ var reqPool = sync.Pool{New: func() any { return &request{done: make(chan result
 type result struct {
 	val   []byte
 	found bool
-	err   error
+	// seq carries the shard's appliedSeq for opSnapshot/opBarrier
+	// responses (zero for client ops).
+	seq uint64
+	err error
 }
 
 // Server is the concurrent ORAM key-value server. All methods are safe
 // for concurrent use.
 type Server struct {
-	cfg    Config
-	shards []*shard
-	wg     sync.WaitGroup
-	start  time.Time
+	cfg       Config
+	blockSize int // per-shard block size (uniform across shards)
+	wg        sync.WaitGroup
+	start     time.Time
 
 	reg *obs.Registry // never nil after New (cfg.Obs or private)
 	rec *obs.Recorder // wall-clock batch spans (µs since start)
@@ -223,7 +297,13 @@ type Server struct {
 	scrapeMu  sync.Mutex // serializes Metrics; guards scrapeBuf
 	scrapeBuf []float64  // reused latency-sample merge buffer
 
-	mu     sync.RWMutex // guards closed against in-flight enqueues
+	// mu guards closed and the hosted-shard set against in-flight
+	// enqueues: do/Apply resolve and enqueue under RLock, while
+	// Attach/Detach/Close mutate under Lock, so a shard's queue is
+	// never closed while an enqueue holds a reference to it.
+	mu     sync.RWMutex
+	shards []*shard       // hosted shards in ShardIDs order
+	byID   map[int]*shard // global shard ID -> hosted shard
 	closed bool
 }
 
@@ -231,21 +311,31 @@ type Server struct {
 // below the queue are touched only by the worker goroutine (or by
 // Close/snapshot after the worker has exited, ordered by wg.Wait).
 type shard struct {
-	id      int
+	id      int // global shard ID
 	reqs    chan *request
+	done    chan struct{} // closed when the worker exits (detach/Close sync)
 	m       shardMetrics
 	onBatch func(shard, n int)
 	rec     *obs.Recorder // server-wide batch-span recorder
 	epoch   time.Time     // server start; batch spans are µs since epoch
 
-	ring      *oram.Ring
-	pipe      *oram.Pipeline // non-nil when cfg.Pipeline > 1
-	dir       map[string]oram.BlockID
-	nextID    oram.BlockID
-	maxKeys   int
-	maxBatch  int
-	blockSize int
-	encBuf    []byte `oramlint:"secret,scratch"` // reused Put-block framing scratch
+	// serving gates client ops (Get/Put): false for follower replicas
+	// and shards sealed for handoff, which answer ErrWrongShard.
+	// Replica applies, snapshots and barriers always pass. Written by
+	// cluster role changes while the worker runs, hence atomic.
+	serving atomic.Bool
+
+	ring        *oram.Ring
+	pipe        *oram.Pipeline // non-nil when cfg.Pipeline > 1
+	dir         map[string]oram.BlockID
+	nextID      oram.BlockID
+	appliedSeq  uint64 // sequence number of the last applied write (worker-owned)
+	totalShards int    // global shard count stamped into snapshots
+	onApply     func(shard int, seq uint64, key string, val []byte) error
+	maxKeys     int
+	maxBatch    int
+	blockSize   int
+	encBuf      []byte `oramlint:"secret,scratch"` // reused Put-block framing scratch
 }
 
 // New builds a server, restoring every shard from cfg.SnapshotDir when
@@ -256,72 +346,112 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.ORAM.Validate(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s := &Server{cfg: cfg, start: time.Now()}
+	if err := cfg.validateShardIDs(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, start: time.Now(), byID: make(map[int]*shard, len(cfg.ShardIDs))}
 	s.reg = cfg.Obs
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
 	}
 	s.rec = obs.NewRecorder("wall_us", serverFlightRecCap)
 
-	restore, err := snapshotsPresent(cfg.SnapshotDir, cfg.Shards)
+	restore, err := snapshotsPresent(cfg.SnapshotDir, cfg.ShardIDs)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{
-			id:       i,
-			reqs:     make(chan *request, cfg.QueueDepth),
-			onBatch:  cfg.onBatch,
-			rec:      s.rec,
-			epoch:    s.start,
-			maxKeys:  cfg.MaxKeysPerShard,
-			maxBatch: cfg.MaxBatch,
-		}
-		sh.m.init(s.reg, i, cfg.Seed)
+	for _, id := range cfg.ShardIDs {
+		var snap []byte
 		if restore {
-			if err := sh.restore(snapshotPath(cfg.SnapshotDir, i), cfg); err != nil {
-				return nil, err
-			}
-		} else {
-			if err := sh.fresh(cfg, i); err != nil {
-				return nil, err
+			snap, err = os.ReadFile(snapshotPath(cfg.SnapshotDir, id))
+			if err != nil {
+				return nil, fmt.Errorf("server: shard %d restore: %w", id, err)
 			}
 		}
-		// The Ring's protocol instruments (stash occupancy, green
-		// fetches, reshuffles, ...) land on the same registry under a
-		// shard label; updates stay atomic, so live scrapes are safe
-		// while the worker goroutine serves.
-		sh.ring.Instrument(oram.NewInstruments(s.reg, fmt.Sprintf(`shard="%d"`, i)))
-		s.reg.GaugeFunc(fmt.Sprintf(`server_queue_depth{shard="%d"}`, i),
-			"Current shard queue occupancy.",
-			func(q chan *request) func() float64 {
-				return func() float64 { return float64(len(q)) }
-			}(sh.reqs))
-		sh.blockSize = sh.ring.Config().BlockSize
-		sh.encBuf = make([]byte, sh.blockSize)
-		if cfg.Pipeline > 1 {
-			pins := oram.NewPipelineInstruments(s.reg, fmt.Sprintf(`shard="%d"`, i))
-			pins.Recorder = s.rec
-			pins.Clock = func() int64 { return time.Since(s.start).Microseconds() }
-			pipe, err := oram.AttachPipeline(sh.ring, oram.PipelineOptions{
-				Depth: cfg.Pipeline,
-				Done: func(ctx any, data []byte, ops []oram.Op, err error) {
-					sh.finish(ctx.(*request), data, ops, err)
-				},
-				Ins: pins,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("server: shard %d pipeline: %w", i, err)
-			}
-			sh.pipe = pipe
+		sh, err := s.buildShard(id, snap)
+		if err != nil {
+			return nil, err
 		}
 		s.shards = append(s.shards, sh)
+		s.byID[id] = sh
 	}
+	s.blockSize = s.shards[0].blockSize
 	s.wg.Add(len(s.shards))
 	for _, sh := range s.shards {
 		go sh.run(&s.wg)
 	}
 	return s, nil
+}
+
+// buildShard constructs (and instruments) one hosted shard, restoring
+// from snapshot bytes when snap is non-nil. The caller starts the
+// worker and links the shard into the routing table.
+func (s *Server) buildShard(id int, snap []byte) (*shard, error) {
+	cfg := s.cfg
+	sh := &shard{
+		id:          id,
+		reqs:        make(chan *request, cfg.QueueDepth),
+		done:        make(chan struct{}),
+		onBatch:     cfg.onBatch,
+		rec:         s.rec,
+		epoch:       s.start,
+		totalShards: cfg.TotalShards,
+		onApply:     cfg.OnApply,
+		maxKeys:     cfg.MaxKeysPerShard,
+		maxBatch:    cfg.MaxBatch,
+	}
+	sh.serving.Store(true)
+	sh.m.init(s.reg, id, cfg.Seed)
+	if snap != nil {
+		if err := sh.restoreBytes(snap, cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := sh.fresh(cfg, id); err != nil {
+			return nil, err
+		}
+	}
+	// The Ring's protocol instruments (stash occupancy, green fetches,
+	// reshuffles, ...) land on the same registry under a shard label;
+	// updates stay atomic, so live scrapes are safe while the worker
+	// goroutine serves. Registration is idempotent, so a re-attached
+	// shard resolves to the same series.
+	sh.ring.Instrument(oram.NewInstruments(s.reg, fmt.Sprintf(`shard="%d"`, id)))
+	s.reg.GaugeFunc(fmt.Sprintf(`server_queue_depth{shard="%d"}`, id),
+		"Current shard queue occupancy.",
+		func(gid int) func() float64 {
+			return func() float64 { return float64(s.queueDepth(gid)) }
+		}(id))
+	sh.blockSize = sh.ring.Config().BlockSize
+	sh.encBuf = make([]byte, sh.blockSize)
+	if cfg.Pipeline > 1 {
+		pins := oram.NewPipelineInstruments(s.reg, fmt.Sprintf(`shard="%d"`, id))
+		pins.Recorder = s.rec
+		pins.Clock = func() int64 { return time.Since(s.start).Microseconds() }
+		pipe, err := oram.AttachPipeline(sh.ring, oram.PipelineOptions{
+			Depth: cfg.Pipeline,
+			Done: func(ctx any, data []byte, ops []oram.Op, err error) {
+				sh.finish(ctx.(*request), data, ops, err)
+			},
+			Ins: pins,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d pipeline: %w", id, err)
+		}
+		sh.pipe = pipe
+	}
+	return sh, nil
+}
+
+// queueDepth reports the current queue occupancy of a hosted shard
+// (0 when the shard is not hosted — e.g. between detach and re-attach).
+func (s *Server) queueDepth(id int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sh := s.byID[id]; sh != nil {
+		return len(sh.reqs)
+	}
+	return 0
 }
 
 // fresh builds shard i's Ring from scratch.
@@ -349,12 +479,32 @@ func shardSeed(seed uint64, shard int) uint64 {
 	return seed ^ (uint64(shard)+1)*0x9e3779b97f4a7c15
 }
 
-// shardFor routes a key to its shard (FNV-1a, stable across runs and
-// processes — snapshots depend on this being deterministic).
+// FNV-1a constants (identical to hash/fnv; inlined so routing a key
+// allocates nothing).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// ShardOf routes a key to its global shard index: FNV-1a over the key
+// bytes, modulo the total shard count. It is the single routing
+// function shared by this server, the cluster router, and every peer
+// node — stable across runs and processes (snapshots and cluster
+// placement both depend on this being deterministic), and bit-identical
+// to hash/fnv.New64a over the same bytes.
+func ShardOf(key string, totalShards int) int {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return int(h % uint64(totalShards))
+}
+
+// shardFor resolves a key to its hosted shard, or nil when the key's
+// global shard is not hosted here. Callers hold s.mu.
 func (s *Server) shardFor(key string) *shard {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return s.shards[h.Sum64()%uint64(len(s.shards))]
+	return s.byID[ShardOf(key, s.cfg.TotalShards)]
 }
 
 // Get returns the value stored under key. found is false for keys never
@@ -385,7 +535,7 @@ func (s *Server) PutDeadline(key string, val []byte, deadline time.Time) error {
 
 // MaxValueLen returns the largest value Put accepts.
 func (s *Server) MaxValueLen() int {
-	return s.shards[0].blockSize - valueHeaderLen
+	return s.blockSize - valueHeaderLen
 }
 
 // serverFlightRecCap bounds the batch-span flight recorder: 4096 spans
@@ -415,7 +565,6 @@ func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) resul
 	if deadline.IsZero() && s.cfg.DefaultTimeout > 0 {
 		deadline = time.Now().Add(s.cfg.DefaultTimeout)
 	}
-	sh := s.shardFor(key)
 	req := reqPool.Get().(*request)
 	req.op, req.key, req.val = op, key, val
 	req.deadline, req.enqueued = deadline, time.Now()
@@ -424,6 +573,13 @@ func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) resul
 		s.mu.RUnlock()
 		releaseRequest(req)
 		return result{err: ErrClosed}
+	}
+	sh := s.shardFor(key)
+	if sh == nil {
+		gid := ShardOf(key, s.cfg.TotalShards)
+		s.mu.RUnlock()
+		releaseRequest(req)
+		return result{err: fmt.Errorf("shard %d: %w", gid, ErrWrongShard)}
 	}
 	select {
 	case sh.reqs <- req:
@@ -437,6 +593,180 @@ func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) resul
 	res := <-req.done
 	releaseRequest(req)
 	return res
+}
+
+// sendShard enqueues req on a specific hosted shard and waits for its
+// response (the cluster-facing analogue of do for requests addressed by
+// shard ID rather than key).
+func (s *Server) sendShard(gid int, req *request) result {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		releaseRequest(req)
+		return result{err: ErrClosed}
+	}
+	sh := s.byID[gid]
+	if sh == nil {
+		s.mu.RUnlock()
+		releaseRequest(req)
+		return result{err: fmt.Errorf("shard %d: %w", gid, ErrWrongShard)}
+	}
+	select {
+	case sh.reqs <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		sh.m.noteRejected()
+		releaseRequest(req)
+		return result{err: fmt.Errorf("shard %d: %w", gid, ErrBacklog)}
+	}
+	res := <-req.done
+	releaseRequest(req)
+	return res
+}
+
+// Apply applies one replicated write to a hosted shard: an opApply
+// request carrying the primary's sequence number, deduplicated against
+// the shard's appliedSeq (a retried frame acks without re-applying).
+// Unlike Put, Apply ignores the shard's serving flag — follower
+// replicas and sealed shards accept replication while refusing client
+// traffic.
+func (s *Server) Apply(shardID int, seq uint64, key string, val []byte) error {
+	if key == "" || len(key) > MaxKeyLen {
+		return fmt.Errorf("%w: %d bytes", ErrBadKey, len(key))
+	}
+	if len(val) > s.MaxValueLen() {
+		return fmt.Errorf("%w: %d bytes, max %d", ErrValueTooLarge, len(val), s.MaxValueLen())
+	}
+	req := reqPool.Get().(*request)
+	req.op, req.key, req.val, req.seq = opApply, key, val, seq
+	req.enqueued = time.Now()
+	return s.sendShard(shardID, req).err
+}
+
+// SnapshotShard returns a consistent snapshot of one hosted shard —
+// taken by the shard's own worker at a well-defined point in its
+// request stream, without detaching or stopping it — plus the shard's
+// appliedSeq at that point. The live-handoff sender streams these bytes
+// to the receiving node and replays the op-log tail above the returned
+// sequence number.
+func (s *Server) SnapshotShard(shardID int) ([]byte, uint64, error) {
+	req := reqPool.Get().(*request)
+	req.op = opSnapshot
+	req.enqueued = time.Now()
+	res := s.sendShard(shardID, req)
+	return res.val, res.seq, res.err
+}
+
+// Barrier completes after every request enqueued on the shard before it
+// has fully applied (pipelined shards drain first), and returns the
+// shard's appliedSeq. Combined with SetShardServing(false) it gives the
+// handoff cutover a quiescence fence: seal, barrier, replay the final
+// op-log tail, flip placement.
+func (s *Server) Barrier(shardID int) (uint64, error) {
+	req := reqPool.Get().(*request)
+	req.op = opBarrier
+	req.enqueued = time.Now()
+	res := s.sendShard(shardID, req)
+	return res.seq, res.err
+}
+
+// SetShardServing flips whether a hosted shard accepts client ops
+// (Get/Put). A non-serving shard answers them with ErrWrongShard while
+// still accepting Apply/SnapshotShard/Barrier — the state of a follower
+// replica, and of a primary sealed for handoff.
+func (s *Server) SetShardServing(shardID int, serving bool) error {
+	s.mu.RLock()
+	sh := s.byID[shardID]
+	s.mu.RUnlock()
+	if sh == nil {
+		return fmt.Errorf("shard %d: %w", shardID, ErrWrongShard)
+	}
+	sh.serving.Store(serving)
+	return nil
+}
+
+// ShardServing reports whether a hosted shard accepts client ops.
+func (s *Server) ShardServing(shardID int) bool {
+	s.mu.RLock()
+	sh := s.byID[shardID]
+	s.mu.RUnlock()
+	return sh != nil && sh.serving.Load()
+}
+
+// HostedShards returns the global IDs of the currently hosted shards,
+// in hosting order.
+func (s *Server) HostedShards() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		ids[i] = sh.id
+	}
+	return ids
+}
+
+// TotalShards returns the global routing modulus.
+func (s *Server) TotalShards() int { return s.cfg.TotalShards }
+
+// AttachShard starts hosting a global shard: restored from snapshot
+// bytes (as produced by SnapshotShard or DetachShard) when snap is
+// non-nil, fresh otherwise. serving=false attaches it as a replica that
+// accepts only Apply traffic until promoted. The shard's worker starts
+// immediately; no other shard is disturbed.
+func (s *Server) AttachShard(shardID int, snap []byte, serving bool) error {
+	if shardID < 0 || shardID >= s.cfg.TotalShards {
+		return fmt.Errorf("server: shard ID %d out of range [0,%d)", shardID, s.cfg.TotalShards)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.byID[shardID] != nil {
+		return fmt.Errorf("server: shard %d already hosted", shardID)
+	}
+	sh, err := s.buildShard(shardID, snap)
+	if err != nil {
+		return err
+	}
+	sh.serving.Store(serving)
+	s.shards = append(s.shards, sh)
+	s.byID[shardID] = sh
+	s.wg.Add(1)
+	go sh.run(&s.wg)
+	return nil
+}
+
+// DetachShard stops hosting a shard without disturbing the rest of the
+// server: the shard leaves the routing table, its queue drains (every
+// queued request still receives its response), the worker exits, and
+// the shard's final state is returned as snapshot bytes suitable for
+// AttachShard on another node.
+func (s *Server) DetachShard(shardID int) ([]byte, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sh := s.byID[shardID]
+	if sh == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("shard %d: %w", shardID, ErrWrongShard)
+	}
+	delete(s.byID, shardID)
+	for i, cur := range s.shards {
+		if cur == sh {
+			s.shards = append(s.shards[:i], s.shards[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	// No enqueue can reach the shard now (routing happens under mu), so
+	// closing the queue is race-free; the worker drains and exits.
+	close(sh.reqs)
+	<-sh.done
+	return sh.snapshotBytes()
 }
 
 // releaseRequest clears a request's secret references and returns it to
@@ -457,8 +787,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	shards := append([]*shard(nil), s.shards...)
 	s.mu.Unlock()
-	for _, sh := range s.shards {
+	for _, sh := range shards {
 		close(sh.reqs)
 	}
 	s.wg.Wait()
@@ -468,8 +799,8 @@ func (s *Server) Close() error {
 	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
 		return fmt.Errorf("server: snapshot dir: %w", err)
 	}
-	for _, sh := range s.shards {
-		if err := sh.snapshot(snapshotPath(s.cfg.SnapshotDir, sh.id), len(s.shards)); err != nil {
+	for _, sh := range shards {
+		if err := sh.snapshot(snapshotPath(s.cfg.SnapshotDir, sh.id)); err != nil {
 			return err
 		}
 	}
@@ -481,6 +812,7 @@ func (s *Server) Close() error {
 // fully drained, so shutdown loses no responses.
 func (sh *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	defer close(sh.done)
 	batch := make([]*request, 0, sh.maxBatch)
 	for req := range sh.reqs {
 		batch = append(batch[:0], req)
@@ -539,6 +871,40 @@ func (sh *shard) serve(now time.Time, r *request) {
 		sh.respond(r, result{err: fmt.Errorf("shard %d: %w", sh.id, ErrDeadline)})
 		return
 	}
+	// Client ops are refused while the shard is a non-serving replica
+	// or sealed for handoff; replication and the handoff control ops
+	// below pass regardless. The flag is public operational state, so
+	// the branch leaks nothing about request contents.
+	if (r.op == opGet || r.op == opPut) && !sh.serving.Load() {
+		sh.respond(r, result{err: fmt.Errorf("shard %d: %w", sh.id, ErrWrongShard)})
+		return
+	}
+	switch r.op {
+	case opSnapshot:
+		// Quiesce in-flight pipelined accesses so the checkpoint sees a
+		// fully retired Ring; the worker resumes serving right after.
+		if sh.pipe != nil {
+			sh.pipe.Drain()
+		}
+		data, err := sh.snapshotBytes()
+		sh.respond(r, result{val: data, seq: sh.appliedSeq, err: err})
+		return
+	case opBarrier:
+		if sh.pipe != nil {
+			sh.pipe.Drain()
+		}
+		sh.respond(r, result{seq: sh.appliedSeq})
+		return
+	case opApply:
+		// Replication dedup: an at-or-below-appliedSeq frame is a retry
+		// of a write this replica already holds; ack without touching
+		// the Ring. (finish re-checks for pipelined shards, where this
+		// read can be stale while earlier applies are still in flight.)
+		if r.seq <= sh.appliedSeq {
+			sh.respond(r, result{seq: sh.appliedSeq})
+			return
+		}
+	}
 	switch r.op {
 	case opGet:
 		//oramlint:allow secret-branch both arms issue exactly one read-path access: a hit reads the mapped block, a miss reads the shard's resident probe block; hit and miss are bus-indistinguishable
@@ -549,13 +915,15 @@ func (sh *shard) serve(now time.Time, r *request) {
 			r.miss = true
 			sh.access(r, probeID, false, nil)
 		}
-	case opPut:
+	case opPut, opApply:
 		// New-key allocation happens before the single write access;
 		// writing a fresh BlockID and overwriting a mapped one emit
 		// identically shaped traffic (Ring ORAM treats unmapped IDs as
 		// fresh random paths), so the branch shape below leaks nothing.
 		// The capacity rejection is the one early exit and carries its
-		// own justification.
+		// own justification. opApply (a replicated Put) shares the path
+		// exactly — a replica's bus traffic has the same shape as the
+		// primary's.
 		id, ok := sh.dir[r.key]
 		if !ok {
 			if len(sh.dir) >= sh.maxKeys {
@@ -629,7 +997,28 @@ func (sh *shard) finish(r *request, data []byte, ops []oram.Op, err error) {
 		sh.respond(r, result{val: val, found: true, err: derr})
 		return
 	}
-	sh.respond(r, result{})
+	// A write applied: advance the shard's sequence and run the apply
+	// hook (op-log append + replication) before acknowledging. finish
+	// runs on the worker goroutine in admission order even for
+	// pipelined shards, so sequence numbers are assigned in the order
+	// writes were applied.
+	seq := sh.appliedSeq + 1
+	if r.op == opApply {
+		if r.seq <= sh.appliedSeq {
+			sh.respond(r, result{seq: sh.appliedSeq})
+			return
+		}
+		seq = r.seq
+	}
+	sh.appliedSeq = seq
+	if sh.onApply != nil {
+		//oramlint:allow secret-branch the hook's error is operational replication state (dead peer, stale epoch), independent of key contents; the ORAM access for this write was already emitted before finish ran
+		if aerr := sh.onApply(sh.id, seq, r.key, r.val); aerr != nil {
+			sh.respond(r, result{err: fmt.Errorf("shard %d apply hook: %w", sh.id, aerr)})
+			return
+		}
+	}
+	sh.respond(r, result{seq: seq})
 }
 
 // respond delivers the request's single response and records latency.
@@ -680,16 +1069,21 @@ func decodeValue(block []byte) ([]byte, error) {
 // shardSnapVersion guards the snapshot file format.
 const shardSnapVersion = 1
 
-// shardSnap is the on-disk form of one shard: the key directory plus
-// the Ring checkpoint (oram.Ring.Save bytes — the same format the
-// stringoram facade exposes as Save/LoadRing).
+// shardSnap is the on-disk (and on-wire, for handoff) form of one
+// shard: the key directory plus the Ring checkpoint (oram.Ring.Save
+// bytes — the same format the stringoram facade exposes as
+// Save/LoadRing). Shards records the global shard count the snapshot
+// was taken under; AppliedSeq the replication sequence number of the
+// last applied write (zero in pre-cluster snapshots, which gob decodes
+// compatibly).
 type shardSnap struct {
-	Version int
-	ShardID int
-	Shards  int
-	Dir     map[string]int64
-	NextID  int64
-	Ring    []byte
+	Version    int
+	ShardID    int
+	Shards     int
+	Dir        map[string]int64
+	NextID     int64
+	AppliedSeq uint64
+	Ring       []byte
 }
 
 // snapshotPath names shard i's snapshot file.
@@ -698,54 +1092,72 @@ func snapshotPath(dir string, i int) string {
 }
 
 // snapshotsPresent reports whether dir holds a complete snapshot set
-// for n shards. A partial set is an error (refusing to silently drop
-// acknowledged writes); an empty or missing dir means a fresh start.
-func snapshotsPresent(dir string, n int) (bool, error) {
+// for the hosted shard IDs. A partial set is an error (refusing to
+// silently drop acknowledged writes); an empty or missing dir means a
+// fresh start.
+func snapshotsPresent(dir string, ids []int) (bool, error) {
 	if dir == "" {
 		return false, nil
 	}
 	present := 0
-	for i := 0; i < n; i++ {
-		if _, err := os.Stat(snapshotPath(dir, i)); err == nil {
+	for _, id := range ids {
+		if _, err := os.Stat(snapshotPath(dir, id)); err == nil {
 			present++
 		} else if !errors.Is(err, os.ErrNotExist) {
-			return false, fmt.Errorf("server: snapshot %d: %w", i, err)
+			return false, fmt.Errorf("server: snapshot %d: %w", id, err)
 		}
 	}
 	switch present {
 	case 0:
 		return false, nil
-	case n:
+	case len(ids):
 		return true, nil
 	default:
-		return false, fmt.Errorf("server: %s holds %d of %d shard snapshots; refusing partial restore", dir, present, n)
+		return false, fmt.Errorf("server: %s holds %d of %d shard snapshots; refusing partial restore", dir, present, len(ids))
 	}
+}
+
+// snapshotBytes serializes the shard (directory + Ring checkpoint +
+// replication sequence) into a self-describing gob blob: the format
+// shared by on-disk snapshots, DetachShard, and the handoff stream.
+// Called only from the worker goroutine or after the worker has exited.
+func (sh *shard) snapshotBytes() ([]byte, error) {
+	var ring bytes.Buffer
+	if err := sh.ring.Save(&ring); err != nil {
+		return nil, fmt.Errorf("server: shard %d checkpoint: %w", sh.id, err)
+	}
+	snap := shardSnap{
+		Version:    shardSnapVersion,
+		ShardID:    sh.id,
+		Shards:     sh.totalShards,
+		Dir:        make(map[string]int64, len(sh.dir)),
+		NextID:     int64(sh.nextID),
+		AppliedSeq: sh.appliedSeq,
+		Ring:       ring.Bytes(),
+	}
+	for k, id := range sh.dir {
+		snap.Dir[k] = int64(id)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, fmt.Errorf("server: shard %d snapshot: %w", sh.id, err)
+	}
+	return buf.Bytes(), nil
 }
 
 // snapshot writes the shard to path atomically (temp file + rename):
 // after a crash mid-write the file is either the complete new snapshot
 // or absent/old. Called only after the worker has exited.
-func (sh *shard) snapshot(path string, shards int) error {
-	var ring bytes.Buffer
-	if err := sh.ring.Save(&ring); err != nil {
-		return fmt.Errorf("server: shard %d checkpoint: %w", sh.id, err)
-	}
-	snap := shardSnap{
-		Version: shardSnapVersion,
-		ShardID: sh.id,
-		Shards:  shards,
-		Dir:     make(map[string]int64, len(sh.dir)),
-		NextID:  int64(sh.nextID),
-		Ring:    ring.Bytes(),
-	}
-	for k, id := range sh.dir {
-		snap.Dir[k] = int64(id)
+func (sh *shard) snapshot(path string) error {
+	data, err := sh.snapshotBytes()
+	if err != nil {
+		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
 	if err != nil {
 		return fmt.Errorf("server: shard %d snapshot: %w", sh.id, err)
 	}
-	if err := gob.NewEncoder(tmp).Encode(&snap); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: shard %d snapshot: %w", sh.id, err)
@@ -761,23 +1173,19 @@ func (sh *shard) snapshot(path string, shards int) error {
 	return nil
 }
 
-// restore loads the shard from a snapshot file written by snapshot.
-func (sh *shard) restore(path string, cfg Config) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("server: shard %d restore: %w", sh.id, err)
-	}
-	defer f.Close()
+// restoreBytes loads the shard from snapshot bytes written by
+// snapshotBytes (from disk, DetachShard, or a handoff stream).
+func (sh *shard) restoreBytes(data []byte, cfg Config) error {
 	var snap shardSnap
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
 		return fmt.Errorf("server: shard %d restore: %w", sh.id, err)
 	}
 	if snap.Version != shardSnapVersion {
 		return fmt.Errorf("server: shard %d snapshot version %d, want %d", sh.id, snap.Version, shardSnapVersion)
 	}
-	if snap.ShardID != sh.id || snap.Shards != cfg.Shards {
-		return fmt.Errorf("server: snapshot %s is shard %d of %d, want shard %d of %d (re-sharding requires a fresh directory)",
-			path, snap.ShardID, snap.Shards, sh.id, cfg.Shards)
+	if snap.ShardID != sh.id || snap.Shards != cfg.TotalShards {
+		return fmt.Errorf("server: snapshot is shard %d of %d, want shard %d of %d (re-sharding requires a fresh directory)",
+			snap.ShardID, snap.Shards, sh.id, cfg.TotalShards)
 	}
 	ring, err := oram.Load(bytes.NewReader(snap.Ring), cfg.Key)
 	if err != nil {
@@ -792,5 +1200,6 @@ func (sh *shard) restore(path string, cfg Config) error {
 	if sh.nextID < firstKeyID {
 		sh.nextID = firstKeyID
 	}
+	sh.appliedSeq = snap.AppliedSeq
 	return nil
 }

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// writeSnapshots runs a server against dir, writes a few keys, and
+// closes it so every shard's snapshot lands on disk.
+func writeSnapshots(t *testing.T, dir string) Config {
+	t.Helper()
+	cfg := testConfig()
+	cfg.SnapshotDir = dir
+	s := mustNew(t, cfg)
+	for i := 0; i < 32; i++ {
+		if err := s.Put(fmt.Sprintf("snap-key-%d", i), []byte(fmt.Sprintf("snap-val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestSnapshotsPresentStates(t *testing.T) {
+	ids := []int{0, 1, 2, 3}
+
+	// No directory configured, or configured but missing/empty: fresh
+	// start, no restore.
+	for _, dir := range []string{"", t.TempDir()} {
+		ok, err := snapshotsPresent(dir, ids)
+		if err != nil || ok {
+			t.Fatalf("snapshotsPresent(%q) = %v, %v; want false, nil", dir, ok, err)
+		}
+	}
+
+	dir := t.TempDir()
+	writeSnapshots(t, dir)
+	ok, err := snapshotsPresent(dir, ids)
+	if err != nil || !ok {
+		t.Fatalf("complete set = %v, %v; want true, nil", ok, err)
+	}
+}
+
+// TestSnapshotsPresentPartialSetRejected pins the refusal to restore
+// from an incomplete snapshot set: loading 3 of 4 shards would silently
+// drop the missing shard's acknowledged writes.
+func TestSnapshotsPresentPartialSetRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeSnapshots(t, dir)
+	if err := os.Remove(snapshotPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := snapshotsPresent(dir, []int{0, 1, 2, 3}); err == nil ||
+		!strings.Contains(err.Error(), "refusing partial restore") {
+		t.Fatalf("partial set err = %v, want refusing partial restore", err)
+	}
+	// The same refusal must reach New, not just the helper.
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "refusing partial restore") {
+		t.Fatalf("New over partial set err = %v, want refusing partial restore", err)
+	}
+}
+
+// TestRestoreTruncatedSnapshot pins the failure mode for a snapshot cut
+// short (a crash mid-copy, a partial scp): restore must fail loudly
+// instead of coming up with a silently emptier shard.
+func TestRestoreTruncatedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeSnapshots(t, dir)
+
+	path := snapshotPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "restore") {
+		t.Fatalf("New over truncated snapshot err = %v, want restore failure", err)
+	}
+}
+
+// TestRestoreCorruptSnapshot flips bytes mid-file: the gob decode (or
+// the ORAM checkpoint load behind it) must reject the blob.
+func TestRestoreCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeSnapshots(t, dir)
+
+	path := snapshotPath(dir, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 4; i < len(data)/2; i++ {
+		data[i] ^= 0xa5
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New over corrupt snapshot succeeded, want error")
+	}
+}
+
+// TestAttachShardRejectsBadSnapshot covers the handoff ingest path: a
+// truncated or foreign-shard blob must be rejected and leave the server
+// not hosting the shard.
+func TestAttachShardRejectsBadSnapshot(t *testing.T) {
+	cfg := Config{
+		TotalShards: 4,
+		ShardIDs:    []int{0, 1},
+		ORAM:        DefaultORAM(8),
+		Seed:        7,
+		QueueDepth:  64,
+		MaxBatch:    8,
+	}
+	s := mustNew(t, cfg)
+	defer s.Close()
+
+	donor := mustNew(t, cfg)
+	defer donor.Close()
+	snap, _, err := donor.SnapshotShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated gob.
+	if err := s.AttachShard(2, snap[:len(snap)/3], false); err == nil {
+		t.Fatal("AttachShard accepted a truncated snapshot")
+	}
+	// Shard-ID mismatch: blob says shard 1, attach as shard 2.
+	if err := s.AttachShard(2, snap, false); err == nil {
+		t.Fatal("AttachShard accepted a foreign shard's snapshot")
+	}
+	for _, hosted := range s.HostedShards() {
+		if hosted == 2 {
+			t.Fatal("failed attach left shard 2 hosted")
+		}
+	}
+	// Garbage bytes.
+	if err := s.AttachShard(2, bytes.Repeat([]byte{0x5a}, 256), false); err == nil {
+		t.Fatal("AttachShard accepted garbage")
+	}
+}
+
+// TestRestoreWrongShardCount pins the re-sharding refusal: a snapshot
+// taken at one shard modulus must not load into another (keys would
+// hash to different shards and vanish).
+func TestRestoreWrongShardCount(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeSnapshots(t, dir)
+
+	cfg.Shards = 8
+	cfg.ShardIDs = nil
+	cfg.TotalShards = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New with changed shard count over old snapshots succeeded, want error")
+	}
+}

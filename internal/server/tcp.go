@@ -8,8 +8,54 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ErrProtocolMismatch reports a hello handshake against a peer speaking
+// a different wire protocol generation.
+var ErrProtocolMismatch = errors.New("server: wire protocol version mismatch")
+
+// ErrSelfDial reports a cluster node dialing its own listener (a
+// placement or peer-list misconfiguration).
+var ErrSelfDial = errors.New("server: node dialed itself")
+
+// ErrRemote marks a response the server delivered but this client has
+// no more specific sentinel for. Its presence proves the peer is alive
+// and answering — failover logic must not treat it as a dead node.
+var ErrRemote = errors.New("server: remote error")
+
+// forwardTTL bounds node-to-node hops for a forwarded client op; the
+// chain get→forward→forward dies here rather than looping while two
+// nodes disagree about placement.
+const forwardTTL = 3
+
+// ClusterBackend is what a TCPServer needs from the cluster layer to
+// serve the cluster frame types. All methods are receiver-side: they
+// run on the node that got the frame. Implementations must be safe for
+// concurrent use (the TCP server dispatches requests concurrently).
+type ClusterBackend interface {
+	// Replicate applies one op-log entry shipped by a primary. It must
+	// reject entries carrying a placement version older than the node's
+	// with ErrStalePlacement (fencing for deposed primaries).
+	Replicate(pver uint64, shard int, seq uint64, key string, val []byte) error
+	// HandoffChunk ingests one chunk of a shard snapshot stream; the
+	// implementation installs the shard when last is set.
+	HandoffChunk(shard int, first, last bool, data []byte) error
+	// PlacementJSON returns the node's current placement table as JSON.
+	PlacementJSON() ([]byte, error)
+	// AdoptPlacement installs a pushed placement table if it is newer
+	// than the node's.
+	AdoptPlacement(data []byte) error
+	// Promote asks this node to take over shard as primary, where pver
+	// is the placement version the requester observed the failure under.
+	Promote(pver uint64, shard int) error
+	// ForwardGet relays a get one hop toward the shard's owner with the
+	// given remaining TTL.
+	ForwardGet(key string, ttl int, timeoutMillis uint32) (val []byte, found bool, err error)
+	// ForwardPut relays a put one hop toward the shard's owner.
+	ForwardPut(key string, val []byte, ttl int, timeoutMillis uint32) error
+}
 
 // TCPServer exposes a Server over the length-prefixed wire protocol.
 // Requests on one connection are handled concurrently and responses are
@@ -18,16 +64,29 @@ import (
 type TCPServer struct {
 	srv *Server
 
+	// nodeID and cluster are fixed before Serve (see AttachCluster) and
+	// read without locking afterwards.
+	nodeID  string
+	cluster ClusterBackend
+
 	mu     sync.Mutex
 	ln     net.Listener
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*atomic.Int64 // conn -> in-flight request count
 	closed bool
 	connWG sync.WaitGroup
 }
 
 // NewTCPServer wraps srv; call Serve to start accepting.
 func NewTCPServer(srv *Server) *TCPServer {
-	return &TCPServer{srv: srv, conns: make(map[net.Conn]struct{})}
+	return &TCPServer{srv: srv, conns: make(map[net.Conn]*atomic.Int64)}
+}
+
+// AttachCluster registers the cluster layer serving replicate, handoff,
+// placement, promote, and forward frames, and the node ID announced in
+// hello handshakes. Must be called before Serve.
+func (t *TCPServer) AttachCluster(cb ClusterBackend, nodeID string) {
+	t.cluster = cb
+	t.nodeID = nodeID
 }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after
@@ -58,17 +117,19 @@ func (t *TCPServer) Serve(ln net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		t.conns[conn] = struct{}{}
+		inflight := new(atomic.Int64)
+		t.conns[conn] = inflight
 		t.connWG.Add(1)
 		t.mu.Unlock()
-		go t.handle(conn)
+		go t.handle(conn, inflight)
 	}
 }
 
-// Shutdown stops accepting, then waits for in-flight connections to
-// finish. When ctx expires first, lingering connections are force-closed
-// (their in-flight requests still receive responses or a reset — the
-// Server never loses an accepted request) and ctx.Err() is returned.
+// Shutdown stops accepting, closes idle connections (a pipelined peer
+// blocked between frames would otherwise pin the server forever), and
+// waits for connections with requests in flight to finish. When ctx
+// expires first, lingering connections are force-closed and ctx.Err()
+// is returned.
 func (t *TCPServer) Shutdown(ctx context.Context) error {
 	t.mu.Lock()
 	t.closed = true
@@ -82,18 +143,40 @@ func (t *TCPServer) Shutdown(ctx context.Context) error {
 		t.connWG.Wait()
 		close(done)
 	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		t.mu.Lock()
-		for c := range t.conns {
+	// Sweep idle connections until the active ones drain. The sweep is
+	// racy by design: a request arriving just as its connection is judged
+	// idle gets a reset instead of a response — clients treat that as a
+	// retryable connection error, same as any mid-shutdown arrival.
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	t.closeIdle()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-tick.C:
+			t.closeIdle()
+		case <-ctx.Done():
+			t.mu.Lock()
+			for c := range t.conns {
+				c.Close()
+			}
+			t.mu.Unlock()
+			<-done
+			return ctx.Err()
+		}
+	}
+}
+
+// closeIdle closes every connection with no request in flight.
+func (t *TCPServer) closeIdle() {
+	t.mu.Lock()
+	for c, inflight := range t.conns {
+		if inflight.Load() == 0 {
 			c.Close()
 		}
-		t.mu.Unlock()
-		<-done
-		return ctx.Err()
 	}
+	t.mu.Unlock()
 }
 
 // framePool recycles request-payload and response-frame buffers across
@@ -106,7 +189,7 @@ var framePool = sync.Pool{New: func() any { return new([]byte) }}
 // serializing response frames. Payload and response buffers cycle
 // through framePool, so a warmed connection serves without per-request
 // frame allocations.
-func (t *TCPServer) handle(conn net.Conn) {
+func (t *TCPServer) handle(conn net.Conn, inflight *atomic.Int64) {
 	defer t.connWG.Done()
 	defer func() {
 		t.mu.Lock()
@@ -156,9 +239,23 @@ func (t *TCPServer) handle(conn net.Conn) {
 			framePool.Put(pp)
 			break
 		}
+		if req.Op == wireHello {
+			// Handshakes are answered synchronously on the read loop: a
+			// rejected hello must close the connection before any further
+			// frame is interpreted under mismatched assumptions.
+			resp, ok := t.hello(req)
+			respond(resp)
+			framePool.Put(pp)
+			if !ok {
+				break
+			}
+			continue
+		}
 		reqWG.Add(1)
+		inflight.Add(1)
 		go func(req wireRequest, pp *[]byte) {
 			defer reqWG.Done()
+			defer inflight.Add(-1)
 			respond(t.dispatch(req))
 			// req.Val aliases *pp; release only after the request is
 			// fully served and its response encoded.
@@ -168,6 +265,22 @@ func (t *TCPServer) handle(conn net.Conn) {
 	reqWG.Wait()
 	close(out)
 	writerWG.Wait()
+}
+
+// hello answers a handshake frame. ok is false when the connection must
+// be closed (version mismatch); the response has already been queued.
+func (t *TCPServer) hello(r wireRequest) (resp wireResponse, ok bool) {
+	ver, err := decodeHelloVal(r.Val)
+	if err != nil {
+		return wireResponse{Status: statusProto, Seq: r.Seq, Body: []byte(err.Error())}, false
+	}
+	if ver != wireProtoVersion {
+		msg := fmt.Sprintf("peer speaks protocol v%d, this node v%d", ver, wireProtoVersion)
+		return wireResponse{Status: statusProto, Seq: r.Seq, Body: []byte(msg)}, false
+	}
+	body := appendHelloVal(nil, wireProtoVersion)
+	body = append(body, t.nodeID...)
+	return wireResponse{Status: statusOK, Seq: r.Seq, Body: body}, true
 }
 
 // dispatch executes one wire request against the Server.
@@ -180,27 +293,138 @@ func (t *TCPServer) dispatch(r wireRequest) wireResponse {
 	case wirePing:
 		return wireResponse{Status: statusOK, Seq: r.Seq}
 	case wireGet:
-		val, found, err := t.srv.GetDeadline(r.Key, deadline)
-		if err != nil {
-			return errResponse(r.Seq, err)
-		}
-		if !found {
-			return wireResponse{Status: statusNotFound, Seq: r.Seq}
-		}
-		return wireResponse{Status: statusOK, Seq: r.Seq, Body: val}
+		return t.serveGet(r.Seq, r.Key, deadline, forwardTTL, r.TimeoutMillis)
 	case wirePut:
-		if err := t.srv.PutDeadline(r.Key, r.Val, deadline); err != nil {
-			return errResponse(r.Seq, err)
-		}
-		return wireResponse{Status: statusOK, Seq: r.Seq}
+		return t.servePut(r.Seq, r.Key, r.Val, deadline, forwardTTL, r.TimeoutMillis)
 	case wireMetrics:
 		body, err := json.Marshal(t.srv.Metrics())
 		if err != nil {
 			return errResponse(r.Seq, err)
 		}
 		return wireResponse{Status: statusOK, Seq: r.Seq, Body: body}
+	case wireReplicate:
+		return t.serveReplicate(r)
+	case wireHandoff:
+		return t.serveHandoff(r)
+	case wirePlacement:
+		return t.servePlacement(r)
+	case wirePromote:
+		return t.servePromote(r)
+	case wireForward:
+		return t.serveForward(r, deadline)
 	default:
 		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("unknown op %d", r.Op))}
+	}
+}
+
+// serveGet answers a get locally, forwarding one hop when this node
+// does not serve the key's shard and a cluster layer is attached.
+func (t *TCPServer) serveGet(seq uint64, key string, deadline time.Time, ttl int, timeoutMillis uint32) wireResponse {
+	val, found, err := t.srv.GetDeadline(key, deadline)
+	if errors.Is(err, ErrWrongShard) && t.cluster != nil && ttl > 0 {
+		val, found, err = t.cluster.ForwardGet(key, ttl-1, timeoutMillis)
+	}
+	if err != nil {
+		return errResponse(seq, err)
+	}
+	if !found {
+		return wireResponse{Status: statusNotFound, Seq: seq}
+	}
+	return wireResponse{Status: statusOK, Seq: seq, Body: val}
+}
+
+// servePut answers a put locally, forwarding one hop when this node
+// does not serve the key's shard and a cluster layer is attached.
+func (t *TCPServer) servePut(seq uint64, key string, val []byte, deadline time.Time, ttl int, timeoutMillis uint32) wireResponse {
+	err := t.srv.PutDeadline(key, val, deadline)
+	if errors.Is(err, ErrWrongShard) && t.cluster != nil && ttl > 0 {
+		err = t.cluster.ForwardPut(key, val, ttl-1, timeoutMillis)
+	}
+	if err != nil {
+		return errResponse(seq, err)
+	}
+	return wireResponse{Status: statusOK, Seq: seq}
+}
+
+// clusterOnly rejects cluster frames on a node with no cluster layer.
+func (t *TCPServer) clusterOnly(seq uint64) (wireResponse, bool) {
+	if t.cluster == nil {
+		return wireResponse{Status: statusBad, Seq: seq, Body: []byte("not a cluster node")}, false
+	}
+	return wireResponse{}, true
+}
+
+func (t *TCPServer) serveReplicate(r wireRequest) wireResponse {
+	if resp, ok := t.clusterOnly(r.Seq); !ok {
+		return resp
+	}
+	pver, shard, seq, val, err := decodeReplicateVal(r.Val)
+	if err != nil {
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
+	}
+	if err := t.cluster.Replicate(pver, shard, seq, r.Key, val); err != nil {
+		return errResponse(r.Seq, err)
+	}
+	return wireResponse{Status: statusOK, Seq: r.Seq}
+}
+
+func (t *TCPServer) serveHandoff(r wireRequest) wireResponse {
+	if resp, ok := t.clusterOnly(r.Seq); !ok {
+		return resp
+	}
+	shard, flags, data, err := decodeHandoffVal(r.Val)
+	if err != nil {
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
+	}
+	if err := t.cluster.HandoffChunk(shard, flags&handoffFirst != 0, flags&handoffLast != 0, data); err != nil {
+		return errResponse(r.Seq, err)
+	}
+	return wireResponse{Status: statusOK, Seq: r.Seq}
+}
+
+func (t *TCPServer) servePlacement(r wireRequest) wireResponse {
+	if resp, ok := t.clusterOnly(r.Seq); !ok {
+		return resp
+	}
+	if len(r.Val) == 0 {
+		body, err := t.cluster.PlacementJSON()
+		if err != nil {
+			return errResponse(r.Seq, err)
+		}
+		return wireResponse{Status: statusOK, Seq: r.Seq, Body: body}
+	}
+	if err := t.cluster.AdoptPlacement(r.Val); err != nil {
+		return errResponse(r.Seq, err)
+	}
+	return wireResponse{Status: statusOK, Seq: r.Seq}
+}
+
+func (t *TCPServer) servePromote(r wireRequest) wireResponse {
+	if resp, ok := t.clusterOnly(r.Seq); !ok {
+		return resp
+	}
+	pver, shard, err := decodePromoteVal(r.Val)
+	if err != nil {
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
+	}
+	if err := t.cluster.Promote(pver, shard); err != nil {
+		return errResponse(r.Seq, err)
+	}
+	return wireResponse{Status: statusOK, Seq: r.Seq}
+}
+
+func (t *TCPServer) serveForward(r wireRequest, deadline time.Time) wireResponse {
+	op, ttl, val, err := decodeForwardVal(r.Val)
+	if err != nil {
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
+	}
+	switch op {
+	case wireGet:
+		return t.serveGet(r.Seq, r.Key, deadline, ttl, r.TimeoutMillis)
+	case wirePut:
+		return t.servePut(r.Seq, r.Key, val, deadline, ttl, r.TimeoutMillis)
+	default:
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("forward of op %d not allowed", op))}
 	}
 }
 
@@ -216,6 +440,12 @@ func errResponse(seq uint64, err error) wireResponse {
 		status = statusClosed
 	case errors.Is(err, ErrBadKey), errors.Is(err, ErrValueTooLarge):
 		status = statusBad
+	case errors.Is(err, ErrWrongShard):
+		status = statusWrongShard
+	case errors.Is(err, ErrStalePlacement):
+		status = statusStale
+	case errors.Is(err, ErrFull):
+		status = statusFull
 	}
 	return wireResponse{Status: status, Seq: seq, Body: []byte(err.Error())}
 }
@@ -236,18 +466,65 @@ type Client struct {
 	seq     uint64
 	pending map[uint64]chan wireResponse
 	err     error
+
+	serverNodeID string // learned in the hello handshake
 }
 
-// Dial connects to a TCPServer.
+// Dial connects to a TCPServer and performs the protocol handshake.
 func Dial(addr string) (*Client, error) {
+	return DialNode(addr, "")
+}
+
+// DialNode connects as a cluster node: nodeID is announced in the
+// handshake, and the connection is refused with ErrSelfDial when the
+// peer turns out to be the dialer itself. An empty nodeID dials as an
+// anonymous client (no self-dial check).
+func DialNode(addr, nodeID string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{conn: conn, pending: make(map[uint64]chan wireResponse)}
 	go c.readLoop()
+	if err := c.hello(nodeID); err != nil {
+		c.Close()
+		return nil, err
+	}
 	return c, nil
 }
+
+// hello runs the version + node-ID handshake.
+func (c *Client) hello(nodeID string) error {
+	var ver [helloLen]byte
+	resp, err := c.roundTrip(wireHello, nodeID, appendHelloVal(ver[:0], wireProtoVersion))
+	if err != nil {
+		return err
+	}
+	if resp.Status != statusOK {
+		// Pre-handshake servers answer statusBad ("unknown op"); treat
+		// any rejection as a protocol mismatch.
+		if resp.Status == statusProto || resp.Status == statusBad {
+			return fmt.Errorf("%s: %w", string(resp.Body), ErrProtocolMismatch)
+		}
+		return respError(resp)
+	}
+	sver, serverID, err := decodeHelloBody(resp.Body)
+	if err != nil {
+		return fmt.Errorf("%v: %w", err, ErrProtocolMismatch)
+	}
+	if sver != wireProtoVersion {
+		return fmt.Errorf("peer speaks protocol v%d, this client v%d: %w", sver, wireProtoVersion, ErrProtocolMismatch)
+	}
+	if nodeID != "" && serverID == nodeID {
+		return fmt.Errorf("%s dialed %s: %w", nodeID, serverID, ErrSelfDial)
+	}
+	c.serverNodeID = serverID
+	return nil
+}
+
+// ServerNodeID reports the node ID the peer announced in the handshake
+// (empty for non-cluster servers).
+func (c *Client) ServerNodeID() string { return c.serverNodeID }
 
 // readLoop routes response frames to their waiters; on connection error
 // it fails every pending and future request with that error.
@@ -338,7 +615,9 @@ func (c *Client) roundTrip(op wireOp, key string, val []byte) (wireResponse, err
 }
 
 // respError maps a non-OK response to the typed serving errors, so
-// Retryable works identically on both sides of the wire.
+// Retryable works identically on both sides of the wire. Statuses with
+// no specific sentinel wrap ErrRemote: the server answered, so failover
+// logic can tell an application error from a dead connection.
 func respError(resp wireResponse) error {
 	msg := string(resp.Body)
 	switch resp.Status {
@@ -350,8 +629,16 @@ func respError(resp wireResponse) error {
 		return fmt.Errorf("%s: %w", msg, ErrDeadline)
 	case statusClosed:
 		return fmt.Errorf("%s: %w", msg, ErrClosed)
+	case statusWrongShard:
+		return fmt.Errorf("%s: %w", msg, ErrWrongShard)
+	case statusStale:
+		return fmt.Errorf("%s: %w", msg, ErrStalePlacement)
+	case statusProto:
+		return fmt.Errorf("%s: %w", msg, ErrProtocolMismatch)
+	case statusFull:
+		return fmt.Errorf("%s: %w", msg, ErrFull)
 	default:
-		return fmt.Errorf("server client: %s", msg)
+		return fmt.Errorf("server client: %s: %w", msg, ErrRemote)
 	}
 }
 
@@ -402,4 +689,102 @@ func (c *Client) Metrics() (Metrics, error) {
 		return m, fmt.Errorf("server client: metrics decode: %w", err)
 	}
 	return m, nil
+}
+
+// --- cluster frame senders ---
+//
+// Composite payloads are staged in framePool buffers (appendRequest
+// copies them into the write buffer under wmu), so a warmed replication
+// link sends without per-entry allocations.
+
+// Replicate ships one op-log entry to a follower and waits for its ack.
+func (c *Client) Replicate(pver uint64, shard int, seq uint64, key string, val []byte) error {
+	fp := framePool.Get().(*[]byte)
+	*fp = appendReplicateVal((*fp)[:0], pver, shard, seq, val)
+	resp, err := c.roundTrip(wireReplicate, key, *fp)
+	framePool.Put(fp)
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// HandoffChunk ships one chunk of a shard snapshot stream.
+func (c *Client) HandoffChunk(shard int, first, last bool, data []byte) error {
+	var flags byte
+	if first {
+		flags |= handoffFirst
+	}
+	if last {
+		flags |= handoffLast
+	}
+	fp := framePool.Get().(*[]byte)
+	*fp = appendHandoffVal((*fp)[:0], shard, flags, data)
+	resp, err := c.roundTrip(wireHandoff, "", *fp)
+	framePool.Put(fp)
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// FetchPlacement retrieves the peer's placement table as JSON.
+func (c *Client) FetchPlacement() ([]byte, error) {
+	resp, err := c.roundTrip(wirePlacement, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// PushPlacement offers the peer a placement table; peers adopt it only
+// if it is newer than their own.
+func (c *Client) PushPlacement(data []byte) error {
+	resp, err := c.roundTrip(wirePlacement, "", data)
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// Promote asks the peer to take over shard as primary at placement
+// version pver.
+func (c *Client) Promote(pver uint64, shard int) error {
+	var buf [promoteLen]byte
+	resp, err := c.roundTrip(wirePromote, "", appendPromoteVal(buf[:0], pver, shard))
+	if err != nil {
+		return err
+	}
+	return respError(resp)
+}
+
+// ForwardGet relays a get to the peer with the given remaining TTL.
+func (c *Client) ForwardGet(key string, ttl int) (val []byte, found bool, err error) {
+	var buf [forwardHdrLen]byte
+	resp, err := c.roundTrip(wireForward, key, appendForwardVal(buf[:0], wireGet, ttl, nil))
+	if err != nil {
+		return nil, false, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, false, err
+	}
+	if resp.Status == statusNotFound {
+		return nil, false, nil
+	}
+	return resp.Body, true, nil
+}
+
+// ForwardPut relays a put to the peer with the given remaining TTL.
+func (c *Client) ForwardPut(key string, val []byte, ttl int) error {
+	fp := framePool.Get().(*[]byte)
+	*fp = appendForwardVal((*fp)[:0], wirePut, ttl, val)
+	resp, err := c.roundTrip(wireForward, key, *fp)
+	framePool.Put(fp)
+	if err != nil {
+		return err
+	}
+	return respError(resp)
 }

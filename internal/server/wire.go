@@ -21,6 +21,13 @@ import (
 // server's default deadline. The response body carries the value (get),
 // JSON metrics (metrics), or an error message (statusErr/statusBad).
 
+// wireProtoVersion is the protocol generation carried in the hello
+// handshake. Version 2 added the handshake itself plus the cluster
+// frames (replicate, handoff, placement, promote, forward); peers whose
+// versions differ refuse the connection with ErrProtocolMismatch
+// instead of risking undefined framing behavior.
+const wireProtoVersion = 2
+
 // wireOp is the request opcode.
 type wireOp uint8
 
@@ -29,6 +36,28 @@ const (
 	wirePut     wireOp = 2
 	wireMetrics wireOp = 3
 	wirePing    wireOp = 4
+	// wireHello is the connection handshake: Key carries the dialer's
+	// node ID (empty for anonymous clients), Val its 4-byte protocol
+	// version. The OK response body is version + the server's node ID.
+	wireHello wireOp = 5
+	// wireReplicate streams one op-log entry primary->follower: Key is
+	// the written key, Val is pver:8 shard:4 seq:8 value.
+	wireReplicate wireOp = 6
+	// wireHandoff carries one chunk of a shard snapshot during live
+	// handoff: Val is shard:4 flags:1 data (flags bit0 = first chunk,
+	// bit1 = last chunk; the receiver installs the shard on last).
+	wireHandoff wireOp = 7
+	// wirePlacement fetches (empty Val) or pushes (Val = JSON) the
+	// cluster placement table.
+	wirePlacement wireOp = 8
+	// wirePromote asks a follower to take over a shard whose primary
+	// failed: Val is pver:8 shard:4, where pver is the placement
+	// version the requester observed the failure under.
+	wirePromote wireOp = 9
+	// wireForward is a client op relayed node-to-node when the first
+	// node does not serve the key's shard: Key is the key, Val is
+	// op:1 ttl:1 value.
+	wireForward wireOp = 10
 )
 
 // wireStatus is the response status code.
@@ -42,6 +71,18 @@ const (
 	statusClosed   wireStatus = 4
 	statusBad      wireStatus = 5
 	statusErr      wireStatus = 6
+	// statusWrongShard: the key's shard is not served by this node
+	// (refresh placement and retry elsewhere).
+	statusWrongShard wireStatus = 7
+	// statusStale: the frame carried a placement version older than the
+	// receiver's (fencing for deposed primaries).
+	statusStale wireStatus = 8
+	// statusFull: the shard's ORAM key capacity is exhausted (terminal
+	// for this key until something is evicted; not a routing problem).
+	statusFull wireStatus = 10
+	// statusProto: handshake rejection — protocol version mismatch or
+	// self-dial. The server closes the connection after sending it.
+	statusProto wireStatus = 9
 )
 
 // maxFrame bounds a frame payload; larger frames poison the connection
@@ -154,6 +195,119 @@ func decodeResponse(p []byte) (wireResponse, error) {
 // buffer. Hot paths should prefer readFrameInto.
 func readFrame(br *bufio.Reader) ([]byte, error) {
 	return readFrameInto(br, nil)
+}
+
+// --- cluster frame payload encodings ---
+//
+// Cluster frames ride inside the ordinary request frame: the sub-coded
+// fields below live in the request's Val (and the written key, where
+// present, in Key), so the framing, pooling, and pipelining machinery
+// is shared with client traffic.
+
+// replicate Val layout: pver:8 shard:4 seq:8 value.
+const replicateHdrLen = 8 + 4 + 8
+
+// appendReplicateVal encodes a replicate payload into dst (reused by
+// the primary across entries, so steady-state replication does not
+// allocate).
+func appendReplicateVal(dst []byte, pver uint64, shard int, seq uint64, val []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, pver)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(shard))
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return append(dst, val...)
+}
+
+// decodeReplicateVal parses a replicate payload; val aliases p.
+func decodeReplicateVal(p []byte) (pver uint64, shard int, seq uint64, val []byte, err error) {
+	if len(p) < replicateHdrLen {
+		return 0, 0, 0, nil, fmt.Errorf("server: replicate frame too short (%d bytes)", len(p))
+	}
+	pver = binary.BigEndian.Uint64(p)
+	shard = int(binary.BigEndian.Uint32(p[8:]))
+	seq = binary.BigEndian.Uint64(p[12:])
+	return pver, shard, seq, p[replicateHdrLen:], nil
+}
+
+// handoff Val layout: shard:4 flags:1 data.
+const (
+	handoffHdrLen = 4 + 1
+	handoffFirst  = 1 << 0
+	handoffLast   = 1 << 1
+)
+
+// appendHandoffVal encodes one handoff chunk payload.
+func appendHandoffVal(dst []byte, shard int, flags byte, data []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(shard))
+	dst = append(dst, flags)
+	return append(dst, data...)
+}
+
+// decodeHandoffVal parses a handoff chunk payload; data aliases p.
+func decodeHandoffVal(p []byte) (shard int, flags byte, data []byte, err error) {
+	if len(p) < handoffHdrLen {
+		return 0, 0, nil, fmt.Errorf("server: handoff frame too short (%d bytes)", len(p))
+	}
+	return int(binary.BigEndian.Uint32(p)), p[4], p[handoffHdrLen:], nil
+}
+
+// promote Val layout: pver:8 shard:4.
+const promoteLen = 8 + 4
+
+// appendPromoteVal encodes a promote payload.
+func appendPromoteVal(dst []byte, pver uint64, shard int) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, pver)
+	return binary.BigEndian.AppendUint32(dst, uint32(shard))
+}
+
+// decodePromoteVal parses a promote payload.
+func decodePromoteVal(p []byte) (pver uint64, shard int, err error) {
+	if len(p) != promoteLen {
+		return 0, 0, fmt.Errorf("server: promote frame length %d, want %d", len(p), promoteLen)
+	}
+	return binary.BigEndian.Uint64(p), int(binary.BigEndian.Uint32(p[8:])), nil
+}
+
+// forward Val layout: op:1 ttl:1 value.
+const forwardHdrLen = 2
+
+// appendForwardVal encodes a forward payload wrapping a Get (val nil)
+// or Put (val = value to write).
+func appendForwardVal(dst []byte, op wireOp, ttl int, val []byte) []byte {
+	dst = append(dst, byte(op), byte(ttl))
+	return append(dst, val...)
+}
+
+// decodeForwardVal parses a forward payload; val aliases p.
+func decodeForwardVal(p []byte) (op wireOp, ttl int, val []byte, err error) {
+	if len(p) < forwardHdrLen {
+		return 0, 0, nil, fmt.Errorf("server: forward frame too short (%d bytes)", len(p))
+	}
+	return wireOp(p[0]), int(p[1]), p[forwardHdrLen:], nil
+}
+
+// hello Val layout: version:4. The OK response body mirrors it:
+// version:4 followed by the server's node ID bytes.
+const helloLen = 4
+
+// appendHelloVal encodes the dialer's protocol version.
+func appendHelloVal(dst []byte, version uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, version)
+}
+
+// decodeHelloVal parses a hello payload.
+func decodeHelloVal(p []byte) (version uint32, err error) {
+	if len(p) != helloLen {
+		return 0, fmt.Errorf("server: hello frame length %d, want %d", len(p), helloLen)
+	}
+	return binary.BigEndian.Uint32(p), nil
+}
+
+// decodeHelloBody parses the hello response body.
+func decodeHelloBody(p []byte) (version uint32, nodeID string, err error) {
+	if len(p) < helloLen {
+		return 0, "", fmt.Errorf("server: hello response length %d, want >=%d", len(p), helloLen)
+	}
+	return binary.BigEndian.Uint32(p), string(p[helloLen:]), nil
 }
 
 // readFrameInto reads one length-prefixed payload from br, reusing

@@ -17,10 +17,13 @@
 #          concurrent controller at k in {1,2,4,8} in-flight accesses;
 #          entries carry ops/s and the server's own p99 request latency
 #                                               -> BENCH_server.json
+#   cluster multi-node serving: replicated write throughput through the
+#          router and the one-hop forward path, each with the
+#          client-observed p99                  -> BENCH_server.json
 #
 # Usage: scripts/bench.sh [label] [group]
 #   label  entry label (default: git short hash)
-#   group  sched | oram | obs | server (default: sched)
+#   group  sched | oram | obs | server | cluster (default: sched)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,8 +71,14 @@ server)
 	go test -run '^$' -bench 'BenchmarkServerThroughput(Serial|K1|K2|K4|K8)$' \
 	    -benchmem -benchtime 2s ./internal/server | tee -a "$tmp"
 	;;
+cluster)
+	out=BENCH_server.json
+	echo "== cluster serving: replicated writes + forward hop (3 nodes x 2 shards) =="
+	go test -run '^$' -bench 'BenchmarkCluster(RouterPut|ForwardHop)$' \
+	    -benchmem -benchtime 2s ./internal/cluster | tee -a "$tmp"
+	;;
 *)
-	echo "bench.sh: unknown group '$group' (want sched, oram, obs, or server)" >&2
+	echo "bench.sh: unknown group '$group' (want sched, oram, obs, server, or cluster)" >&2
 	exit 1
 	;;
 esac

@@ -45,7 +45,10 @@ echo "== go test -race (sched, sim, experiments) =="
 go test -race ./internal/sched ./internal/sim ./internal/experiments
 
 echo "== go test -race (server stress: 64 clients x 4 shards) =="
-go test -race ./internal/server ./cmd/oramd
+go test -race ./internal/server ./internal/cluster ./cmd/oramd
+
+echo "== cluster chaos gate (kill one of 3 nodes under 64 writers, -race) =="
+go test -race -count=1 -run='^TestClusterKillOneNodeChaos$' ./internal/cluster
 
 echo "== pipeline race stress (64 pipelined clients x 4 shards x k=8) =="
 go test -race -count=1 -run='^(TestPipelineRaceStress|TestServerPipelineStress)$' \
@@ -57,7 +60,7 @@ go test -count=1 \
     ./internal/oram ./internal/server
 
 echo "== alloc-regression guards (data-plane hot path) =="
-go test -run='^TestAllocFree' -count=1 ./internal/oram
+go test -run='^TestAllocFree' -count=1 ./internal/oram ./internal/cluster
 
 echo "== observability gate (alloc guards, Perfetto schema, exposition parse) =="
 go test -count=1 \

@@ -27,6 +27,7 @@ package stringoram
 import (
 	"io"
 
+	"stringoram/internal/cluster"
 	"stringoram/internal/config"
 	"stringoram/internal/experiments"
 	"stringoram/internal/oram"
@@ -187,6 +188,9 @@ type (
 	ServerTCP = server.TCPServer
 	// ServerClient is the stdlib-only TCP client for the wire protocol.
 	ServerClient = server.Client
+	// ServerRetryPolicy shapes exponential backoff with jitter for
+	// retryable serving errors; the zero value uses sane defaults.
+	ServerRetryPolicy = server.RetryPolicy
 )
 
 // Serving errors. ErrServerBacklog and ErrServerDeadline are retryable
@@ -222,9 +226,47 @@ func NewTCPServer(srv *Server) *ServerTCP { return server.NewTCPServer(srv) }
 // DialServer connects a wire-protocol client to a ServerTCP address.
 func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
 
+// DialServerRetry dials with exponential backoff and jitter, riding out
+// a restarting daemon's connection-refused window.
+func DialServerRetry(addr string, p ServerRetryPolicy) (*ServerClient, error) {
+	return server.DialRetry(addr, p)
+}
+
 // RetryableServerError reports whether err is transient backpressure
 // (backlog or deadline) that a client may retry.
 func RetryableServerError(err error) bool { return server.Retryable(err) }
+
+// Cluster types: internal/cluster grows the server from N
+// goroutine-shards in one process to M nodes × N shards, with
+// epoch-fenced shard placement, synchronous follower replication, and
+// live shard handoff.
+type (
+	// ClusterNode is one cluster member: an embedded Server hosting the
+	// shards the placement assigns it, plus replication and handoff.
+	ClusterNode = cluster.Node
+	// ClusterNodeConfig parameterizes NewClusterNode.
+	ClusterNodeConfig = cluster.NodeConfig
+	// ClusterPlacement is the epoch-fenced shard→node map.
+	ClusterPlacement = cluster.Placement
+	// ClusterNodeInfo names one cluster member (ID + address).
+	ClusterNodeInfo = cluster.NodeInfo
+	// ClusterRouter is the cluster-aware client: shard-addressed
+	// routing, failover, and placement convergence.
+	ClusterRouter = cluster.Router
+)
+
+// StaticPlacement builds the epoch-1 placement spreading shards
+// round-robin over nodes, each shard's follower on the next node.
+func StaticPlacement(shards int, nodes []ClusterNodeInfo) (*ClusterPlacement, error) {
+	return cluster.Static(shards, nodes)
+}
+
+// NewClusterNode builds one cluster member; call its Serve with a
+// listener bound to the node's placement address.
+func NewClusterNode(cfg ClusterNodeConfig) (*ClusterNode, error) { return cluster.NewNode(cfg) }
+
+// DialCluster bootstraps a cluster-aware router from any live node.
+func DialCluster(seedAddr string) (*ClusterRouter, error) { return cluster.DialCluster(seedAddr) }
 
 // Experiment types.
 type (
