@@ -146,7 +146,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	levels := fs.Int("levels", 12, "ORAM tree levels per shard")
 	queue := fs.Int("queue", 256, "per-shard request queue depth")
 	batch := fs.Int("batch", 32, "max requests per worker batch")
-	pipeline := fs.Int("pipeline", 0, "in-flight ORAM accesses per shard (0 or 1: serial)")
+	pipeline := fs.Int("pipeline", 0, "in-flight ORAM accesses per shard (0: serial, 1: inline controller)")
+	workers := fs.Int("workers", 0, "shared data-plane worker pool size for pipelined shards (0: NumCPU)")
+	treetop := fs.Bool("treetop-cache", false, "hold the top tree levels decrypted in controller memory")
 	seed := fs.Uint64("seed", 1, "master protocol seed")
 	snapdir := fs.String("snapshots", "", "snapshot directory (restore on boot, save on shutdown)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline (0 disables)")
@@ -165,6 +167,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	cfg.QueueDepth = *queue
 	cfg.MaxBatch = *batch
 	cfg.Pipeline = *pipeline
+	cfg.Workers = *workers
+	cfg.TreetopCache = *treetop
 	cfg.Seed = *seed
 	cfg.SnapshotDir = *snapdir
 	cfg.DefaultTimeout = *timeout

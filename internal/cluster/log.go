@@ -12,11 +12,12 @@ import (
 var ErrLogTrimmed = errors.New("cluster: op log trimmed past requested sequence")
 
 // Entry is one applied write. Key and Val are copies owned by the log
-// (the ring reuses their backing arrays across generations).
+// (the ring reuses their backing arrays across generations, carving
+// first-touch buffers out of the log's arena — hence the scratch tag).
 type Entry struct {
 	Seq uint64
-	Key []byte `oramlint:"secret"`
-	Val []byte `oramlint:"secret"`
+	Key []byte `oramlint:"secret,scratch"`
+	Val []byte `oramlint:"secret,scratch"`
 }
 
 // DefaultLogCap is the per-shard ring capacity: enough tail to cover a
@@ -38,6 +39,30 @@ type Log struct {
 	entries []Entry // allocated on first Append (nodes hold a Log per global shard)
 	first   uint64  // oldest sequence still resident, 0 when empty
 	last    uint64  // newest sequence appended, 0 when empty
+
+	// arena bump-allocates first-touch entry buffers in chunks, so
+	// warming the ring costs one allocation per chunk instead of two per
+	// entry (8192 entries would otherwise take thousands of appends to
+	// amortize). Entries keep their slices across generations; the arena
+	// is only consulted when an entry lacks capacity.
+	arena []byte `oramlint:"secret,scratch"`
+}
+
+// logArenaChunk is the arena growth quantum.
+const logArenaChunk = 1 << 16
+
+// alloc carves an n-byte buffer out of the arena (a dedicated
+// allocation for oversized requests). Caller holds l.mu.
+func (l *Log) alloc(n int) []byte {
+	if n > logArenaChunk/4 {
+		return make([]byte, 0, n) // oversized: don't burn arena chunks
+	}
+	if n > len(l.arena) {
+		l.arena = make([]byte, logArenaChunk)
+	}
+	b := l.arena[:0:n]
+	l.arena = l.arena[n:]
+	return b
 }
 
 // NewLog builds an empty log with the given ring capacity (0 means
@@ -58,6 +83,12 @@ func (l *Log) Append(seq uint64, key string, val []byte) {
 	}
 	e := &l.entries[seq%uint64(len(l.entries))]
 	e.Seq = seq
+	if cap(e.Key) < len(key) {
+		e.Key = l.alloc(len(key))
+	}
+	if cap(e.Val) < len(val) {
+		e.Val = l.alloc(len(val))
+	}
 	e.Key = append(e.Key[:0], key...)
 	e.Val = append(e.Val[:0], val...)
 	if l.first == 0 {

@@ -256,7 +256,17 @@ func (n *Node) onApply(shard int, seq uint64, key string, val []byte) error {
 	c, err := n.clientFor(follower)
 	if err == nil {
 		start := time.Now()
-		err = n.retry.Do(func() error { return c.Replicate(epoch, shard, seq, key, val) })
+		// Hand-rolled retry (RetryPolicy.Do takes a closure, and this
+		// runs once per applied write on the replication hot path).
+		rp := n.retry.WithDefaults()
+		for i := 0; i < rp.MaxAttempts; i++ {
+			if d := rp.Delay(i); d > 0 {
+				time.Sleep(d)
+			}
+			if err = c.Replicate(epoch, shard, seq, key, val); err == nil || !server.Retryable(err) {
+				break
+			}
+		}
 		if err == nil {
 			n.m.replicated.Inc()
 			n.m.replicateSecs.Observe(time.Since(start).Seconds())

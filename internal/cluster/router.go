@@ -171,74 +171,104 @@ func (r *Router) promoteFollower(shard int, observed *Placement) {
 	r.refreshPlacement()
 }
 
+// Router op kinds for the closure-free retry loop in do.
+const (
+	routerGet = iota
+	routerPut
+)
+
 // do runs one operation against key's primary with failover: retryable
 // rejections back off; wrong-shard/stale responses refresh the
 // placement; connection errors promote the follower. Terminal
 // application errors return immediately.
-func (r *Router) do(key string, op func(c *server.Client) error) error {
+//
+// The retry loop is hand-rolled over RetryPolicy.Delay with the op
+// selected by kind rather than a callback, so the per-op hot path
+// (Get/Put on a healthy cluster) allocates nothing.
+func (r *Router) do(kind int, key string, val []byte) (out []byte, found bool, err error) {
 	p := r.Retry
 	if p.MaxAttempts == 0 {
 		// Failover needs headroom beyond the default budget: promotion
 		// plus placement convergence can span several windows.
 		p.MaxAttempts = 20
 	}
-	return p.Do(func() error {
-		c, prim, shard, err := r.primaryClient(key)
-		if err != nil {
-			if !errors.Is(err, ErrNoNode) && !errors.Is(err, server.ErrClosed) {
-				// The primary cannot even be dialed: treat it as dead
-				// and promote. A false suspicion is safe — the epoch
-				// fence deposes whichever primary is stale.
-				r.promoteFollower(shard, r.Placement())
-			} else {
-				r.refreshPlacement()
-			}
-			return fmt.Errorf("cluster router: no primary: %v: %w", err, server.ErrBacklog)
+	p = p.WithDefaults()
+	for i := 0; i < p.MaxAttempts; i++ {
+		if d := p.Delay(i); d > 0 {
+			time.Sleep(d)
 		}
-		err = op(c)
-		switch {
-		case err == nil:
-			return nil
-		case errors.Is(err, server.ErrWrongShard), errors.Is(err, server.ErrStalePlacement):
-			// The node's placement disagrees with ours (mid-handoff or
-			// post-failover): converge and retry.
+		out, found, err = r.attempt(kind, key, val)
+		if err == nil || !server.Retryable(err) {
+			return out, found, err
+		}
+	}
+	return out, found, fmt.Errorf("server: %d attempts exhausted: %w", p.MaxAttempts, err)
+}
+
+// attempt runs one try of do: resolve the primary, run the op, classify
+// the failure.
+func (r *Router) attempt(kind int, key string, val []byte) ([]byte, bool, error) {
+	c, prim, shard, err := r.primaryClient(key)
+	if err != nil {
+		if !errors.Is(err, ErrNoNode) && !errors.Is(err, server.ErrClosed) {
+			// The primary cannot even be dialed: treat it as dead
+			// and promote. A false suspicion is safe — the epoch
+			// fence deposes whichever primary is stale.
+			r.promoteFollower(shard, r.Placement())
+		} else {
 			r.refreshPlacement()
-			return fmt.Errorf("%v: %w", err, server.ErrBacklog)
-		case server.Retryable(err):
-			return err
-		case errors.Is(err, server.ErrRemote), errors.Is(err, server.ErrBadKey),
-			errors.Is(err, server.ErrValueTooLarge), errors.Is(err, server.ErrFull):
-			// The primary is alive and answered; surface the application
-			// error instead of failing over a healthy node.
-			return err
-		default:
-			// Transport-level failure: assume the primary died, drop the
-			// link, and promote its follower.
-			observed := r.Placement()
-			r.mu.Lock()
-			r.dropLocked(prim.ID)
-			closed := r.closed
-			r.mu.Unlock()
-			if closed {
-				return err
-			}
-			r.promoteFollower(shard, observed)
-			return fmt.Errorf("cluster router: primary %s lost (%v): %w", prim.ID, err, server.ErrBacklog)
 		}
-	})
+		return nil, false, fmt.Errorf("cluster router: no primary: %v: %w", err, server.ErrBacklog)
+	}
+	var (
+		out   []byte
+		found bool
+	)
+	switch kind {
+	case routerGet:
+		out, found, err = c.Get(key)
+	case routerPut:
+		err = c.Put(key, val)
+	}
+	switch {
+	case err == nil:
+		return out, found, nil
+	case errors.Is(err, server.ErrWrongShard), errors.Is(err, server.ErrStalePlacement):
+		// The node's placement disagrees with ours (mid-handoff or
+		// post-failover): converge and retry.
+		r.refreshPlacement()
+		return nil, false, fmt.Errorf("%v: %w", err, server.ErrBacklog)
+	case server.Retryable(err):
+		return nil, false, err
+	case errors.Is(err, server.ErrRemote), errors.Is(err, server.ErrBadKey),
+		errors.Is(err, server.ErrValueTooLarge), errors.Is(err, server.ErrFull):
+		// The primary is alive and answered; surface the application
+		// error instead of failing over a healthy node.
+		return nil, false, err
+	default:
+		// Transport-level failure: assume the primary died, drop the
+		// link, and promote its follower.
+		observed := r.Placement()
+		r.mu.Lock()
+		r.dropLocked(prim.ID)
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return nil, false, err
+		}
+		r.promoteFollower(shard, observed)
+		return nil, false, fmt.Errorf("cluster router: primary %s lost (%v): %w", prim.ID, err, server.ErrBacklog)
+	}
 }
 
 // Get fetches a value from key's shard, wherever it lives.
 func (r *Router) Get(key string) (val []byte, found bool, err error) {
-	err = r.do(key, func(c *server.Client) error {
-		val, found, err = c.Get(key)
-		return err
-	})
-	return val, found, err
+	return r.do(routerGet, key, nil)
 }
 
 // Put stores a value on key's shard, riding out failover; a nil return
 // means the write is applied on every live replica.
 func (r *Router) Put(key string, val []byte) error {
-	return r.do(key, func(c *server.Client) error { return c.Put(key, val) })
+	_, _, err := r.do(routerPut, key, val)
+	return err
 }

@@ -89,6 +89,70 @@ func BenchmarkAccessFunctional(b *testing.B) {
 	}
 }
 
+// warmCachedRing mirrors warmFunctionalRing for the treetop-cached
+// variant: same geometry and trace, TreeTopCacheLevels sized by the
+// default few-MiB budget, cache enabled from construction.
+var warmCachedRing *Ring
+
+func warmedCachedRing(b *testing.B) *Ring {
+	b.Helper()
+	if warmCachedRing == nil {
+		cfg := config.Default().ORAM
+		cfg.Levels = 16
+		cfg.TreeTopCacheLevels = TreetopLevelsForBudget(cfg, 4<<20)
+		crypt, err := NewCrypt([]byte("bench-key-16byte"), cfg.BlockSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := NewRing(cfg, 1, &Options{
+			Store:        NewMemStore(cfg.SlotsPerBucket()),
+			Crypt:        crypt,
+			TreetopCache: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, r.Config().BlockSize)
+		warm := int(r.Config().Leaves()) * r.Config().A
+		for i := 0; i < warm; i++ {
+			var err error
+			if i%2 == 0 {
+				_, _, err = r.Access(BlockID(i%4096), true, payload)
+			} else {
+				_, _, err = r.Access(BlockID(i%4096), false, nil)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		warmCachedRing = r
+	}
+	return warmCachedRing
+}
+
+// BenchmarkAccessFunctionalCached is BenchmarkAccessFunctional with the
+// treetop data cache holding the budget-sized tree top decrypted in
+// controller memory: path reads and eviction writes at cached levels
+// cost a memcpy instead of store I/O plus AES. The pair quantifies the
+// spatial-locality win.
+func BenchmarkAccessFunctionalCached(b *testing.B) {
+	b.ReportAllocs()
+	r := warmedCachedRing(b)
+	payload := make([]byte, r.Config().BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if i%2 == 0 {
+			_, _, err = r.Access(BlockID(i%4096), true, payload)
+		} else {
+			_, _, err = r.Access(BlockID(i%4096), false, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAccessFunctionalObs is BenchmarkAccessFunctional with the
 // full instrument set and a live flight recorder attached; the pair
 // quantifies instrumentation overhead (scripts/bench.sh records the

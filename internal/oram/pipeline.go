@@ -86,6 +86,17 @@ type Pipeline struct {
 
 	// cur is the slot being admitted; pipePlane methods route to it.
 	cur *pipeSlot
+
+	// inline marks a depth-1 pipeline: only one access can ever be in
+	// flight, so the conflict ledger, job recording and worker handoff
+	// are pure overhead — the Ring keeps its serial data plane and
+	// Submit completes each access inline on the caller goroutine.
+	inline bool
+
+	// pool/poolQ are set when the pipeline shares a WorkerPool instead
+	// of owning workers (see pool.go).
+	pool  *WorkerPool
+	poolQ *poolQueue
 }
 
 // pendRef locates an in-flight job's output buffer.
@@ -110,6 +121,8 @@ const (
 	jobSeal                    // seal plaintext under the reserved counter, write slot
 	jobSealDummy               // deterministic dummy ciphertext, write slot
 	jobWritePlain              // plaintext-mode write (no Crypt)
+	jobCopy                    // treetop cache read: copy src into outs[out].buf
+	jobCacheStore              // treetop cache write: copy plaintext into dst
 )
 
 // pipeJob is one recorded data-movement op.
@@ -121,7 +134,8 @@ type pipeJob struct {
 	out     int32 // outs index: destination for opens, source for seals (-1: use src)
 	bucket  int64
 	ctr     uint64 // reserved seal counter (jobSeal)
-	src     []byte `oramlint:"secret,scratch"` // external plaintext source (forwarded buffers)
+	src     []byte `oramlint:"secret,scratch"` // external plaintext source (forwarded buffers, cache slots)
+	dst     []byte `oramlint:"secret,scratch"` // treetop cache destination (jobCacheStore)
 }
 
 // pipeOut is one buffer a job produces. stashPut marks buffers that
@@ -177,10 +191,20 @@ type pipeSlot struct {
 // PipelineOptions configures AttachPipeline.
 type PipelineOptions struct {
 	// Depth is the number of in-flight access slots k (default 4).
+	// Depth 1 selects the inline fast path: the Ring keeps its serial
+	// data plane and Submit completes each access on the caller
+	// goroutine, skipping job recording, the ledger and the worker
+	// handoff entirely — pipelined k=1 then costs the same as serial.
 	Depth int
 	// Workers is the number of data-plane worker goroutines (default
-	// min(Depth, NumCPU), clamped to Depth).
+	// min(Depth, NumCPU), clamped to Depth). Ignored when Pool is set
+	// or Depth is 1.
 	Workers int
+	// Pool shares a WorkerPool across pipelines instead of spawning
+	// dedicated workers: accesses from many shards then compete for
+	// every pool worker rather than capping at this pipeline's private
+	// worker count.
+	Pool *WorkerPool
 	// Done receives each access's result at retirement, in admission
 	// order, on the goroutine calling Submit/Drain. data is nil for
 	// writes and errors; for reads it aliases the slot's response
@@ -208,13 +232,6 @@ func AttachPipeline(r *Ring, opt PipelineOptions) (*Pipeline, error) {
 	if depth <= 0 {
 		depth = 4
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > depth {
-		workers = depth
-	}
 	p := &Pipeline{
 		ring:      r,
 		store:     &lockedStore{s: r.store},
@@ -226,9 +243,9 @@ func AttachPipeline(r *Ring, opt PipelineOptions) (*Pipeline, error) {
 		head:      1,
 		next:      1,
 		pending:   make(map[BlockID]pendRef),
-		work:      make(chan *pipeSlot, depth),
 		completed: make([]uint64, depth),
 		zero:      make([]byte, r.cfg.BlockSize),
+		inline:    depth == 1,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	for i := range p.slots {
@@ -245,10 +262,35 @@ func AttachPipeline(r *Ring, opt PipelineOptions) (*Pipeline, error) {
 		}
 		p.slots[i] = s
 	}
-	r.dp = pipePlane{p}
-	p.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go p.worker() //oramlint:allow gostmt workers only execute data jobs pre-recorded by the serial admission pass; every protocol decision (and all RNG consumption) stays on the controller goroutine in deterministic order
+	// Writer seqs from a previously attached pipeline use a different
+	// numbering; clear them so they cannot read as in-flight.
+	r.tt.resetSeqs()
+	if p.inline {
+		// Depth 1: the Ring keeps its serial data plane (inlinePlane
+		// delegates every call) and Submit completes accesses inline.
+		r.dp = inlinePlane{r}
+	} else {
+		r.dp = pipePlane{p}
+	}
+	switch {
+	case p.inline:
+		// Depth 1: no workers; Submit runs the whole access itself.
+	case opt.Pool != nil:
+		p.pool = opt.Pool
+		p.poolQ = opt.Pool.register(p)
+	default:
+		workers := opt.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		if workers > depth {
+			workers = depth
+		}
+		p.work = make(chan *pipeSlot, depth)
+		p.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go p.worker() //oramlint:allow gostmt workers only execute data jobs pre-recorded by the serial admission pass; every protocol decision (and all RNG consumption) stays on the controller goroutine in deterministic order
+		}
 	}
 	return p, nil
 }
@@ -267,6 +309,27 @@ func (p *Pipeline) InFlight() int { return int(p.next - p.head) }
 func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
 	if p.closed {
 		return errors.New("oram: pipeline is closed")
+	}
+	if p.inline {
+		// Depth 1: only one access can ever be in flight, so pipelining
+		// buys nothing — run the access straight through the Ring's
+		// serial data plane, skipping job recording, claims, the outs
+		// and pending tables, and the retirement handshake entirely.
+		t0 := p.now()
+		out, ops, err := p.ring.access(id, write, data, nil, nil)
+		if write {
+			out = nil
+		}
+		if invariant.Enabled {
+			invariant.Assertf(err != nil || p.ring.stash.Len() <= p.ring.stash.Cap(),
+				"pipeline inline access left stash at %d over capacity %d", p.ring.stash.Len(), p.ring.stash.Cap())
+		}
+		p.ins.Admitted.Inc()
+		if t0 != 0 {
+			p.ins.AdmitUs.Observe(float64(p.now() - t0))
+		}
+		p.doneFn(ctx, out, ops, err)
+		return nil
 	}
 	if p.next-p.head == uint64(p.depth) {
 		p.retireOne()
@@ -287,6 +350,12 @@ func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
 	p.cur = nil
 	s.err = err
 
+	if invariant.Enabled {
+		// Stage boundary: admission must leave the stash within its
+		// bound (the background evictor runs inside the admission pass).
+		invariant.Assertf(s.err != nil || p.ring.stash.Len() <= p.ring.stash.Cap(),
+			"pipeline admission left stash at %d over capacity %d", p.ring.stash.Len(), p.ring.stash.Cap())
+	}
 	p.computeDeps(s)
 	p.next++
 	if s.parked {
@@ -295,12 +364,6 @@ func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
 		p.ins.Recorder.Emit(obs.Event{TS: p.now(), Kind: obs.EvPipelinePark,
 			Track: int32(s.idx), Arg0: int64(s.idx), Arg1: int64(p.next - p.head)})
 	}
-	if invariant.Enabled {
-		// Stage boundary: admission must leave the stash within its
-		// bound (the background evictor runs inside the admission pass).
-		invariant.Assertf(s.err != nil || p.ring.stash.Len() <= p.ring.stash.Cap(),
-			"pipeline admission left stash at %d over capacity %d", p.ring.stash.Len(), p.ring.stash.Cap())
-	}
 	p.ins.Admitted.Inc()
 	p.ins.InFlight.Set(int64(p.next - p.head))
 	if t0 != 0 {
@@ -308,7 +371,11 @@ func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
 	}
 	p.ins.Recorder.Emit(obs.Event{TS: p.now(), Kind: obs.EvPipelineAdmit,
 		Track: int32(s.idx), Arg0: int64(p.next - p.head), Arg1: int64(len(s.jobs))})
-	p.work <- s
+	if p.pool != nil {
+		p.pool.submit(p.poolQ, s)
+	} else {
+		p.work <- s
+	}
 	return nil
 }
 
@@ -327,6 +394,9 @@ func (p *Pipeline) Drain() {
 		// dependency would have deadlocked retirement above first, but
 		// the counter pair also catches accounting drift.
 		invariant.Assertf(p.parkedN == unparked, "pipeline parked %d jobs but unparked %d", p.parkedN, unparked)
+		// The data plane is quiescent now: the treetop cache must agree
+		// with a fresh decryption of the store.
+		p.ring.verifyTreetop()
 	}
 }
 
@@ -338,8 +408,16 @@ func (p *Pipeline) Close() {
 	}
 	p.Drain()
 	p.closed = true
-	close(p.work)
-	p.wg.Wait()
+	switch {
+	case p.inline:
+		// No workers to stop.
+	case p.pool != nil:
+		p.pool.unregister(p)
+	default:
+		close(p.work)
+		p.wg.Wait()
+	}
+	p.ring.tt.resetSeqs()
 	p.ring.dp = p.ring
 }
 
@@ -528,16 +606,23 @@ func (p *Pipeline) now() int64 {
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for s := range p.work {
-		p.waitDeps(s)
-		p.beginExec(s)
-		p.execute(s)
-		p.mu.Lock()
-		s.executing = false
-		s.done = true
-		p.completed[s.idx] = s.seq
-		p.mu.Unlock()
-		p.cond.Broadcast()
+		p.runSlot(s)
 	}
+}
+
+// runSlot executes one dispatched slot end to end: wait for its
+// dependencies, run its job ops, mark it done. Called by dedicated
+// workers and by shared WorkerPool workers.
+func (p *Pipeline) runSlot(s *pipeSlot) {
+	p.waitDeps(s)
+	p.beginExec(s)
+	p.execute(s)
+	p.mu.Lock()
+	s.executing = false
+	s.done = true
+	p.completed[s.idx] = s.seq
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // waitDeps blocks until every dependency recorded for s has completed.
@@ -645,8 +730,31 @@ func (p *Pipeline) execute(s *pipeSlot) {
 				src = p.zero
 			}
 			p.store.WriteSlot(j.bucket, int(j.slot), src)
+		case jobCopy:
+			// Treetop read whose producer was in flight at admission: the
+			// dependency recorded on the writer slot has completed, so its
+			// cache buffer is final.
+			dst := s.outs[j.out].buf
+			if j.src == nil {
+				clear(dst)
+			} else {
+				copy(dst, j.src)
+			}
+		case jobCacheStore:
+			// Treetop write: land the plaintext in the cache buffer the
+			// admission pass installed. No store I/O, no AES — the flush
+			// seals it later under the counter reserved at admission.
+			src := j.src
+			if j.out >= 0 {
+				src = s.outs[j.out].buf
+			}
+			if src == nil {
+				src = p.zero
+			}
+			copy(j.dst, src)
 		}
 		j.src = nil
+		j.dst = nil
 	}
 	// Response epilogue: the snapshot source resolved to an in-flight
 	// buffer (our own fetch or a completed producer's); copy it now that
@@ -660,6 +768,16 @@ func (p *Pipeline) execute(s *pipeSlot) {
 	}
 }
 
+// --- inlinePlane: the depth-1 marker plane ---
+
+// inlinePlane marks a depth-1 pipeline attachment. It embeds the Ring
+// so every dataPlane call delegates straight to the serial
+// implementations — data moves inline with zero pipelining overhead —
+// while its distinct type keeps the attachment guards honest: the
+// `r.dp.(*Ring)` checks (double attach, Update, EnableTreetop, the
+// per-access treetop verifier) all see the ring as attached.
+type inlinePlane struct{ *Ring }
+
 // --- pipePlane: the dataPlane that records instead of moving ---
 
 // pipePlane implements dataPlane during pipelined admission: each call
@@ -670,6 +788,32 @@ type pipePlane struct{ p *Pipeline }
 
 func (pp pipePlane) fetchToStash(bucket int64, slot int, id BlockID, path PathID) {
 	p, s := pp.p, pp.p.cur
+	// Treetop elision: every access's path crosses every cached level
+	// and the op trace already excludes them; serving the read from
+	// controller memory instead of recording a store job changes nothing
+	// bus-visible, and the branch keys on the public bucket index.
+	if tt := p.ring.tt; tt.cached(bucket) {
+		i := tt.index(bucket, slot)
+		if w := tt.writerSeq[i]; w >= p.head && w > 0 {
+			// The producing write is still in flight: its cache buffer
+			// fills on a worker. Copy it after the writer completes,
+			// through the same pending-block machinery a store fetch
+			// uses. Cached buckets take no ledger claims — the
+			// controller-local copy can never conflict on the store —
+			// but the data dependency on the writer slot remains.
+			out := p.addOut(s, id, true)
+			s.jobs = append(s.jobs, pipeJob{kind: jobCopy, out: out, src: tt.buf[i]})
+			s.depend(p.slots[w%uint64(p.depth)])
+			p.ins.PendingForwards.Inc()
+			p.ring.stash.Put(id, path, nil)
+			p.pending[id] = pendRef{slot: int32(s.idx), out: out}
+			return
+		}
+		// Settled: serve from controller memory at admission, exactly as
+		// the serial plane does.
+		p.ring.ttFetchSerial(bucket, slot, id, path)
+		return
+	}
 	claim(&s.readClaims, bucket)
 	out := p.addOut(s, id, true)
 	s.jobs = append(s.jobs, pipeJob{kind: jobOpen, bucket: bucket, slot: int32(slot), out: out})
@@ -686,7 +830,8 @@ func (pp pipePlane) xorReset() {
 }
 
 func (pp pipePlane) xorFoldSlot(bucket int64, slot int, isDummy bool, epoch int) {
-	s := pp.p.cur
+	p, s := pp.p, pp.p.cur
+	p.ring.ttAssertUncached(bucket, "xorFoldSlot") // XOR folding starts at emitFrom
 	claim(&s.readClaims, bucket)
 	s.jobs = append(s.jobs, pipeJob{kind: jobXORFold, bucket: bucket, slot: int32(slot), isDummy: isDummy, epoch: int32(epoch)})
 }
@@ -701,6 +846,7 @@ func (pp pipePlane) xorFinishToStash(id BlockID, path PathID) {
 
 func (pp pipePlane) reshuffleFetch(bucket int64, slot int) blockRef {
 	p, s := pp.p, pp.p.cur
+	p.ring.ttAssertUncached(bucket, "reshuffleFetch") // early reshuffles start at emitFrom
 	claim(&s.readClaims, bucket)
 	out := p.addOut(s, InvalidBlock, false)
 	s.jobs = append(s.jobs, pipeJob{kind: jobOpen, bucket: bucket, slot: int32(slot), out: out})
@@ -737,6 +883,32 @@ func (pp pipePlane) takeStash(id BlockID) blockRef {
 
 func (pp pipePlane) writeReal(bucket int64, slot int, src blockRef) {
 	p, s := pp.p, pp.p.cur
+	// Treetop elision: the eviction rewrites every slot of every path
+	// bucket regardless of contents; absorbing the cached levels'
+	// uniform writes into controller memory (sealed under the counter
+	// reserved here at flush time) changes no bus-visible behaviour,
+	// and the branch keys on the public bucket index.
+	if tt := p.ring.tt; tt.cached(bucket) {
+		i := tt.index(bucket, slot)
+		var ctr uint64
+		if p.crypt != nil {
+			// Reserve the write counter now, in serial order, so the
+			// flush seals the same bytes the uncached controller wrote.
+			p.crypt.writeCtr++
+			ctr = p.crypt.writeCtr
+		}
+		// Swap in a fresh buffer instead of mutating in place: older
+		// in-flight readers captured the previous buffer, which recycles
+		// only after this slot retires.
+		dst := p.ring.getBlockBuf()
+		p.deferRecycle(tt.buf[i], s.seq)
+		tt.buf[i] = dst
+		tt.ctr[i] = ctr
+		tt.state[i] = ttReal
+		tt.writerSeq[i] = s.seq
+		s.jobs = append(s.jobs, pipeJob{kind: jobCacheStore, out: src.tok, src: src.buf, dst: dst})
+		return
+	}
 	claim(&s.writeClaims, bucket)
 	if p.crypt != nil {
 		// Reserve the write counter now, in serial order: the sealed
@@ -750,6 +922,17 @@ func (pp pipePlane) writeReal(bucket int64, slot int, src blockRef) {
 
 func (pp pipePlane) writeDummy(bucket int64, slot int, epoch int) {
 	p, s := pp.p, pp.p.cur
+	if tt := p.ring.tt; tt.cached(bucket) {
+		// Pure metadata: the dummy ciphertext is deterministic from
+		// (bucket, slot, epoch) and regenerates at flush time.
+		i := tt.index(bucket, slot)
+		p.deferRecycle(tt.buf[i], s.seq)
+		tt.buf[i] = nil
+		tt.state[i] = ttDummy
+		tt.epoch[i] = int32(epoch)
+		tt.writerSeq[i] = 0
+		return
+	}
 	claim(&s.writeClaims, bucket)
 	if p.crypt != nil {
 		s.jobs = append(s.jobs, pipeJob{kind: jobSealDummy, bucket: bucket, slot: int32(slot), epoch: int32(epoch)})

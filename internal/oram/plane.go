@@ -71,6 +71,15 @@ func serialRef(buf []byte) blockRef { return blockRef{buf: buf, tok: -1} }
 // --- serial plane: the Ring performs data movement inline ---
 
 func (r *Ring) fetchToStash(bucket int64, slot int, id BlockID, p PathID) {
+	// Treetop elision: every access's path crosses every cached level,
+	// so serving those uniform per-level operations from controller
+	// memory instead of the bus is invisible to the adversary (the op
+	// trace already excludes cached levels); the branch keys on the
+	// bucket index, which the emitted op list makes public.
+	if r.tt.cached(bucket) {
+		r.ttFetchSerial(bucket, slot, id, p)
+		return
+	}
 	data, err := r.readSlotData(bucket, slot)
 	if err != nil {
 		panic(err) // corrupt store contents; unreachable with MemStore
@@ -83,6 +92,7 @@ func (r *Ring) xorReset() { r.scr.xorAcc = r.scr.xorAcc[:0] }
 // xorFoldSlot folds one selected slot's ciphertext into the XOR
 // accumulator, canceling deterministic dummy ciphertexts as it goes.
 func (r *Ring) xorFoldSlot(bucket int64, slot int, isDummy bool, epoch int) {
+	r.ttAssertUncached(bucket, "xorFoldSlot") // XOR folding starts at emitFrom
 	sealed := r.store.ReadSlot(bucket, slot)
 	if sealed == nil {
 		// A never-written slot contributes nothing, and the controller
@@ -109,6 +119,7 @@ func (r *Ring) xorFinishToStash(id BlockID, p PathID) {
 }
 
 func (r *Ring) reshuffleFetch(bucket int64, slot int) blockRef {
+	r.ttAssertUncached(bucket, "reshuffleFetch") // early reshuffles start at emitFrom
 	data, err := r.readSlotData(bucket, slot)
 	if err != nil {
 		panic(err)
@@ -121,10 +132,23 @@ func (r *Ring) takeStash(id BlockID) blockRef {
 }
 
 func (r *Ring) writeReal(bucket int64, slot int, src blockRef) {
+	// Treetop elision: the eviction rewrites every slot of every bucket
+	// on its path regardless of contents, so absorbing the cached
+	// levels' uniform writes into controller memory (flushed sealed
+	// under reserved counters at snapshot epochs) changes no
+	// bus-visible behaviour; the bucket index is public.
+	if r.tt.cached(bucket) {
+		r.ttWriteRealSerial(bucket, slot, src.buf)
+		return
+	}
 	r.store.WriteSlot(bucket, slot, r.sealedForStore(src.buf))
 }
 
 func (r *Ring) writeDummy(bucket int64, slot int, epoch int) {
+	if r.tt.cached(bucket) {
+		r.ttWriteDummySerial(bucket, slot, epoch)
+		return
+	}
 	if r.crypt != nil {
 		// Dummies seal deterministically per (bucket, slot, epoch) so
 		// XOR reads can cancel them; each epoch is written once, so

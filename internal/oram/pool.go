@@ -1,0 +1,148 @@
+package oram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPool is a shared data-plane worker pool. Several Pipelines —
+// typically one per server shard — register with one pool so that k
+// in-flight accesses across N shards can occupy every core, instead of
+// each shard capping throughput at its private worker count while the
+// other shards' workers idle.
+//
+// Dispatch is FIFO per pipeline with work stealing across pipelines:
+// each worker prefers the pipeline at its own affinity index and scans
+// the others when that queue is empty. FIFO order per pipeline is what
+// keeps the pool deadlock-free for any worker count ≥ 1: a slot's
+// dependencies always point at earlier admissions of the same pipeline
+// (never across pipelines — each pipeline owns its Ring and store), and
+// those were enqueued earlier, so a worker blocked in waitDeps is
+// always waiting on a slot that another worker has already picked up or
+// that sits ahead of every blocked slot in its queue.
+type WorkerPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues []*poolQueue
+	closed bool
+	wg     sync.WaitGroup
+
+	executed atomic.Uint64
+	stolen   atomic.Uint64
+}
+
+// poolQueue is one registered pipeline's FIFO of dispatched slots.
+type poolQueue struct {
+	p    *Pipeline
+	q    []*pipeSlot `oramlint:"scratch"`
+	head int
+}
+
+// NewWorkerPool starts a pool with the given number of workers
+// (default: NumCPU).
+func NewWorkerPool(workers int) *WorkerPool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	wp := &WorkerPool{}
+	wp.cond = sync.NewCond(&wp.mu)
+	wp.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go wp.worker(i) //oramlint:allow gostmt pool workers only execute data jobs pre-recorded by each pipeline's serial admission pass; protocol decisions and RNG consumption stay on the controller goroutines
+	}
+	return wp
+}
+
+// Stats returns how many slots the pool has executed and how many of
+// those were stolen from a pipeline other than the worker's preferred
+// one — a direct read on whether cross-shard stealing is happening.
+func (wp *WorkerPool) Stats() (executed, stolen uint64) {
+	return wp.executed.Load(), wp.stolen.Load()
+}
+
+// Close stops the workers. Every registered Pipeline must be closed
+// first (Pipeline.Close drains, so no queued work can remain).
+func (wp *WorkerPool) Close() {
+	wp.mu.Lock()
+	wp.closed = true
+	wp.mu.Unlock()
+	wp.cond.Broadcast()
+	wp.wg.Wait()
+}
+
+// register adds a pipeline and returns its queue handle.
+func (wp *WorkerPool) register(p *Pipeline) *poolQueue {
+	pq := &poolQueue{p: p}
+	wp.mu.Lock()
+	wp.queues = append(wp.queues, pq)
+	wp.mu.Unlock()
+	return pq
+}
+
+// unregister removes a drained pipeline's queue.
+func (wp *WorkerPool) unregister(p *Pipeline) {
+	wp.mu.Lock()
+	for i, pq := range wp.queues {
+		if pq.p == p {
+			wp.queues = append(wp.queues[:i], wp.queues[i+1:]...)
+			break
+		}
+	}
+	wp.mu.Unlock()
+}
+
+// submit enqueues a dispatched slot on the pipeline's FIFO.
+func (wp *WorkerPool) submit(pq *poolQueue, s *pipeSlot) {
+	wp.mu.Lock()
+	pq.q = append(pq.q, s)
+	wp.mu.Unlock()
+	wp.cond.Signal()
+}
+
+// worker scans the registered queues starting at its affinity index,
+// pops the front of the first non-empty one, and runs the slot.
+func (wp *WorkerPool) worker(aff int) {
+	defer wp.wg.Done()
+	for {
+		wp.mu.Lock()
+		var pq *poolQueue
+		stolen := false
+		for {
+			if n := len(wp.queues); n > 0 {
+				for off := 0; off < n; off++ {
+					q := wp.queues[(aff+off)%n]
+					if q.head < len(q.q) {
+						pq, stolen = q, off != 0
+						break
+					}
+				}
+			}
+			if pq != nil {
+				break
+			}
+			if wp.closed {
+				wp.mu.Unlock()
+				return
+			}
+			wp.cond.Wait()
+		}
+		s := pq.q[pq.head]
+		pq.q[pq.head] = nil
+		pq.head++
+		if pq.head == len(pq.q) {
+			// Reslice in place: the backing array is the steady-state
+			// allocation.
+			pq.q = pq.q[:0]
+			pq.head = 0
+		}
+		pipe := pq.p
+		wp.mu.Unlock()
+
+		wp.executed.Add(1)
+		if stolen {
+			wp.stolen.Add(1)
+		}
+		pipe.runSlot(s)
+	}
+}

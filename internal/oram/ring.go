@@ -48,6 +48,13 @@ type Options struct {
 	// incompatible with Compact Bucket (Y must be 0: a green block is a
 	// second real block in the combination, which cannot be separated).
 	XOR bool
+	// TreetopCache holds the top TreeTopCacheLevels levels' block
+	// contents decrypted in controller memory (see treetop.go): cached
+	// levels cost neither store I/O nor AES, and dirty slots flush
+	// sealed under their reserved counters at snapshot time. Requires
+	// Store. The protocol trace is unchanged — the op-trace elision for
+	// those levels (emitFrom) exists with or without the data cache.
+	TreetopCache bool
 }
 
 // ringScratch groups the buffers the controller reuses across accesses so
@@ -135,6 +142,9 @@ type Ring struct {
 	// serial operation, a pipePlane while a Pipeline is attached.
 	dp dataPlane
 
+	// tt is the treetop data cache (nil when disabled); see treetop.go.
+	tt *treetopCache
+
 	pathBuf []int64 // scratch for path walks
 	scr     ringScratch
 }
@@ -175,6 +185,11 @@ func NewRing(cfg config.ORAM, seed uint64, opts *Options) (*Ring, error) {
 	r.warmSeed = root.Uint64()
 	r.nextFiller = FillerBase
 	r.dp = r
+	if opts.TreetopCache {
+		if err := r.EnableTreetop(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -606,6 +621,14 @@ func (r *Ring) access(id BlockID, write bool, data []byte, forcedPath *PathID, u
 	}
 	if r.onSample != nil {
 		r.onSample(r.stash.Len())
+	}
+	if invariant.Enabled {
+		if _, serial := r.dp.(*Ring); serial {
+			// Treetop consistency: cached plaintext must always match a
+			// fresh decrypted read of the same buckets (pipelined rings
+			// check at Drain, when the data plane is quiescent).
+			r.verifyTreetop()
+		}
 	}
 	occ := int64(r.stash.Len())
 	r.ins.Accesses.Inc()

@@ -76,6 +76,11 @@ type ringSnap struct {
 // Save fails for rings with a custom (non-MemStore) store: external
 // storage persists independently and the caller re-attaches it on Load.
 func (r *Ring) Save(w io.Writer) error {
+	// A treetop cache may hold dirty slots whose store bytes are stale;
+	// seal them back under their reserved counters first so the
+	// serialized store is bit-identical to an uncached controller's.
+	// (With a Pipeline attached the caller must have drained it.)
+	r.flushTreetop()
 	snap := ringSnap{
 		Version:    snapshotVersion,
 		Cfg:        r.cfg,

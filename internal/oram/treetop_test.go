@@ -1,0 +1,512 @@
+package oram
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"stringoram/internal/config"
+	"stringoram/internal/invariant"
+)
+
+// newTreetopRing builds a functional ring with the treetop data cache
+// enabled for one of the protocol variants the equivalence tests cover.
+func newTreetopRing(t *testing.T, cfg config.ORAM, seed uint64, xor, plain bool) *Ring {
+	t.Helper()
+	opts := &Options{Store: NewMemStore(cfg.SlotsPerBucket()), XOR: xor, TreetopCache: true}
+	if !plain {
+		crypt, err := NewCrypt(testKey(), cfg.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Crypt = crypt
+	}
+	r, err := NewRing(cfg, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TreetopEnabled() {
+		t.Fatal("treetop cache did not enable")
+	}
+	return r
+}
+
+// treetopVariants are the protocol variants the cache must be invisible
+// to: Compact Bucket with greens, the XOR technique, and a plaintext
+// store.
+var treetopVariants = []struct {
+	name  string
+	xor   bool
+	plain bool
+	y     int
+}{
+	{name: "compact", y: 2},
+	{name: "xor", xor: true, y: 0},
+	{name: "plaintext", plain: true, y: 0},
+}
+
+// TestTreetopSerialEquivalence is the cache's core oracle: a serial ring
+// with the treetop cache enabled must return byte-identical responses,
+// emit identical op lists, and Save a byte-identical checkpoint (the
+// flush re-seals dirty slots under their reserved counters, so even the
+// sealed store bytes match) versus an uncached ring fed the same trace.
+func TestTreetopSerialEquivalence(t *testing.T) {
+	const seed = 0x7e340
+	for _, v := range treetopVariants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := smallCfg(v.y)
+			trace := genTrace(800, 0xcac4e+uint64(len(v.name)))
+
+			plainOpts := &Options{Store: NewMemStore(cfg.SlotsPerBucket()), XOR: v.xor}
+			if !v.plain {
+				crypt, err := NewCrypt(testKey(), cfg.BlockSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plainOpts.Crypt = crypt
+			}
+			uncached, err := NewRing(cfg, seed, plainOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runSerialTrace(t, uncached, cfg, trace)
+
+			cached := newTreetopRing(t, cfg, seed, v.xor, v.plain)
+			got := runSerialTrace(t, cached, cfg, trace)
+
+			for i := range want {
+				if (want[i].err == nil) != (got[i].err == nil) {
+					t.Fatalf("step %d: error mismatch: uncached %v, cached %v", i, want[i].err, got[i].err)
+				}
+				if !bytes.Equal(want[i].data, got[i].data) {
+					t.Fatalf("step %d (%+v): cached response diverged", i, trace[i])
+				}
+				if !opsEqual(want[i].ops, got[i].ops) {
+					t.Fatalf("step %d (%+v): cached op list diverged", i, trace[i])
+				}
+			}
+			if !bytes.Equal(saveBytes(t, uncached), saveBytes(t, cached)) {
+				t.Fatal("cached ring's checkpoint diverged from the uncached oracle")
+			}
+		})
+	}
+}
+
+// TestTreetopPipelineEquivalence runs the cached ring under the
+// concurrent controller at several depths (including the depth-1 inline
+// fast path) and against a shared WorkerPool, comparing responses, op
+// lists and the final checkpoint to an uncached serial oracle.
+func TestTreetopPipelineEquivalence(t *testing.T) {
+	shapes := []struct {
+		depth, workers int
+		pool           bool
+	}{
+		{depth: 1, workers: 1}, // inline fast path
+		{depth: 2, workers: 2},
+		{depth: 4, workers: 2},
+		{depth: 8, workers: 4},
+		{depth: 8, workers: 4, pool: true}, // shared work-stealing pool
+	}
+	const seed = 0x7e341
+	for _, v := range treetopVariants {
+		cfg := smallCfg(v.y)
+		trace := genTrace(800, 0xbeef1+uint64(len(v.name)))
+		plainOpts := &Options{Store: NewMemStore(cfg.SlotsPerBucket()), XOR: v.xor}
+		if !v.plain {
+			crypt, err := NewCrypt(testKey(), cfg.BlockSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainOpts.Crypt = crypt
+		}
+		uncached, err := NewRing(cfg, seed, plainOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runSerialTrace(t, uncached, cfg, trace)
+		wantSave := saveBytes(t, uncached)
+		for _, sh := range shapes {
+			name := fmt.Sprintf("%s/k%dw%d", v.name, sh.depth, sh.workers)
+			if sh.pool {
+				name += "-pool"
+			}
+			t.Run(name, func(t *testing.T) {
+				cached := newTreetopRing(t, cfg, seed, v.xor, v.plain)
+				var got []accessResult
+				opt := PipelineOptions{
+					Depth: sh.depth, Workers: sh.workers,
+					Done: func(ctx any, data []byte, ops []Op, err error) {
+						got = append(got, accessResult{data: bytes.Clone(data), ops: cloneOps(ops), err: err})
+					},
+				}
+				var pool *WorkerPool
+				if sh.pool {
+					pool = NewWorkerPool(sh.workers)
+					opt.Pool = pool
+				}
+				p, err := AttachPipeline(cached, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, st := range trace {
+					var data []byte
+					if st.write {
+						data = blockData(cfg, st.id, st.ver)
+					}
+					if err := p.Submit(nil, st.id, st.write, data); err != nil {
+						t.Fatal(err)
+					}
+				}
+				p.Close()
+				if pool != nil {
+					executed, _ := pool.Stats()
+					pool.Close()
+					if executed == 0 {
+						t.Fatal("shared pool executed no slots")
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("pipeline delivered %d results, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if (want[i].err == nil) != (got[i].err == nil) {
+						t.Fatalf("step %d: error mismatch: serial %v, pipelined %v", i, want[i].err, got[i].err)
+					}
+					if !bytes.Equal(want[i].data, got[i].data) {
+						t.Fatalf("step %d (%+v): response diverged", i, trace[i])
+					}
+					if !opsEqual(want[i].ops, got[i].ops) {
+						t.Fatalf("step %d (%+v): op list diverged", i, trace[i])
+					}
+				}
+				if !bytes.Equal(wantSave, saveBytes(t, cached)) {
+					t.Fatal("final ring state diverged from the uncached serial oracle")
+				}
+			})
+		}
+	}
+}
+
+// storeOp is one bus-visible physical store access.
+type storeOp struct {
+	write  bool
+	bucket int64
+	slot   int
+}
+
+// traceStore records every ReadSlot/WriteSlot crossing the bus.
+type traceStore struct {
+	inner Store
+	log   []storeOp
+}
+
+func (ts *traceStore) ReadSlot(bucket int64, slot int) []byte {
+	ts.log = append(ts.log, storeOp{bucket: bucket, slot: slot})
+	return ts.inner.ReadSlot(bucket, slot)
+}
+
+func (ts *traceStore) WriteSlot(bucket int64, slot int, sealed []byte) {
+	ts.log = append(ts.log, storeOp{write: true, bucket: bucket, slot: slot})
+	ts.inner.WriteSlot(bucket, slot, sealed)
+}
+
+// TestTreetopStoreTraceGolden pins the cache's bus contract directly:
+// the cached ring's physical store trace must equal the uncached ring's
+// trace with exactly the cached-bucket accesses removed — nothing else
+// reordered, added or dropped. This is the golden-trace form of the
+// security argument: the elided operations are precisely the uniform
+// per-level accesses every path access performs at the cached levels.
+func TestTreetopStoreTraceGolden(t *testing.T) {
+	const seed = 0x90fda
+	cfg := smallCfg(2)
+	trace := genTrace(400, 0x61de)
+	nCached := (int64(1) << uint(cfg.TreeTopCacheLevels)) - 1
+
+	build := func(cacheOn bool) (*Ring, *traceStore) {
+		ts := &traceStore{inner: NewMemStore(cfg.SlotsPerBucket())}
+		crypt, err := NewCrypt(testKey(), cfg.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRing(cfg, seed, &Options{Store: ts, Crypt: crypt, TreetopCache: cacheOn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Construction (warm fill, cache warming) touches the store;
+		// compare only the serving-time trace.
+		ts.log = ts.log[:0]
+		return r, ts
+	}
+
+	uncached, uncachedTS := build(false)
+	runSerialTrace(t, uncached, cfg, trace)
+	cached, cachedTS := build(true)
+	runSerialTrace(t, cached, cfg, trace)
+
+	var wantFiltered []storeOp
+	elided := 0
+	for _, op := range uncachedTS.log {
+		if op.bucket < nCached {
+			elided++
+			continue
+		}
+		wantFiltered = append(wantFiltered, op)
+	}
+	if elided == 0 {
+		t.Fatal("uncached trace touched no cached-level buckets; the golden comparison is vacuous")
+	}
+	if len(cachedTS.log) != len(wantFiltered) {
+		t.Fatalf("cached trace has %d store ops, want %d (uncached %d minus %d cached-level ops)",
+			len(cachedTS.log), len(wantFiltered), len(uncachedTS.log), elided)
+	}
+	for i := range wantFiltered {
+		if cachedTS.log[i] != wantFiltered[i] {
+			t.Fatalf("store op %d: cached %+v, want %+v", i, cachedTS.log[i], wantFiltered[i])
+		}
+	}
+	for _, op := range cachedTS.log {
+		if op.bucket < nCached {
+			t.Fatalf("cached ring touched cached-level bucket %d on the bus", op.bucket)
+		}
+	}
+}
+
+// TestTreetopSnapshotRoundTrip checks the flush discipline end to end:
+// a checkpoint taken while the cache is dirty must be bit-identical to
+// the uncached oracle's; a ring restored from it (cache re-enabled)
+// must continue bit-identically through more traffic and a second
+// checkpoint.
+func TestTreetopSnapshotRoundTrip(t *testing.T) {
+	const seed = 0x5a7e
+	cfg := smallCfg(2)
+	trace := genTrace(600, 0x40dd)
+
+	crypt, err := NewCrypt(testKey(), cfg.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := NewRing(cfg, seed, &Options{Store: NewMemStore(cfg.SlotsPerBucket()), Crypt: crypt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := newTreetopRing(t, cfg, seed, false, false)
+
+	runSerialTrace(t, uncached, cfg, trace[:300])
+	runSerialTrace(t, cached, cfg, trace[:300])
+
+	// Mid-stream: the cache holds dirty slots now. Save must flush them
+	// into a checkpoint identical to the uncached controller's.
+	wantSnap := saveBytes(t, uncached)
+	gotSnap := saveBytes(t, cached)
+	if !bytes.Equal(wantSnap, gotSnap) {
+		t.Fatal("dirty-cache checkpoint diverged from the uncached oracle")
+	}
+
+	restored, err := Load(bytes.NewReader(gotSnap), testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.EnableTreetop(); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.TreetopEnabled() {
+		t.Fatal("treetop cache did not re-enable after Load")
+	}
+
+	wantTail := runSerialTrace(t, uncached, cfg, trace[300:])
+	gotTail := runSerialTrace(t, restored, cfg, trace[300:])
+	for i := range wantTail {
+		if !bytes.Equal(wantTail[i].data, gotTail[i].data) {
+			t.Fatalf("post-restore step %d: response diverged", i)
+		}
+		if !opsEqual(wantTail[i].ops, gotTail[i].ops) {
+			t.Fatalf("post-restore step %d: op list diverged", i)
+		}
+	}
+	if !bytes.Equal(saveBytes(t, uncached), saveBytes(t, restored)) {
+		t.Fatal("post-restore checkpoint diverged from the uncached oracle")
+	}
+}
+
+// TestTreetopEnableGuards pins EnableTreetop's preconditions.
+func TestTreetopEnableGuards(t *testing.T) {
+	cfg := smallCfg(2)
+	timing, err := NewRing(cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := timing.EnableTreetop(); err == nil {
+		t.Fatal("EnableTreetop accepted a timing-only ring")
+	}
+
+	r := newFunctionalRing(t, cfg, 2)
+	p, err := AttachPipeline(r, PipelineOptions{Done: func(any, []byte, []Op, error) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnableTreetop(); err == nil {
+		t.Fatal("EnableTreetop accepted a ring with a pipeline attached")
+	}
+	p.Close()
+	if err := r.EnableTreetop(); err != nil {
+		t.Fatalf("EnableTreetop after pipeline detach: %v", err)
+	}
+	if err := r.EnableTreetop(); err != nil {
+		t.Fatalf("EnableTreetop is not idempotent: %v", err)
+	}
+
+	// C = 0 is a documented no-op, not an error.
+	cfg0 := smallCfg(2)
+	cfg0.TreeTopCacheLevels = 0
+	r0 := newFunctionalRing(t, cfg0, 3)
+	if err := r0.EnableTreetop(); err != nil {
+		t.Fatal(err)
+	}
+	if r0.TreetopEnabled() {
+		t.Fatal("TreetopEnabled() true with TreeTopCacheLevels = 0")
+	}
+}
+
+// TestTreetopLevelsForBudget pins the budget sizing rule.
+func TestTreetopLevelsForBudget(t *testing.T) {
+	cfg := smallCfg(2) // 8 slots/bucket × 32 B = 256 B per bucket
+	per := int64(cfg.SlotsPerBucket()) * int64(cfg.BlockSize)
+	cases := []struct {
+		budget int64
+		want   int
+	}{
+		{0, 0},
+		{per - 1, 0},
+		{per, 1},       // 1 bucket fits
+		{3*per - 1, 1}, // 3 buckets (levels 0..1) just misses
+		{3 * per, 2},
+		{1 << 40, cfg.Levels - 1}, // capped below the full tree
+	}
+	for _, c := range cases {
+		if got := TreetopLevelsForBudget(cfg, c.budget); got != c.want {
+			t.Fatalf("TreetopLevelsForBudget(%d) = %d, want %d", c.budget, got, c.want)
+		}
+	}
+}
+
+// TestTreetopWorkerPoolSharedRings drives several cached rings, each
+// with its own pipeline, over one shared WorkerPool — the server's
+// multi-shard shape — and checks every ring's final state against its
+// serial twin. Interleaving admissions across rings exercises the
+// work-stealing scan.
+func TestTreetopWorkerPoolSharedRings(t *testing.T) {
+	const nRings = 3
+	const seed = 0xfeed0
+	cfg := smallCfg(2)
+	pool := NewWorkerPool(4)
+	defer pool.Close()
+
+	type lane struct {
+		serial *Ring
+		piped  *Ring
+		p      *Pipeline
+		trace  []traceStep
+		got    []accessResult
+		want   []accessResult
+	}
+	lanes := make([]*lane, nRings)
+	for i := range lanes {
+		l := &lane{trace: genTrace(400, 0x1111*uint64(i+1))}
+		l.serial = newTreetopRing(t, cfg, seed+uint64(i), false, false)
+		l.want = runSerialTrace(t, l.serial, cfg, l.trace)
+		l.piped = newTreetopRing(t, cfg, seed+uint64(i), false, false)
+		p, err := AttachPipeline(l.piped, PipelineOptions{
+			Depth: 8,
+			Pool:  pool,
+			Done: func(ctx any, data []byte, ops []Op, err error) {
+				l.got = append(l.got, accessResult{data: bytes.Clone(data), ops: cloneOps(ops), err: err})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.p = p
+		lanes[i] = l
+	}
+	// Round-robin admission keeps all rings' queues live at once.
+	for step := 0; step < 400; step++ {
+		for _, l := range lanes {
+			st := l.trace[step]
+			var data []byte
+			if st.write {
+				data = blockData(cfg, st.id, st.ver)
+			}
+			if err := l.p.Submit(nil, st.id, st.write, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, l := range lanes {
+		l.p.Close()
+	}
+	executed, _ := pool.Stats()
+	if executed == 0 {
+		t.Fatal("pool executed no slots")
+	}
+	for i, l := range lanes {
+		if len(l.got) != len(l.want) {
+			t.Fatalf("ring %d: %d results, want %d", i, len(l.got), len(l.want))
+		}
+		for j := range l.want {
+			if !bytes.Equal(l.want[j].data, l.got[j].data) {
+				t.Fatalf("ring %d step %d: response diverged", i, j)
+			}
+		}
+		if !bytes.Equal(saveBytes(t, l.serial), saveBytes(t, l.piped)) {
+			t.Fatalf("ring %d: final state diverged from serial twin", i)
+		}
+	}
+}
+
+// TestTreetopAllocFree extends the zero-alloc contract to the cached
+// data plane: once the cache, slot scratch and pools are warm, cached
+// pipelined Submit+Drain cycles allocate nothing.
+func TestTreetopAllocFree(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate; the zero-alloc guarantee binds on the default build")
+	}
+	cfg := smallCfg(2)
+	r := newTreetopRing(t, cfg, 7, false, false)
+	p, err := AttachPipeline(r, PipelineOptions{
+		Depth: 8, Workers: 4,
+		Done: func(any, []byte, []Op, error) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	trace := genTrace(4000, 0xa110d)
+	writeBuf := make([]byte, cfg.BlockSize)
+	run := func(steps []traceStep) {
+		for _, st := range steps {
+			var data []byte
+			if st.write {
+				for i := range writeBuf { // blockData would allocate
+					writeBuf[i] = byte(int(st.id)*31 + st.ver*7 + i)
+				}
+				data = writeBuf
+			}
+			if err := p.Submit(nil, st.id, st.write, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Drain()
+	}
+	run(trace[:2000]) // warm the cache's buffer swaps, job lists, pools
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run(trace[2000:])
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / 2000
+	if allocs > 0.05 {
+		t.Fatalf("cached pipelined access allocates %.3f objects/op in steady state, want ~0", allocs)
+	}
+}

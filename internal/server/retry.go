@@ -35,8 +35,10 @@ var DefaultRetryPolicy = RetryPolicy{
 	Jitter:      0.5,
 }
 
-// withDefaults fills zero fields from DefaultRetryPolicy.
-func (p RetryPolicy) withDefaults() RetryPolicy {
+// WithDefaults returns the policy with zero fields filled from
+// DefaultRetryPolicy. Do applies it automatically; callers hand-rolling
+// a retry loop around Delay should apply it once up front.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
 	d := DefaultRetryPolicy
 	if p.MaxAttempts > 0 {
 		d.MaxAttempts = p.MaxAttempts
@@ -53,9 +55,10 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return d
 }
 
-// delay returns the backoff before attempt i (0-based; attempt 0 runs
-// immediately).
-func (p RetryPolicy) delay(i int) time.Duration {
+// Delay returns the backoff before attempt i (0-based; attempt 0 runs
+// immediately). Exposed so hot paths can hand-roll the Do loop without
+// the per-call closure Do requires.
+func (p RetryPolicy) Delay(i int) time.Duration {
 	if i <= 0 {
 		return 0
 	}
@@ -75,10 +78,10 @@ func (p RetryPolicy) delay(i int) time.Duration {
 // policy is exhausted (the last retryable error is wrapped and
 // returned, so Retryable still recognizes it).
 func (p RetryPolicy) Do(f func() error) error {
-	p = p.withDefaults()
+	p = p.WithDefaults()
 	var err error
 	for i := 0; i < p.MaxAttempts; i++ {
-		time.Sleep(p.delay(i))
+		time.Sleep(p.Delay(i))
 		if err = f(); err == nil || !Retryable(err) {
 			return err
 		}
@@ -90,13 +93,13 @@ func (p RetryPolicy) Do(f func() error) error {
 // (a restarting daemon) count as retryable alongside the usual typed
 // errors.
 func DialRetry(addr string, p RetryPolicy) (*Client, error) {
-	p = p.withDefaults()
+	p = p.WithDefaults()
 	var (
 		c   *Client
 		err error
 	)
 	for i := 0; i < p.MaxAttempts; i++ {
-		time.Sleep(p.delay(i))
+		time.Sleep(p.Delay(i))
 		c, err = Dial(addr)
 		if err == nil {
 			return c, nil

@@ -112,13 +112,26 @@ type Config struct {
 	// MaxBatch caps how many queued requests one worker wakeup drains.
 	// 1 disables batching (strict arrival-order determinism).
 	MaxBatch int
-	// Pipeline, when >1, attaches the concurrent ORAM controller to each
-	// shard with that many in-flight access slots (oram.AttachPipeline's
-	// k): the worker admits a whole batch back to back and the accesses'
-	// data movement overlaps on worker goroutines, while the bus-visible
-	// schedule, sealed bytes and final tree state stay bit-identical to
-	// serial serving. 0 or 1 serves strictly serially.
+	// Pipeline, when >=1, attaches the concurrent ORAM controller to
+	// each shard with that many in-flight access slots
+	// (oram.AttachPipeline's k): the worker admits a whole batch back to
+	// back and the accesses' data movement overlaps on worker
+	// goroutines, while the bus-visible schedule, sealed bytes and final
+	// tree state stay bit-identical to serial serving. 1 selects the
+	// pipeline's inline fast path (jobs execute on the worker goroutine,
+	// no ledger); 0 serves strictly serially without a controller.
 	Pipeline int
+	// Workers sizes the shared data-plane worker pool used when Pipeline
+	// > 1. All shards' pipelines feed one work-stealing pool, so k
+	// in-flight accesses across N shards can occupy every core instead
+	// of capping at a per-shard worker count. 0 means NumCPU.
+	Workers int
+	// TreetopCache, when true, enables each shard Ring's treetop data
+	// cache: the top TreeTopCacheLevels levels are held decrypted in
+	// controller memory, so accesses touching them skip store I/O and
+	// AES entirely (see oram.Ring.EnableTreetop for the security
+	// argument).
+	TreetopCache bool
 	// ORAM configures each shard's Ring. Zero value: DefaultORAM(12).
 	ORAM config.ORAM
 	// Seed derives every shard's protocol randomness; shard i uses
@@ -294,6 +307,11 @@ type Server struct {
 	reg *obs.Registry // never nil after New (cfg.Obs or private)
 	rec *obs.Recorder // wall-clock batch spans (µs since start)
 
+	// pool is the shared data-plane worker pool every pipelined shard's
+	// controller feeds (nil when Pipeline <= 1: serial and inline shards
+	// run no workers).
+	pool *oram.WorkerPool
+
 	scrapeMu  sync.Mutex // serializes Metrics; guards scrapeBuf
 	scrapeBuf []float64  // reused latency-sample merge buffer
 
@@ -326,7 +344,7 @@ type shard struct {
 	serving atomic.Bool
 
 	ring        *oram.Ring
-	pipe        *oram.Pipeline // non-nil when cfg.Pipeline > 1
+	pipe        *oram.Pipeline // non-nil when cfg.Pipeline >= 1
 	dir         map[string]oram.BlockID
 	nextID      oram.BlockID
 	appliedSeq  uint64 // sequence number of the last applied write (worker-owned)
@@ -355,6 +373,15 @@ func New(cfg Config) (*Server, error) {
 		s.reg = obs.NewRegistry()
 	}
 	s.rec = obs.NewRecorder("wall_us", serverFlightRecCap)
+	if cfg.Pipeline > 1 {
+		s.pool = oram.NewWorkerPool(cfg.Workers)
+		s.reg.GaugeFunc(`server_pool_executed`,
+			"Data-plane slots executed by the shared worker pool.",
+			func() float64 { n, _ := s.pool.Stats(); return float64(n) })
+		s.reg.GaugeFunc(`server_pool_stolen`,
+			"Pool slots executed by a worker stealing from a non-preferred shard.",
+			func() float64 { _, n := s.pool.Stats(); return float64(n) })
+	}
 
 	restore, err := snapshotsPresent(cfg.SnapshotDir, cfg.ShardIDs)
 	if err != nil {
@@ -424,12 +451,13 @@ func (s *Server) buildShard(id int, snap []byte) (*shard, error) {
 		}(id))
 	sh.blockSize = sh.ring.Config().BlockSize
 	sh.encBuf = make([]byte, sh.blockSize)
-	if cfg.Pipeline > 1 {
+	if cfg.Pipeline >= 1 {
 		pins := oram.NewPipelineInstruments(s.reg, fmt.Sprintf(`shard="%d"`, id))
 		pins.Recorder = s.rec
 		pins.Clock = func() int64 { return time.Since(s.start).Microseconds() }
 		pipe, err := oram.AttachPipeline(sh.ring, oram.PipelineOptions{
 			Depth: cfg.Pipeline,
+			Pool:  s.pool,
 			Done: func(ctx any, data []byte, ops []oram.Op, err error) {
 				sh.finish(ctx.(*request), data, ops, err)
 			},
@@ -456,7 +484,10 @@ func (s *Server) queueDepth(id int) int {
 
 // fresh builds shard i's Ring from scratch.
 func (sh *shard) fresh(cfg Config, i int) error {
-	opts := &oram.Options{Store: oram.NewMemStore(cfg.ORAM.SlotsPerBucket())}
+	opts := &oram.Options{
+		Store:        oram.NewMemStore(cfg.ORAM.SlotsPerBucket()),
+		TreetopCache: cfg.TreetopCache,
+	}
 	if cfg.Key != nil {
 		crypt, err := oram.NewCrypt(cfg.Key, cfg.ORAM.BlockSize)
 		if err != nil {
@@ -793,6 +824,11 @@ func (s *Server) Close() error {
 		close(sh.reqs)
 	}
 	s.wg.Wait()
+	if s.pool != nil {
+		// Every shard worker has exited, so every pipeline is closed and
+		// unregistered; the pool has no queued work left.
+		s.pool.Close()
+	}
 	if s.cfg.SnapshotDir == "" {
 		return nil
 	}
@@ -1190,6 +1226,13 @@ func (sh *shard) restoreBytes(data []byte, cfg Config) error {
 	ring, err := oram.Load(bytes.NewReader(snap.Ring), cfg.Key)
 	if err != nil {
 		return fmt.Errorf("server: shard %d restore: %w", sh.id, err)
+	}
+	if cfg.TreetopCache {
+		// The checkpoint stores sealed bytes only; rebuild the decrypted
+		// treetop from them.
+		if err := ring.EnableTreetop(); err != nil {
+			return fmt.Errorf("server: shard %d restore: %w", sh.id, err)
+		}
 	}
 	sh.ring = ring
 	sh.dir = make(map[string]oram.BlockID, len(snap.Dir))

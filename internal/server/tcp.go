@@ -184,6 +184,34 @@ func (t *TCPServer) closeIdle() {
 // allocate; the slice inside keeps its grown capacity.
 var framePool = sync.Pool{New: func() any { return new([]byte) }}
 
+// tcpConn is the per-connection serving state: the response queue its
+// request goroutines feed and the in-flight bookkeeping. A named struct
+// so per-request goroutines launch as a plain method call with value
+// arguments — no per-request closure allocation.
+type tcpConn struct {
+	t        *TCPServer
+	out      chan *[]byte
+	reqWG    sync.WaitGroup
+	inflight *atomic.Int64
+}
+
+// respond encodes one response into a pooled frame and queues it.
+func (h *tcpConn) respond(r wireResponse) {
+	fp := framePool.Get().(*[]byte)
+	*fp = appendResponse((*fp)[:0], r)
+	h.out <- fp
+}
+
+// serveReq dispatches one decoded request on its own goroutine.
+func (h *tcpConn) serveReq(req wireRequest, pp *[]byte) {
+	defer h.reqWG.Done()
+	defer h.inflight.Add(-1)
+	h.respond(h.t.dispatch(req))
+	// req.Val aliases *pp; release only after the request is fully
+	// served and its response encoded.
+	framePool.Put(pp)
+}
+
 // handle serves one connection: a read loop decoding request frames,
 // one goroutine per in-flight request, and a single writer goroutine
 // serializing response frames. Payload and response buffers cycle
@@ -198,32 +226,26 @@ func (t *TCPServer) handle(conn net.Conn, inflight *atomic.Int64) {
 		conn.Close()
 	}()
 
-	out := make(chan *[]byte, 64)
+	h := &tcpConn{t: t, out: make(chan *[]byte, 64), inflight: inflight}
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
 		bw := bufio.NewWriter(conn)
-		for fp := range out {
+		for fp := range h.out {
 			_, err := bw.Write(*fp)
 			framePool.Put(fp)
 			if err != nil {
 				continue // drain; the read side will notice the dead conn
 			}
 			// Flush when no more responses are immediately pending.
-			if len(out) == 0 {
+			if len(h.out) == 0 {
 				bw.Flush()
 			}
 		}
 		bw.Flush()
 	}()
-	respond := func(r wireResponse) {
-		fp := framePool.Get().(*[]byte)
-		*fp = appendResponse((*fp)[:0], r)
-		out <- fp
-	}
 
-	var reqWG sync.WaitGroup
 	br := bufio.NewReader(conn)
 	for {
 		pp := framePool.Get().(*[]byte)
@@ -235,7 +257,7 @@ func (t *TCPServer) handle(conn net.Conn, inflight *atomic.Int64) {
 		*pp = payload
 		req, err := decodeRequest(payload)
 		if err != nil {
-			respond(wireResponse{Status: statusBad, Seq: req.Seq, Body: []byte(err.Error())})
+			h.respond(wireResponse{Status: statusBad, Seq: req.Seq, Body: []byte(err.Error())})
 			framePool.Put(pp)
 			break
 		}
@@ -244,26 +266,19 @@ func (t *TCPServer) handle(conn net.Conn, inflight *atomic.Int64) {
 			// rejected hello must close the connection before any further
 			// frame is interpreted under mismatched assumptions.
 			resp, ok := t.hello(req)
-			respond(resp)
+			h.respond(resp)
 			framePool.Put(pp)
 			if !ok {
 				break
 			}
 			continue
 		}
-		reqWG.Add(1)
+		h.reqWG.Add(1)
 		inflight.Add(1)
-		go func(req wireRequest, pp *[]byte) {
-			defer reqWG.Done()
-			defer inflight.Add(-1)
-			respond(t.dispatch(req))
-			// req.Val aliases *pp; release only after the request is
-			// fully served and its response encoded.
-			framePool.Put(pp)
-		}(req, pp)
+		go h.serveReq(req, pp)
 	}
-	reqWG.Wait()
-	close(out)
+	h.reqWG.Wait()
+	close(h.out)
 	writerWG.Wait()
 }
 
@@ -573,17 +588,25 @@ func (c *Client) Close() error {
 	return err
 }
 
+// respChanPool recycles roundTrip wait channels. A channel is returned
+// only after a value was received from it (or while it was provably
+// unreachable: removed from pending before any send could happen), so a
+// pooled channel is always empty and open. Channels closed by fail are
+// dropped on the floor instead.
+var respChanPool = sync.Pool{New: func() any { return make(chan wireResponse, 1) }}
+
 // roundTrip sends one request and waits for its response.
 func (c *Client) roundTrip(op wireOp, key string, val []byte) (wireResponse, error) {
+	ch := respChanPool.Get().(chan wireResponse)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		respChanPool.Put(ch)
 		return wireResponse{}, err
 	}
 	c.seq++
 	seq := c.seq
-	ch := make(chan wireResponse, 1)
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
@@ -600,17 +623,25 @@ func (c *Client) roundTrip(op wireOp, key string, val []byte) (wireResponse, err
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
+		_, mine := c.pending[seq]
 		delete(c.pending, seq)
 		c.mu.Unlock()
+		if mine {
+			// Still registered, so no send or close could have targeted
+			// the channel; it is empty, open, and exclusively ours.
+			respChanPool.Put(ch)
+		}
 		return wireResponse{}, err
 	}
 	resp, ok := <-ch
 	if !ok {
+		// fail closed the channel; it is poisoned, never pooled again.
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
 		return wireResponse{}, err
 	}
+	respChanPool.Put(ch)
 	return resp, nil
 }
 

@@ -17,13 +17,16 @@
 #          concurrent controller at k in {1,2,4,8} in-flight accesses;
 #          entries carry ops/s and the server's own p99 request latency
 #                                               -> BENCH_server.json
+#   cores  multi-core scaling curve: serial vs pipelined shard serving
+#          (k=8, shared worker pool) at GOMAXPROCS in {1,2,4,8}
+#                                               -> BENCH_server.json
 #   cluster multi-node serving: replicated write throughput through the
 #          router and the one-hop forward path, each with the
 #          client-observed p99                  -> BENCH_server.json
 #
 # Usage: scripts/bench.sh [label] [group]
 #   label  entry label (default: git short hash)
-#   group  sched | oram | obs | server | cluster (default: sched)
+#   group  sched | oram | obs | server | cores | cluster (default: sched)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,7 +48,7 @@ sched)
 oram)
 	out=BENCH_oram.json
 	echo "== ORAM data-plane microbenchmarks =="
-	go test -run '^$' -bench 'BenchmarkSeal$|BenchmarkAccessFunctional$|BenchmarkAccessTimingOnly$|BenchmarkEvictPath$' \
+	go test -run '^$' -bench 'BenchmarkSeal$|BenchmarkAccessFunctional$|BenchmarkAccessFunctionalCached$|BenchmarkAccessTimingOnly$|BenchmarkEvictPath$' \
 	    -benchmem -benchtime 2s ./internal/oram | tee -a "$tmp"
 
 	echo "== XOR-technique functional read benchmark =="
@@ -71,6 +74,14 @@ server)
 	go test -run '^$' -bench 'BenchmarkServerThroughput(Serial|K1|K2|K4|K8)$' \
 	    -benchmem -benchtime 2s ./internal/server | tee -a "$tmp"
 	;;
+cores)
+	out=BENCH_server.json
+	echo "== multi-core scaling curve: serial vs pipelined at GOMAXPROCS 1/2/4/8 =="
+	# Each point is its own benchmark name (the GOMAXPROCS is set inside
+	# the benchmark), so one run records the whole curve.
+	go test -run '^$' -bench 'BenchmarkServerCores(Serial|Pipelined)(1|2|4|8)$' \
+	    -benchmem -benchtime 2s ./internal/server | tee -a "$tmp"
+	;;
 cluster)
 	out=BENCH_server.json
 	echo "== cluster serving: replicated writes + forward hop (3 nodes x 2 shards) =="
@@ -78,7 +89,7 @@ cluster)
 	    -benchmem -benchtime 2s ./internal/cluster | tee -a "$tmp"
 	;;
 *)
-	echo "bench.sh: unknown group '$group' (want sched, oram, obs, server, or cluster)" >&2
+	echo "bench.sh: unknown group '$group' (want sched, oram, obs, server, cores, or cluster)" >&2
 	exit 1
 	;;
 esac

@@ -59,6 +59,12 @@ go test -count=1 \
     -run='^(TestPipelineSerialEquivalence|TestPipelineInterleavedDrain|TestServerPipelineSerialEquivalence|TestGolden)' \
     ./internal/oram ./internal/server
 
+echo "== treetop cache equivalence (serial + pipelined vs uncached oracle, -race) =="
+# Covers compact/XOR/plaintext x depths incl. the shared worker pool: the
+# cached controller must return identical data, op traces, and snapshot
+# bytes, and elide exactly the cached levels from the store trace.
+go test -race -count=1 -run='^TestTreetop' ./internal/oram
+
 echo "== alloc-regression guards (data-plane hot path) =="
 go test -run='^TestAllocFree' -count=1 ./internal/oram ./internal/cluster
 
