@@ -28,6 +28,12 @@
 //	                     shutdown (empty disables persistence)
 //	-timeout D           default per-request deadline (0 disables)
 //	-key HEX             16-byte AES key (hex) sealing block contents
+//	-trace-sample N      distributed tracing: record ~1/N of requests
+//	                     end to end (power of two; 1 traces everything,
+//	                     0 disables)
+//	-slo-p99 D           p99 latency objective; /healthz on the metrics
+//	                     listener answers 200/503 with the error-budget
+//	                     burn (0 disables)
 //
 // Cluster flags (multi-node mode; see DESIGN.md "Cluster"):
 //
@@ -41,7 +47,10 @@
 // In cluster mode -shards is ignored (the placement decides which
 // shards this node hosts), every member must be started with identical
 // -peers and -cluster-shards, and the metrics listener additionally
-// serves the node's placement table on /cluster/placement.
+// serves the node's placement table on /cluster/placement, the merged
+// cluster-wide Prometheus exposition (per-node series labelled
+// node="id") on /cluster/metrics, and the stitched multi-node Perfetto
+// trace on /cluster/trace.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 // every queued request, then snapshot each shard atomically — on-disk
@@ -79,7 +88,7 @@ var notifyListening func(addr string)
 // cluster mode) the node's placement table on /cluster/placement. It
 // rides on the -metrics listener only, so none of it is exposed unless
 // the operator opts in.
-func metricsMux(srv *stringoram.Server, node *stringoram.ClusterNode) *http.ServeMux {
+func metricsMux(srv *stringoram.Server, node *stringoram.ClusterNode, slo *obs.SLO) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.PrometheusHandler(srv.Obs()))
 	mux.HandleFunc("/metrics.json", func(rw http.ResponseWriter, _ *http.Request) {
@@ -90,6 +99,9 @@ func metricsMux(srv *stringoram.Server, node *stringoram.ClusterNode) *http.Serv
 		rw.Header().Set("Content-Type", "application/json")
 		srv.FlightRecorder().WriteTrace(rw)
 	})
+	if slo != nil {
+		mux.Handle("/healthz", slo.Handler())
+	}
 	if node != nil {
 		mux.HandleFunc("/cluster/placement", func(rw http.ResponseWriter, _ *http.Request) {
 			data, err := node.PlacementJSON()
@@ -99,6 +111,18 @@ func metricsMux(srv *stringoram.Server, node *stringoram.ClusterNode) *http.Serv
 			}
 			rw.Header().Set("Content-Type", "application/json")
 			rw.Write(data)
+		})
+		mux.HandleFunc("/cluster/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := node.ClusterMetrics(rw); err != nil {
+				http.Error(rw, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/cluster/trace", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			if err := node.ClusterTrace(rw); err != nil {
+				http.Error(rw, err.Error(), http.StatusInternalServerError)
+			}
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -153,6 +177,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	snapdir := fs.String("snapshots", "", "snapshot directory (restore on boot, save on shutdown)")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline (0 disables)")
 	keyHex := fs.String("key", "", "16-byte AES key in hex for sealed block storage")
+	traceSample := fs.Uint64("trace-sample", 0, "distributed-tracing sample rate: keep ~1/N traced requests (power of two; 1: all, 0: off)")
+	sloP99 := fs.Duration("slo-p99", 0, "p99 request-latency objective served on /healthz (0 disables)")
 	clusterMode := fs.Bool("cluster", false, "serve as one member of a multi-node cluster")
 	nodeID := fs.String("node-id", "", "this node's identity in -peers (cluster mode)")
 	peers := fs.String("peers", "", "comma-separated id=host:port cluster members (cluster mode)")
@@ -172,6 +198,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	cfg.Seed = *seed
 	cfg.SnapshotDir = *snapdir
 	cfg.DefaultTimeout = *timeout
+	cfg.TraceSample = *traceSample
 	if *keyHex != "" {
 		key, err := hex.DecodeString(*keyHex)
 		if err != nil {
@@ -241,9 +268,20 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		notifyListening(ln.Addr().String())
 	}
 
+	var slo *obs.SLO
+	if *sloP99 > 0 {
+		slo = obs.NewSLO()
+		slo.Add(srv.Obs(), obs.Objective{
+			Name:      "p99_latency",
+			Hists:     srv.LatencyHistograms(),
+			Quantile:  0.99,
+			Threshold: sloP99.Seconds(),
+		})
+	}
+
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		mux := metricsMux(srv, node)
+		mux := metricsMux(srv, node, slo)
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			srv.Close()

@@ -153,7 +153,7 @@ func TestMetricsMuxEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(metricsMux(srv, nil))
+	ts := httptest.NewServer(metricsMux(srv, nil, nil))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/metrics")

@@ -21,7 +21,7 @@
 //	-json         emit findings as a JSON array (includes allow-
 //	              suppressed findings with their justifications)
 //	-rules a,b    run only the named analyzers
-//	              (determinism, oblivious, timing, ownership)
+//	              (determinism, oblivious, timing, ownership, telemetry)
 //	-tags t1,t2   lint a single build configuration with these tags
 //
 // Exit status: 0 clean, 1 findings, 2 operational error (parse/
@@ -84,6 +84,11 @@ var timingAnalyzer = analysis.Timing(
 
 var ownershipAnalyzer = analysis.Ownership()
 
+// telemetryAnalyzer guards the observability plane: no secret-tagged
+// value may reach a span payload, recorder event, metric observation,
+// or metric name — telemetry leaves the box on every scrape.
+var telemetryAnalyzer = analysis.Telemetry()
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -107,6 +112,7 @@ func analyzersFor(rel string, rules map[string]bool) []*analysis.Analyzer {
 	if taintPkgs[rel] {
 		add(timingAnalyzer)
 		add(ownershipAnalyzer)
+		add(telemetryAnalyzer)
 	}
 	return as
 }

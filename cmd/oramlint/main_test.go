@@ -11,9 +11,9 @@ func TestAnalyzersFor(t *testing.T) {
 		rel  string
 		want []string
 	}{
-		{"internal/oram", []string{"determinism", "oblivious", "timing", "ownership"}},
-		{"internal/server", []string{"oblivious", "timing", "ownership"}},
-		{"internal/obs", []string{"determinism", "timing", "ownership"}},
+		{"internal/oram", []string{"determinism", "oblivious", "timing", "ownership", "telemetry"}},
+		{"internal/server", []string{"oblivious", "timing", "ownership", "telemetry"}},
+		{"internal/obs", []string{"determinism", "timing", "ownership", "telemetry"}},
 		{"internal/sched", []string{"determinism"}},
 		{"internal/sim", []string{"determinism"}},
 		{"internal/dram", []string{"determinism"}},

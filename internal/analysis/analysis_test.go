@@ -141,6 +141,14 @@ func TestTimingNegative(t *testing.T) {
 	checkFixture(t, "timingneg", []*Analyzer{Timing([]string{"Access"}, []string{"Accesses"}, []string{"depend"})})
 }
 
+func TestTelemetryPositive(t *testing.T) {
+	checkFixture(t, "telpos", []*Analyzer{Telemetry()})
+}
+
+func TestTelemetryNegative(t *testing.T) {
+	checkFixture(t, "telneg", []*Analyzer{Telemetry()})
+}
+
 func TestOwnershipPositive(t *testing.T) {
 	checkFixture(t, "ownpos", []*Analyzer{Ownership()})
 }

@@ -1,0 +1,65 @@
+// Package telneg exercises the telemetry analyzer's negative space:
+// public values flowing into spans, events, metrics, and metric names
+// are exactly what the observability plane is for.
+package telneg
+
+import "fmt"
+
+type Span struct {
+	Hi, Lo uint64
+	TS     int64
+	Arg0   int64
+}
+
+type TraceBuffer struct{ spans []Span }
+
+func (b *TraceBuffer) Emit(s Span) { b.spans = append(b.spans, s) }
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Add(n uint64) { c.v += n }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{ sum float64 }
+
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+type Registry struct{ names []string }
+
+func (r *Registry) Counter(name, help string) *Counter {
+	r.names = append(r.names, name)
+	return &Counter{}
+}
+
+// Ctl mixes secret state (never exported below) with public counters.
+type Ctl struct {
+	block    uint64 `oramlint:"secret"`
+	accesses uint64
+	queue    int64
+	buf      *TraceBuffer
+	hits     *Counter
+	depth    *Gauge
+	lat      *Histogram
+	reg      *Registry
+}
+
+// publicSpan records public timing only.
+func (c *Ctl) publicSpan(ts, dur int64) {
+	c.buf.Emit(Span{Hi: 1, Lo: 2, TS: ts, Arg0: dur})
+}
+
+// publicMetrics publishes public counters and shard-indexed names.
+func (c *Ctl) publicMetrics(shard int, lat float64) {
+	c.hits.Add(c.accesses)
+	c.depth.Set(c.queue)
+	c.lat.Observe(lat)
+	c.reg.Counter(fmt.Sprintf(`ops_total{shard="%d"}`, shard), "per-shard ops")
+}
+
+// touchSecret uses the secret for protocol work without exporting it.
+func (c *Ctl) touchSecret() uint64 {
+	return c.block % 7
+}

@@ -42,6 +42,14 @@ func startCluster(t *testing.T, nodeCount, shardCount int) *testCluster {
 // depth, for workloads writing more than 128 distinct keys per shard.
 func startClusterLevels(t *testing.T, nodeCount, shardCount, levels int) *testCluster {
 	t.Helper()
+	return startClusterWith(t, nodeCount, shardCount, levels, nil)
+}
+
+// startClusterWith is the fully general harness entry: mutate (may be
+// nil) adjusts each node's server config before the node starts, e.g.
+// to arm tracing or pipelining.
+func startClusterWith(t *testing.T, nodeCount, shardCount, levels int, mutate func(*server.Config)) *testCluster {
+	t.Helper()
 	lns := make([]net.Listener, nodeCount)
 	infos := make([]NodeInfo, nodeCount)
 	for i := range lns {
@@ -59,10 +67,14 @@ func startClusterLevels(t *testing.T, nodeCount, shardCount, levels int) *testCl
 	tc := &testCluster{t: t, placement: p, nodes: make([]*Node, nodeCount),
 		done: make([]chan error, nodeCount), dead: make([]bool, nodeCount)}
 	for i := range tc.nodes {
+		cfg := testServerConfig(100+uint64(i), levels)
+		if mutate != nil {
+			mutate(&cfg)
+		}
 		n, err := NewNode(NodeConfig{
 			ID:        infos[i].ID,
 			Placement: p,
-			Server:    testServerConfig(100+uint64(i), levels),
+			Server:    cfg,
 		})
 		if err != nil {
 			t.Fatal(err)

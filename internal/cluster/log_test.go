@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"stringoram/internal/invariant"
+	"stringoram/internal/obs"
 	"stringoram/internal/server"
 )
 
@@ -97,7 +98,7 @@ func TestAllocFreeServerApplyWithOpLog(t *testing.T) {
 		Seed:       11,
 		QueueDepth: 128,
 		MaxBatch:   1,
-		OnApply: func(shard int, seq uint64, key string, val []byte) error {
+		OnApply: func(tc obs.TraceContext, shard int, seq uint64, key string, val []byte) error {
 			l.Append(seq, key, val)
 			return nil
 		},

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -49,6 +51,11 @@ type Node struct {
 	// this node never hosts stay header-only.
 	logs []*Log
 
+	// repl tracks per-shard replication lag: the newest locally applied
+	// seq versus the newest the follower has acked, and when the gap
+	// opened. Indexed like logs; read lock-free by the lag gauges.
+	repl []replLag
+
 	pmu       sync.RWMutex
 	placement *Placement
 
@@ -81,6 +88,16 @@ type nodeMetrics struct {
 
 	promotions *obs.Counter
 	demotions  *obs.Counter
+
+	handoffProgress *obs.Gauge
+}
+
+// replLag is one shard's replication-lag state, updated on the shard
+// worker goroutine (onApply) and read concurrently by the lag gauges.
+type replLag struct {
+	applied atomic.Uint64 // newest op-log seq applied locally
+	acked   atomic.Uint64 // newest seq acked by the follower
+	since   atomic.Int64  // NowMicros when the newest unacked entry landed
 }
 
 func (m *nodeMetrics) init(reg *obs.Registry, n *Node) {
@@ -94,11 +111,30 @@ func (m *nodeMetrics) init(reg *obs.Registry, n *Node) {
 	m.handoffSecs = reg.Histogram("cluster_handoff_seconds", "End-to-end shard handoff duration.", obs.ExpBuckets(1e-3, 2, 16))
 	m.promotions = reg.Counter("cluster_promotions_total", "Shards this node took over after a primary failure.")
 	m.demotions = reg.Counter("cluster_demotions_total", "Followers this node dropped after replication failures.")
+	m.handoffProgress = reg.Gauge("cluster_handoff_progress_percent",
+		"Snapshot percentage streamed by the in-flight outbound handoff (0 when idle).")
 	reg.GaugeFunc("cluster_placement_version", "Highest shard epoch in this node's placement table.", func() float64 {
 		n.pmu.RLock()
 		defer n.pmu.RUnlock()
 		return float64(n.placement.Version())
 	})
+	for s := range n.repl {
+		st := &n.repl[s]
+		reg.GaugeFunc(fmt.Sprintf(`cluster_replication_lag_entries{shard="%d"}`, s),
+			"Op-log entries applied locally but not yet acked by the follower.", func() float64 {
+				if a, k := st.applied.Load(), st.acked.Load(); a > k {
+					return float64(a - k)
+				}
+				return 0
+			})
+		reg.GaugeFunc(fmt.Sprintf(`cluster_replication_lag_us{shard="%d"}`, s),
+			"Microseconds the follower has been behind the primary (0 when caught up).", func() float64 {
+				if st.applied.Load() > st.acked.Load() {
+					return float64(n.srv.NowMicros() - st.since.Load())
+				}
+				return 0
+			})
+	}
 }
 
 // NewNode builds the node and its embedded server (restoring from the
@@ -122,6 +158,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		clients:   make(map[string]*server.Client),
 		hbuf:      make(map[int][]byte),
 		logs:      make([]*Log, p.Shards),
+		repl:      make([]replLag, p.Shards),
 	}
 	for s := range n.logs {
 		n.logs[s] = NewLog(cfg.LogCap)
@@ -221,6 +258,10 @@ func (n *Node) clientFor(peer NodeInfo) (*server.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Negotiate the tracing capability best-effort: a pre-capability
+	// peer answers statusBad and the link simply stays untraced — the
+	// client then never emits a traced frame toward it.
+	_, _ = c.EnableTracing()
 	n.clients[peer.ID] = c
 	return c, nil
 }
@@ -238,9 +279,15 @@ func (n *Node) dropClient(id string) {
 // onApply is the shard worker's post-apply hook: append the op log,
 // then ship the entry to the follower and wait for its ack, so a
 // client-visible ack implies the write is applied on every live replica
-// at the current shard epoch.
-func (n *Node) onApply(shard int, seq uint64, key string, val []byte) error {
+// at the current shard epoch. tc carries the originating request's
+// trace context (zero when the write is untraced or unsampled); a valid
+// tc makes the replication hop emit a span and propagate the trace to
+// the follower.
+func (n *Node) onApply(tc obs.TraceContext, shard int, seq uint64, key string, val []byte) error {
 	n.logs[shard].Append(seq, key, val)
+	lag := &n.repl[shard]
+	lag.applied.Store(seq)
+	lag.since.Store(n.srv.NowMicros())
 
 	n.pmu.RLock()
 	p := n.placement
@@ -250,12 +297,22 @@ func (n *Node) onApply(shard int, seq uint64, key string, val []byte) error {
 	epoch := p.EpochOf(shard)
 	n.pmu.RUnlock()
 	if !isPrimary || !hasFollower {
-		return nil // follower apply, or no replica to feed
+		lag.acked.Store(seq) // nothing to ship: the gap never opens
+		return nil
 	}
 
 	c, err := n.clientFor(follower)
 	if err == nil {
+		// Mint the replication hop's span up front so the follower's
+		// serve-apply span can parent on it.
+		var rtc obs.TraceContext
+		var span uint64
+		if tc.Valid() {
+			span = n.srv.TraceSource().SpanID()
+			rtc = tc.Child(span)
+		}
 		start := time.Now()
+		startUs := n.srv.NowMicros()
 		// Hand-rolled retry (RetryPolicy.Do takes a closure, and this
 		// runs once per applied write on the replication hot path).
 		rp := n.retry.WithDefaults()
@@ -263,13 +320,19 @@ func (n *Node) onApply(shard int, seq uint64, key string, val []byte) error {
 			if d := rp.Delay(i); d > 0 {
 				time.Sleep(d)
 			}
-			if err = c.Replicate(epoch, shard, seq, key, val); err == nil || !server.Retryable(err) {
+			if err = c.ReplicateCtx(rtc, epoch, shard, seq, key, val); err == nil || !server.Retryable(err) {
 				break
 			}
 		}
 		if err == nil {
+			lag.acked.Store(seq)
 			n.m.replicated.Inc()
 			n.m.replicateSecs.Observe(time.Since(start).Seconds())
+			if span != 0 {
+				n.srv.Tracer().Emit(obs.Span{Hi: tc.Hi, Lo: tc.Lo, ID: span, Parent: tc.SpanID,
+					TS: startUs, Dur: n.srv.NowMicros() - startUs,
+					Kind: obs.SpanReplicate, Track: int32(shard)})
+			}
 			n.rec.Emit(obs.Event{TS: start.UnixMicro(), Dur: time.Since(start).Microseconds(),
 				Kind: obs.EvReplicate, Track: int32(shard), Arg0: int64(shard), Arg1: int64(uint32(seq))})
 			return nil
@@ -366,15 +429,17 @@ func (n *Node) pushPlacement(np *Placement) {
 // Replicate applies one op-log entry shipped by a primary (or a handoff
 // tail). Entries carrying a shard epoch older than this node's are
 // fenced off with ErrStalePlacement, deposing dead-but-unaware
-// primaries.
-func (n *Node) Replicate(pver uint64, shard int, seq uint64, key string, val []byte) error {
+// primaries. tc is the primary's replication-hop context; threading it
+// into the local apply makes the follower's serve span (and its
+// pipeline stage spans) join the originating request's trace.
+func (n *Node) Replicate(tc obs.TraceContext, pver uint64, shard int, seq uint64, key string, val []byte) error {
 	n.pmu.RLock()
 	epoch := n.placement.EpochOf(shard)
 	n.pmu.RUnlock()
 	if pver < epoch {
 		return fmt.Errorf("cluster: entry at shard %d epoch %d, node at %d: %w", shard, pver, epoch, server.ErrStalePlacement)
 	}
-	return n.srv.Apply(shard, seq, key, val)
+	return n.srv.ApplyCtx(tc, shard, seq, key, val)
 }
 
 // HandoffChunk ingests one chunk of a shard snapshot stream and
@@ -482,8 +547,9 @@ func (n *Node) Promote(pver uint64, shard int) error {
 	return nil
 }
 
-// ForwardGet relays a get one hop toward the shard's primary.
-func (n *Node) ForwardGet(key string, ttl int, timeoutMillis uint32) ([]byte, bool, error) {
+// ForwardGet relays a get one hop toward the shard's primary. A valid
+// tc makes the hop emit a forward span and carry the trace along.
+func (n *Node) ForwardGet(tc obs.TraceContext, key string, ttl int, timeoutMillis uint32) ([]byte, bool, error) {
 	c, shard, err := n.ownerClient(key)
 	if err != nil {
 		return nil, false, err
@@ -491,11 +557,14 @@ func (n *Node) ForwardGet(key string, ttl int, timeoutMillis uint32) ([]byte, bo
 	n.m.forwardGets.Inc()
 	n.rec.Emit(obs.Event{TS: time.Now().UnixMicro(), Kind: obs.EvForward,
 		Track: int32(shard), Arg0: int64(shard), Arg1: int64(ttl)})
-	return c.ForwardGet(key, ttl)
+	ftc, span, startUs := n.beginForward(tc)
+	val, found, err := c.ForwardGetCtx(ftc, key, ttl)
+	n.endForward(tc, span, startUs, shard)
+	return val, found, err
 }
 
 // ForwardPut relays a put one hop toward the shard's primary.
-func (n *Node) ForwardPut(key string, val []byte, ttl int, timeoutMillis uint32) error {
+func (n *Node) ForwardPut(tc obs.TraceContext, key string, val []byte, ttl int, timeoutMillis uint32) error {
 	c, shard, err := n.ownerClient(key)
 	if err != nil {
 		return err
@@ -503,7 +572,32 @@ func (n *Node) ForwardPut(key string, val []byte, ttl int, timeoutMillis uint32)
 	n.m.forwardPuts.Inc()
 	n.rec.Emit(obs.Event{TS: time.Now().UnixMicro(), Kind: obs.EvForward,
 		Track: int32(shard), Arg0: int64(shard), Arg1: int64(ttl)})
-	return c.ForwardPut(key, val, ttl)
+	ftc, span, startUs := n.beginForward(tc)
+	err = c.ForwardPutCtx(ftc, key, val, ttl)
+	n.endForward(tc, span, startUs, shard)
+	return err
+}
+
+// beginForward mints the forward hop's span (when the request is
+// traced) and returns the child context to ship, the span ID, and the
+// hop's start in the node clock.
+func (n *Node) beginForward(tc obs.TraceContext) (ftc obs.TraceContext, span uint64, startUs int64) {
+	if !tc.Valid() {
+		return obs.TraceContext{}, 0, 0
+	}
+	span = n.srv.TraceSource().SpanID()
+	return tc.Child(span), span, n.srv.NowMicros()
+}
+
+// endForward emits the forward span minted by beginForward (no-op for
+// untraced hops).
+func (n *Node) endForward(tc obs.TraceContext, span uint64, startUs int64, shard int) {
+	if span == 0 {
+		return
+	}
+	n.srv.Tracer().Emit(obs.Span{Hi: tc.Hi, Lo: tc.Lo, ID: span, Parent: tc.SpanID,
+		TS: startUs, Dur: n.srv.NowMicros() - startUs,
+		Kind: obs.SpanForward, Track: int32(shard)})
 }
 
 // ownerClient resolves key's shard to its primary's link.
@@ -565,11 +659,13 @@ func (n *Node) Handoff(shard int, targetID string) error {
 	if err != nil {
 		return err
 	}
+	defer n.m.handoffProgress.Set(0)
 	for off := 0; off < len(snap); off += handoffChunkSize {
 		end := min(off+handoffChunkSize, len(snap))
 		if err := c.HandoffChunk(shard, off == 0, end == len(snap), snap[off:end]); err != nil {
 			return fmt.Errorf("cluster: handoff stream shard %d: %w", shard, err)
 		}
+		n.m.handoffProgress.Set(int64(end * 100 / len(snap)))
 	}
 	n.m.handoffBytes.Add(uint64(len(snap)))
 
@@ -645,6 +741,71 @@ func (n *Node) Handoff(shard int, targetID string) error {
 	n.rec.Emit(obs.Event{TS: start.UnixMicro(), Dur: time.Since(start).Microseconds(),
 		Kind: obs.EvHandoff, Track: int32(shard), Arg0: int64(shard), Arg1: int64(uint32(len(snap)))})
 	return nil
+}
+
+// --- telemetry federation ---
+
+// ClusterMetrics scrapes every placement member's Prometheus exposition
+// (its own directly, peers over the wire) and writes the merged
+// cluster-wide exposition: aggregated series per family plus per-node
+// series labelled node="id", with cluster_node_up marking unreachable
+// peers. Scrape failures degrade to node-down markers, never errors.
+func (n *Node) ClusterMetrics(w io.Writer) error {
+	n.pmu.RLock()
+	peers := append([]NodeInfo(nil), n.placement.Nodes...)
+	n.pmu.RUnlock()
+	nodes := make([]obs.NodeExposition, 0, len(peers))
+	for _, peer := range peers {
+		if peer.ID == n.id {
+			var buf bytes.Buffer
+			err := n.srv.Obs().WritePrometheus(&buf)
+			nodes = append(nodes, obs.NodeExposition{Node: peer.ID, Data: buf.Bytes(), Err: err})
+			continue
+		}
+		data, err := n.scrapePeer(peer)
+		nodes = append(nodes, obs.NodeExposition{Node: peer.ID, Data: data, Err: err})
+	}
+	return obs.MergeExpositions(w, nodes)
+}
+
+func (n *Node) scrapePeer(peer NodeInfo) ([]byte, error) {
+	c, err := n.clientFor(peer)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.ScrapeMetrics()
+	if err != nil {
+		n.dropClient(peer.ID)
+	}
+	return data, err
+}
+
+// ClusterTrace collects every reachable member's span buffer and writes
+// the stitched Perfetto trace, aligning per-node clocks along
+// cross-node parent-child span edges. Unreachable peers contribute no
+// track.
+func (n *Node) ClusterTrace(w io.Writer) error {
+	n.pmu.RLock()
+	peers := append([]NodeInfo(nil), n.placement.Nodes...)
+	n.pmu.RUnlock()
+	traces := make([]obs.NodeTrace, 0, len(peers))
+	for _, peer := range peers {
+		if peer.ID == n.id {
+			traces = append(traces, obs.NodeTrace{Node: peer.ID, Spans: n.srv.Tracer().Snapshot(nil)})
+			continue
+		}
+		c, err := n.clientFor(peer)
+		if err != nil {
+			continue
+		}
+		spans, err := c.ScrapeSpans()
+		if err != nil {
+			n.dropClient(peer.ID)
+			continue
+		}
+		traces = append(traces, obs.NodeTrace{Node: peer.ID, Spans: spans})
+	}
+	return obs.MergeTraces(w, traces)
 }
 
 // replayTail ships op-log entries (from, to] to the handoff target.

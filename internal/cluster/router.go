@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"stringoram/internal/obs"
 	"stringoram/internal/server"
 )
 
@@ -26,6 +27,80 @@ type Router struct {
 	placement *Placement
 	clients   map[string]*server.Client // by node ID
 	closed    bool
+
+	// ro/trc are fixed by EnableObservability/EnableTracing before
+	// traffic and read without locking afterwards; both nil by default
+	// (the plain hot path pays only nil checks).
+	ro  *routerObs
+	trc *routerTracer
+}
+
+// routerObs is the router-side instrument set: retry/failover pressure
+// and the ErrRemote-versus-application split of terminal failures.
+type routerObs struct {
+	retries   *obs.Counter
+	failovers *obs.Counter
+	errRemote *obs.Counter
+	errApp    *obs.Counter
+	reqSecs   *obs.Histogram
+}
+
+// EnableObservability registers the router's instruments on reg. Call
+// before traffic; a nil registry is ignored.
+func (r *Router) EnableObservability(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.ro = &routerObs{
+		retries: reg.Counter("router_retries_total",
+			"Attempts beyond the first across all operations (backoff pressure)."),
+		failovers: reg.Counter("router_failovers_total",
+			"Follower promotions this router initiated after suspecting a primary."),
+		errRemote: reg.Counter(`router_errors_total{kind="remote"}`,
+			"Terminal operation failures the remote node reported (ErrRemote)."),
+		errApp: reg.Counter(`router_errors_total{kind="app"}`,
+			"Terminal operation failures from local/application classification."),
+		reqSecs: reg.Histogram("router_request_seconds",
+			"End-to-end operation latency including retries and failover.", obs.ExpBuckets(100e-6, 2, 16)),
+	}
+}
+
+// routerTracer mints and buffers the router's root spans. The router is
+// trace origin: every sampled operation opens the trace that the serve,
+// pipeline, forward, and replicate spans downstream stitch into.
+type routerTracer struct {
+	src   *obs.TraceSource
+	buf   *obs.TraceBuffer
+	rate  uint64
+	epoch time.Time
+}
+
+// EnableTracing makes the router originate distributed traces: every
+// operation mints a 128-bit trace ID, the power-of-two rate picks which
+// ones are recorded (1 = all, 1024 = ~1/1024, 0 = none), and sampled
+// operations ship their context to the serving node and record a root
+// span locally. Call before traffic. Existing connections stay
+// untraced; new ones negotiate the capability at dial time.
+func (r *Router) EnableTracing(seed, rate uint64) {
+	r.trc = &routerTracer{
+		src:   obs.NewTraceSource(seed),
+		buf:   obs.NewTraceBuffer(routerTraceBufCap),
+		rate:  rate,
+		epoch: time.Now(),
+	}
+}
+
+// routerTraceBufCap bounds the router's root-span ring.
+const routerTraceBufCap = 4096
+
+// TraceSpans snapshots the router's recorded root spans, for stitching
+// into a cluster trace as its own node (time domain: µs since
+// EnableTracing).
+func (r *Router) TraceSpans() []obs.Span {
+	if r.trc == nil {
+		return nil
+	}
+	return r.trc.buf.Snapshot(nil)
 }
 
 // DialCluster bootstraps a router from any live node: the seed's
@@ -103,6 +178,12 @@ func (r *Router) clientLocked(node NodeInfo) (*server.Client, error) {
 	if c.Timeout == 0 {
 		c.Timeout = r.Timeout
 	}
+	if r.trc != nil {
+		// Negotiate the tracing capability; a pre-capability node says
+		// statusBad and the link stays untraced (no traced frames are
+		// ever sent toward it).
+		_, _ = c.EnableTracing()
+	}
 	r.clients[node.ID] = c
 	return c, nil
 }
@@ -168,6 +249,9 @@ func (r *Router) promoteFollower(shard int, observed *Placement) {
 	// Promote errors are acceptable: a concurrent router may have won
 	// the race, or the follower may already be primary.
 	_ = c.Promote(observed.EpochOf(shard), shard)
+	if r.ro != nil {
+		r.ro.failovers.Inc()
+	}
 	r.refreshPlacement()
 }
 
@@ -186,6 +270,20 @@ const (
 // selected by kind rather than a callback, so the per-op hot path
 // (Get/Put on a healthy cluster) allocates nothing.
 func (r *Router) do(kind int, key string, val []byte) (out []byte, found bool, err error) {
+	// Trace origin: mint the trace up front so the sampling decision is
+	// a pure function of its ID and every retry rides the same trace.
+	var tc obs.TraceContext
+	var t0 int64
+	var start time.Time
+	if r.ro != nil {
+		start = time.Now()
+	}
+	if r.trc != nil {
+		if t := r.trc.src.NewTrace(); t.Sampled(r.trc.rate) {
+			tc = t
+			t0 = time.Since(r.trc.epoch).Microseconds()
+		}
+	}
 	p := r.Retry
 	if p.MaxAttempts == 0 {
 		// Failover needs headroom beyond the default budget: promotion
@@ -197,17 +295,46 @@ func (r *Router) do(kind int, key string, val []byte) (out []byte, found bool, e
 		if d := p.Delay(i); d > 0 {
 			time.Sleep(d)
 		}
-		out, found, err = r.attempt(kind, key, val)
+		if i > 0 && r.ro != nil {
+			r.ro.retries.Inc()
+		}
+		out, found, err = r.attempt(tc, kind, key, val)
 		if err == nil || !server.Retryable(err) {
+			r.finish(tc, kind, t0, start, err)
 			return out, found, err
 		}
 	}
-	return out, found, fmt.Errorf("server: %d attempts exhausted: %w", p.MaxAttempts, err)
+	err = fmt.Errorf("server: %d attempts exhausted: %w", p.MaxAttempts, err)
+	r.finish(tc, kind, t0, start, err)
+	return out, found, err
+}
+
+// finish records the operation's root span and terminal classification.
+func (r *Router) finish(tc obs.TraceContext, kind int, t0 int64, start time.Time, err error) {
+	if r.ro != nil {
+		r.ro.reqSecs.Observe(time.Since(start).Seconds())
+		if err != nil {
+			if errors.Is(err, server.ErrRemote) {
+				r.ro.errRemote.Inc()
+			} else {
+				r.ro.errApp.Inc()
+			}
+		}
+	}
+	if tc.Valid() {
+		k := obs.SpanClientGet
+		if kind == routerPut {
+			k = obs.SpanClientPut
+		}
+		r.trc.buf.Emit(obs.Span{Hi: tc.Hi, Lo: tc.Lo, ID: tc.SpanID,
+			TS: t0, Dur: time.Since(r.trc.epoch).Microseconds() - t0,
+			Kind: k, Track: -1})
+	}
 }
 
 // attempt runs one try of do: resolve the primary, run the op, classify
 // the failure.
-func (r *Router) attempt(kind int, key string, val []byte) ([]byte, bool, error) {
+func (r *Router) attempt(tc obs.TraceContext, kind int, key string, val []byte) ([]byte, bool, error) {
 	c, prim, shard, err := r.primaryClient(key)
 	if err != nil {
 		if !errors.Is(err, ErrNoNode) && !errors.Is(err, server.ErrClosed) {
@@ -226,9 +353,9 @@ func (r *Router) attempt(kind int, key string, val []byte) ([]byte, bool, error)
 	)
 	switch kind {
 	case routerGet:
-		out, found, err = c.Get(key)
+		out, found, err = c.GetCtx(tc, key)
 	case routerPut:
-		err = c.Put(key, val)
+		err = c.PutCtx(tc, key, val)
 	}
 	switch {
 	case err == nil:

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// expo renders a registry to bytes for federation tests.
+func expo(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeExpositionsAggregatesByKind(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("requests_total", "reqs").Add(3)
+	rb.Counter("requests_total", "reqs").Add(5)
+	ra.Gauge("inflight", "g").Set(2)
+	rb.Gauge("inflight", "g").Set(7)
+	bounds := []float64{1, 10}
+	ha := ra.Histogram("lat_us", "h", bounds)
+	hb := rb.Histogram("lat_us", "h", bounds)
+	ha.Observe(0.5)
+	ha.Observe(5)
+	hb.Observe(100)
+
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []NodeExposition{
+		{Node: "n0", Data: expo(t, ra)},
+		{Node: "n1", Data: expo(t, rb)},
+		{Node: "n2", Err: errors.New("dial refused")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"requests_total 8\n",                // counters sum
+		"inflight 7\n",                      // gauges take the max
+		`requests_total{node="n0"} 3`,       // per-node series survive
+		`requests_total{node="n1"} 5`,       //
+		`lat_us_bucket{le="+Inf"} 3`,        // histogram buckets sum
+		`lat_us_count 3`,                    //
+		`lat_us_bucket{le="1",node="n0"} 1`, //
+		`cluster_node_up{node="n0"} 1`,      //
+		`cluster_node_up{node="n2"} 0`,      // failed scrape marked down
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeExpositionsDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`ops_total{shard="0"}`, "ops").Add(1)
+	r.Counter(`ops_total{shard="1"}`, "ops").Add(2)
+	nodes := []NodeExposition{{Node: "a", Data: expo(t, r)}}
+	var b1, b2 bytes.Buffer
+	if err := MergeExpositions(&b1, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeExpositions(&b2, nodes); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("merge output not deterministic")
+	}
+}
+
+func TestMergeExpositionsRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	err := MergeExpositions(&buf, []NodeExposition{
+		{Node: "bad", Data: []byte("not a metric line\n")},
+	})
+	if err == nil {
+		t.Fatal("garbage exposition must fail the merge")
+	}
+}
+
+func TestValidateExpositionHistogramSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		ok   bool
+	}{
+		{"valid", `# TYPE h histogram
+h_bucket{le="1"} 2
+h_bucket{le="+Inf"} 5
+h_sum 9
+h_count 5
+`, true},
+		{"non-cumulative", `# TYPE h histogram
+h_bucket{le="1"} 7
+h_bucket{le="+Inf"} 5
+h_sum 9
+h_count 5
+`, false},
+		{"missing +Inf", `# TYPE h histogram
+h_bucket{le="1"} 2
+h_sum 9
+h_count 5
+`, false},
+		{"count mismatch", `# TYPE h histogram
+h_bucket{le="1"} 2
+h_bucket{le="+Inf"} 5
+h_sum 9
+h_count 6
+`, false},
+		{"bucket without le", `# TYPE h histogram
+h_bucket{shard="0"} 2
+`, false},
+		{"missing count", `# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_sum 9
+`, false},
+		{"labelled groups independent", `# TYPE h histogram
+h_bucket{shard="0",le="1"} 2
+h_bucket{shard="0",le="+Inf"} 4
+h_sum{shard="0"} 1
+h_count{shard="0"} 4
+h_bucket{shard="1",le="1"} 0
+h_bucket{shard="1",le="+Inf"} 1
+h_sum{shard="1"} 1
+h_count{shard="1"} 1
+`, true},
+	}
+	for _, tc := range cases {
+		err := ValidateExposition([]byte(tc.data))
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want failure", tc.name)
+		}
+	}
+}

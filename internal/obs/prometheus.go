@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -104,15 +105,35 @@ func PrometheusHandler(r *Registry) http.Handler {
 	})
 }
 
+// histGroup accumulates the bucket samples of one histogram series (one
+// base family + one label set minus `le`) for semantic validation.
+type histGroup struct {
+	base    string
+	lineNo  int // first bucket line, for error context
+	buckets []histBucket
+	count   float64
+	hasCnt  bool
+}
+
+type histBucket struct {
+	le  float64
+	val float64
+}
+
 // ValidateExposition checks that data parses line-by-line as Prometheus
 // text exposition format 0.0.4: every line is a comment (# HELP/# TYPE
 // with a known type keyword), blank, or a `name{labels} value` sample
 // with a valid metric name, balanced quoted label values, and a
 // float-parseable value. It also enforces that every sample's base
-// family appeared in a preceding # TYPE line. Used by tests and by the
-// oramd handler test as a format gate.
+// family appeared in a preceding # TYPE line, and — for histogram
+// families — the histogram contract per series: every `_bucket` sample
+// carries a parseable `le` label, bucket counts are cumulative
+// (non-decreasing in `le` order), a terminal `le="+Inf"` bucket exists,
+// and the series' `_count` equals the +Inf bucket. Used by tests and by
+// the oramd handler test as a format gate.
 func ValidateExposition(data []byte) error {
-	typed := make(map[string]bool)
+	typed := make(map[string]string)
+	hists := make(map[string]*histGroup)
 	lineNo := 0
 	for _, raw := range bytes.Split(data, []byte("\n")) {
 		lineNo++
@@ -134,7 +155,7 @@ func ValidateExposition(data []byte) error {
 				default:
 					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
 				}
-				typed[fields[2]] = true
+				typed[fields[2]] = fields[3]
 			}
 			continue
 		}
@@ -142,14 +163,14 @@ func ValidateExposition(data []byte) error {
 		if err != nil {
 			return fmt.Errorf("line %d: %v", lineNo, err)
 		}
-		base := name
+		base, suffix := name, ""
 		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
-			if b, ok := strings.CutSuffix(name, sfx); ok && typed[b] {
-				base = b
+			if b, ok := strings.CutSuffix(name, sfx); ok && typed[b] != "" {
+				base, suffix = b, sfx
 				break
 			}
 		}
-		if !typed[base] {
+		if typed[base] == "" {
 			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
 		}
 		val := strings.TrimSpace(rest)
@@ -161,13 +182,150 @@ func ValidateExposition(data []byte) error {
 			}
 			val = val[:i]
 		}
-		if val != "+Inf" && val != "-Inf" && val != "NaN" {
-			if _, err := strconv.ParseFloat(val, 64); err != nil {
+		var fv float64
+		switch val {
+		case "+Inf":
+			fv = math.Inf(1)
+		case "-Inf":
+			fv = math.Inf(-1)
+		case "NaN":
+			fv = math.NaN()
+		default:
+			fv, err = strconv.ParseFloat(val, 64)
+			if err != nil {
 				return fmt.Errorf("line %d: bad value %q", lineNo, val)
 			}
 		}
+		if typed[base] != "histogram" {
+			continue
+		}
+		// Histogram semantics: group buckets and counts by the series'
+		// labels minus `le`.
+		labels := ""
+		if n := len(name); n < len(line) && line[n] == '{' {
+			end := len(line) - len(rest) - 1 // index of the space
+			labels = line[n+1 : end-1]
+		}
+		switch suffix {
+		case "_bucket":
+			le, others, ok, err := extractLe(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %s has no le label", lineNo, name)
+			}
+			leV := math.Inf(1)
+			if le != "+Inf" {
+				leV, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le value %q", lineNo, le)
+				}
+			}
+			g := histGroupFor(hists, base, others, lineNo)
+			g.buckets = append(g.buckets, histBucket{le: leV, val: fv})
+		case "_count":
+			g := histGroupFor(hists, base, labels, lineNo)
+			g.count, g.hasCnt = fv, true
+		}
+	}
+	keys := make([]string, 0, len(hists))
+	for key := range hists {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := hists[key].check(); err != nil {
+			return fmt.Errorf("histogram series %s: %v (first bucket at line %d)", key, err, hists[key].lineNo)
+		}
 	}
 	return nil
+}
+
+func histGroupFor(hists map[string]*histGroup, base, labels string, lineNo int) *histGroup {
+	key := base
+	if labels != "" {
+		key += "{" + labels + "}"
+	}
+	g := hists[key]
+	if g == nil {
+		g = &histGroup{base: base, lineNo: lineNo}
+		hists[key] = g
+	}
+	return g
+}
+
+// check enforces the histogram contract on one series' collected
+// samples.
+func (g *histGroup) check() error {
+	if len(g.buckets) == 0 {
+		return fmt.Errorf("has _count/_sum but no _bucket samples")
+	}
+	sort.Slice(g.buckets, func(i, j int) bool { return g.buckets[i].le < g.buckets[j].le })
+	last := g.buckets[len(g.buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		return fmt.Errorf("missing le=\"+Inf\" bucket")
+	}
+	for i := 1; i < len(g.buckets); i++ {
+		if g.buckets[i].val < g.buckets[i-1].val {
+			return fmt.Errorf("bucket counts not cumulative: le=%s is %s but le=%s is %s",
+				formatFloat(g.buckets[i-1].le), formatFloat(g.buckets[i-1].val),
+				formatFloat(g.buckets[i].le), formatFloat(g.buckets[i].val))
+		}
+	}
+	if !g.hasCnt {
+		return fmt.Errorf("missing _count sample")
+	}
+	if g.count != last.val {
+		return fmt.Errorf("_count %s != le=\"+Inf\" bucket %s",
+			formatFloat(g.count), formatFloat(last.val))
+	}
+	return nil
+}
+
+// extractLe pulls the le label out of a raw label block, returning its
+// value and the block with le removed. The scan honors quoting, so
+// label values containing commas or escaped quotes don't confuse it.
+func extractLe(labels string) (le, others string, found bool, err error) {
+	i := 0
+	var parts []string
+	for i < len(labels) {
+		start := i
+		eq := -1
+		for i < len(labels) && labels[i] != '=' {
+			i++
+		}
+		if i >= len(labels) {
+			return "", "", false, fmt.Errorf("malformed label block %q", labels)
+		}
+		eq = i
+		i++ // '='
+		if i >= len(labels) || labels[i] != '"' {
+			return "", "", false, fmt.Errorf("unquoted label value in %q", labels)
+		}
+		i++
+		vstart := i
+		for i < len(labels) && labels[i] != '"' {
+			if labels[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(labels) {
+			return "", "", false, fmt.Errorf("unterminated label value in %q", labels)
+		}
+		vend := i
+		i++ // closing '"'
+		if i < len(labels) && labels[i] == ',' {
+			i++
+		}
+		if labels[start:eq] == "le" {
+			le, found = labels[vstart:vend], true
+		} else {
+			parts = append(parts, labels[start:vend+1])
+		}
+	}
+	return le, strings.Join(parts, ","), found, nil
 }
 
 // parseSampleName splits a sample line into metric name (labels

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSLOLatencyObjective(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_s", "latency", []float64{0.001, 0.005, 0.1})
+	slo := NewSLO()
+	slo.Add(reg, Objective{
+		Name:      "p99_under_5ms",
+		Hists:     []*Histogram{h},
+		Quantile:  0.99,
+		Threshold: 0.005,
+	})
+
+	v := slo.Evaluate()
+	if !v.OK || v.Objectives[0].Total != 0 {
+		t.Fatalf("empty window must be healthy: %+v", v)
+	}
+
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001)
+	}
+	if v = slo.Evaluate(); !v.OK {
+		t.Fatalf("all-fast traffic violated SLO: %+v", v)
+	}
+
+	// 5% of traffic over threshold blows a 1% budget: burn ~= 5.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.05)
+	}
+	v = slo.Evaluate()
+	if v.OK {
+		t.Fatalf("slow tail not flagged: %+v", v)
+	}
+	if b := v.Objectives[0].Burn; b < 4 || b > 6 {
+		t.Fatalf("burn = %v, want ~5", b)
+	}
+
+	// Reset forgives history; the next window starts clean.
+	slo.Reset()
+	if v = slo.Evaluate(); !v.OK || v.Objectives[0].Total != 0 {
+		t.Fatalf("post-reset window not clean: %+v", v)
+	}
+	h.Observe(0.001)
+	if v = slo.Evaluate(); !v.OK || v.Objectives[0].Total != 1 {
+		t.Fatalf("post-reset evaluation wrong: %+v", v)
+	}
+}
+
+func TestSLORatioObjectiveAndBurnGauge(t *testing.T) {
+	reg := NewRegistry()
+	bad := reg.Counter("errs_total", "errors")
+	total := reg.Counter("ops_total", "ops")
+	slo := NewSLO()
+	slo.Add(reg, Objective{
+		Name:     "error_rate",
+		Bad:      func() float64 { return float64(bad.Value()) },
+		Total:    func() float64 { return float64(total.Value()) },
+		MaxRatio: 0.01,
+	})
+	total.Add(100)
+	bad.Add(2) // 2% errors against a 1% budget: burn 2
+	v := slo.Evaluate()
+	if v.OK || v.Objectives[0].Burn != 2 {
+		t.Fatalf("ratio objective: %+v", v)
+	}
+
+	// The registered burn gauge shows up in the exposition.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `slo_budget_burn{objective="error_rate"} 2`) {
+		t.Fatalf("burn gauge missing from exposition:\n%s", buf.String())
+	}
+}
+
+func TestSLOHandlerVerdict(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_s", "latency", []float64{0.001})
+	slo := NewSLO()
+	slo.Add(reg, Objective{Name: "lat", Hists: []*Histogram{h}, Quantile: 0.99, Threshold: 0.001})
+
+	rec := httptest.NewRecorder()
+	slo.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy verdict status = %d", rec.Code)
+	}
+	var v Verdict
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil || !v.OK {
+		t.Fatalf("bad verdict body: %v %s", err, rec.Body.String())
+	}
+
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // every request over threshold
+	}
+	rec = httptest.NewRecorder()
+	slo.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("violated verdict status = %d, want 503", rec.Code)
+	}
+}

@@ -108,6 +108,14 @@ type PipelineInstruments struct {
 	// stage histograms are skipped).
 	Recorder *obs.Recorder
 	Clock    func() int64
+
+	// Tracer receives per-stage spans for accesses submitted with a
+	// valid trace context (SubmitTraced); Track labels them with the
+	// owning lane (the server passes its shard index). Spans share
+	// Clock's time domain and are skipped when Clock is nil, exactly
+	// like the stage histograms. A nil Tracer is a no-op.
+	Tracer *obs.TraceBuffer
+	Track  int32
 }
 
 // pipelineStageBounds is the default per-stage latency bucket layout in

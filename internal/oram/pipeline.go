@@ -159,6 +159,10 @@ type pipeSlot struct {
 	write bool
 	err   error
 
+	// tc is the access's trace context (zero: untraced). Stage spans
+	// parent on tc.SpanID — the serve span minted by the submitter.
+	tc obs.TraceContext
+
 	ops  []Op      `oramlint:"scratch"`
 	jobs []pipeJob `oramlint:"scratch"`
 	outs []pipeOut `oramlint:"scratch"`
@@ -307,6 +311,14 @@ func (p *Pipeline) InFlight() int { return int(p.next - p.head) }
 // the Done callback in admission order. Update-style read-modify-writes
 // are not supported through the pipeline.
 func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
+	return p.SubmitTraced(ctx, id, write, data, obs.TraceContext{})
+}
+
+// SubmitTraced is Submit with a trace context attached: when tc is
+// valid (a sampled request), each pipeline stage the access crosses
+// emits a span into Ins.Tracer, parented on tc.SpanID. A zero tc is
+// exactly Submit — no span work, no allocations.
+func (p *Pipeline) SubmitTraced(ctx any, id BlockID, write bool, data []byte, tc obs.TraceContext) error {
 	if p.closed {
 		return errors.New("oram: pipeline is closed")
 	}
@@ -328,6 +340,7 @@ func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
 		if t0 != 0 {
 			p.ins.AdmitUs.Observe(float64(p.now() - t0))
 		}
+		p.emitSpan(tc, obs.SpanAdmit, t0)
 		p.doneFn(ctx, out, ops, err)
 		return nil
 	}
@@ -337,6 +350,7 @@ func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
 	t0 := p.now()
 	s := p.slots[p.next%uint64(p.depth)]
 	s.reset(p.next, ctx, write)
+	s.tc = tc
 
 	// Admission: the full serial protocol pass. Data movement lands in
 	// s.jobs/s.outs via pipePlane; the op list is built directly into
@@ -369,6 +383,7 @@ func (p *Pipeline) Submit(ctx any, id BlockID, write bool, data []byte) error {
 	if t0 != 0 {
 		p.ins.AdmitUs.Observe(float64(p.now() - t0))
 	}
+	p.emitSpan(tc, obs.SpanAdmit, t0)
 	p.ins.Recorder.Emit(obs.Event{TS: p.now(), Kind: obs.EvPipelineAdmit,
 		Track: int32(s.idx), Arg0: int64(p.next - p.head), Arg1: int64(len(s.jobs))})
 	if p.pool != nil {
@@ -436,6 +451,7 @@ func (s *pipeSlot) reset(seq uint64, ctx any, write bool) {
 	s.outValid = false
 	s.parked = false
 	s.done = false
+	s.tc = obs.TraceContext{}
 }
 
 // depend parks s on o's completion (no-op on self).
@@ -563,6 +579,7 @@ func (p *Pipeline) retireOne() {
 	if t0 != 0 {
 		p.ins.RetireUs.Observe(float64(p.now() - t0))
 	}
+	p.emitSpan(s.tc, obs.SpanRetire, t0)
 	p.ins.Recorder.Emit(obs.Event{TS: p.now(), Kind: obs.EvPipelineRetire,
 		Track: int32(s.idx), Arg0: int64(p.next - p.head), Arg1: int64(len(s.ops))})
 }
@@ -599,6 +616,19 @@ func (p *Pipeline) now() int64 {
 		return p.ins.Clock()
 	}
 	return 0
+}
+
+// emitSpan records one leaf stage span for a traced access: trace from
+// tc, parented on the submitter's serve span, spanning t0..now in the
+// instrumentation clock's domain. Untraced accesses (zero tc) and
+// clockless pipelines (t0 == 0) skip it entirely; Emit itself never
+// allocates, so the traced hot path stays allocation-free too.
+func (p *Pipeline) emitSpan(tc obs.TraceContext, kind obs.SpanKind, t0 int64) {
+	if t0 == 0 || !tc.Valid() {
+		return
+	}
+	p.ins.Tracer.Emit(obs.Span{Hi: tc.Hi, Lo: tc.Lo, Parent: tc.SpanID,
+		TS: t0, Dur: p.now() - t0, Kind: kind, Track: p.ins.Track})
 }
 
 // worker pulls dispatched slots off the queue, parks until their
@@ -648,6 +678,7 @@ func (p *Pipeline) waitDeps(s *pipeSlot) {
 	p.mu.Unlock()
 	if waited && t0 != 0 {
 		p.ins.WaitUs.Observe(float64(p.now() - t0))
+		p.emitSpan(s.tc, obs.SpanWait, t0)
 	}
 }
 
@@ -765,6 +796,7 @@ func (p *Pipeline) execute(s *pipeSlot) {
 	}
 	if t0 != 0 {
 		p.ins.ExecUs.Observe(float64(p.now() - t0))
+		p.emitSpan(s.tc, obs.SpanExec, t0)
 	}
 }
 

@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"stringoram/internal/obs"
 )
 
 // BenchmarkServerGetPut measures end-to-end serving throughput through
@@ -47,6 +50,66 @@ func BenchmarkServerGetPut(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchServerGetPutCtx is BenchmarkServerGetPut with a trace context
+// attached to every request; sample controls the server's head-sampling
+// rate and tc whether the context actually passes the sampler. The
+// Traced/TracedSampled pair quantifies the tracing tax: unsampled must
+// match the untraced baseline (same 0 allocs/op), sampled bounds the
+// full-rate span-recording cost.
+func benchServerGetPutCtx(b *testing.B, sample uint64, tc obs.TraceContext) {
+	srv, err := New(Config{
+		Shards:      1,
+		MaxBatch:    1,
+		ORAM:        DefaultORAM(10),
+		Seed:        1,
+		Key:         []byte("bench-key-16byte"),
+		TraceSample: sample,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	const keys = 128
+	val := bytes.Repeat([]byte{7}, 48)
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("key-%03d", i)
+		if err := srv.Put(names[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := names[i%keys]
+		if i%2 == 0 {
+			if err := srv.PutCtx(tc, key, val, time.Time{}); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, _, err := srv.GetCtx(tc, key, time.Time{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkServerGetPutTraced is the tracing-attached-but-unsampled
+// data plane: every request carries a context, the sampler drops all of
+// them. Must match BenchmarkServerGetPut (0 allocs/op).
+func BenchmarkServerGetPutTraced(b *testing.B) {
+	tc := obs.TraceContext{Hi: 0xabcdef, Lo: 0x3, SpanID: 0x11} // Lo&1023 != 0: never sampled
+	benchServerGetPutCtx(b, 1024, tc)
+}
+
+// BenchmarkServerGetPutTracedSampled records a serve span for every
+// request — the worst-case tracing overhead the ≤5% budget bounds.
+func BenchmarkServerGetPutTracedSampled(b *testing.B) {
+	tc := obs.TraceContext{Hi: 0xabcdef, Lo: 0x400, SpanID: 0x11} // Lo&1023 == 0: always sampled
+	benchServerGetPutCtx(b, 1024, tc)
 }
 
 // benchServerThroughput measures sustained single-shard serving

@@ -53,6 +53,22 @@ func (m Metrics) ThroughputPerSecond() float64 {
 	return float64(m.Gets+m.Puts) / m.UptimeSeconds
 }
 
+// requestSecondsBounds spans 100µs..~3s log-scale — wide enough for the
+// in-process fast path and a cross-node forwarded op under load.
+var requestSecondsBounds = obs.ExpBuckets(100e-6, 2, 15)
+
+// LatencyHistograms returns each hosted shard's request-latency
+// histogram, for wiring SLO objectives over live serving traffic.
+func (s *Server) LatencyHistograms() []*obs.Histogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*obs.Histogram, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.m.latSecs
+	}
+	return out
+}
+
 // shardMetrics is one shard's counter set, held as obs instruments so a
 // single update site feeds both the Prometheus exposition and the
 // Metrics snapshot. The counters are atomic (the worker goroutine, the
@@ -71,6 +87,11 @@ type shardMetrics struct {
 	slotAccesses *obs.Counter
 
 	keys *obs.Gauge
+
+	// latSecs is the request-latency histogram feeding Prometheus
+	// aggregation and SLO evaluation (the reservoir below keeps serving
+	// the exact-quantile Metrics snapshot).
+	latSecs *obs.Histogram
 
 	mu    sync.Mutex
 	lat   *stats.Reservoir
@@ -100,6 +121,8 @@ func (m *shardMetrics) init(reg *obs.Registry, shard int, seed uint64) {
 	m.oramAccesses = reg.Counter(l("server_oram_accesses_total", ""), "Logical ORAM accesses issued.")
 	m.slotAccesses = reg.Counter(l("server_slot_accesses_total", ""), "Physical slot accesses emitted.")
 	m.keys = reg.Gauge(l("server_keys", ""), "Keys in the shard directory as of its last batch.")
+	m.latSecs = reg.Histogram(l("server_request_seconds", ""),
+		"Request latency (enqueue to response) in seconds.", requestSecondsBounds)
 	m.lat = stats.NewReservoir(stats.DefaultReservoirSize, shardSeed(seed, shard)^0xc0ffee)
 }
 
@@ -131,6 +154,7 @@ func (m *shardMetrics) noteDone(op opKind, res result, lat time.Duration) {
 	default:
 		m.failed.Inc()
 	}
+	m.latSecs.Observe(lat.Seconds())
 	m.mu.Lock()
 	m.lat.Add(lat.Seconds())
 	m.mu.Unlock()

@@ -165,8 +165,16 @@ type Config struct {
 	// applied locally but reported unacknowledged, which is how a
 	// cluster primary refuses to ack a write it could not replicate.
 	// The hook is on the steady-state apply path and must not allocate
-	// (the cluster op log appends into reused buffers).
-	OnApply func(shard int, seq uint64, key string, val []byte) error
+	// (the cluster op log appends into reused buffers). tc is the write's
+	// distributed trace context (zero when the request is untraced or
+	// unsampled); implementations propagate it into replication frames.
+	OnApply func(tc obs.TraceContext, shard int, seq uint64, key string, val []byte) error
+	// TraceSample enables distributed tracing: requests arriving with a
+	// trace context are kept when the power-of-two sampler on the trace
+	// ID fires (1 keeps every trace, 1024 keeps ~1/1024; see
+	// obs.TraceContext.Sampled). 0 disables tracing — contexts still
+	// propagate on the wire, but no spans are recorded here.
+	TraceSample uint64
 	// Obs, when non-nil, receives every serving and per-shard protocol
 	// instrument (exposed by oramd on /metrics). When nil the server
 	// registers on a private registry, so the counters always count and
@@ -278,6 +286,12 @@ type request struct {
 	// admission): its pipelined completion must answer found=false and
 	// discard the probe data.
 	miss bool
+	// tc is the request's sampled trace context (zero when untraced or
+	// dropped by the sampler) and span the serve span minted for it at
+	// admission. Both carry only opaque identifiers — never key or value
+	// bytes — so telemetry stays leakage-free.
+	tc   obs.TraceContext
+	span uint64
 	done chan result
 }
 
@@ -307,6 +321,13 @@ type Server struct {
 	reg *obs.Registry // never nil after New (cfg.Obs or private)
 	rec *obs.Recorder // wall-clock batch spans (µs since start)
 
+	// Tracing state: the span ring, the span-ID source, and the sampling
+	// rate. All are fixed at New; tracer and tsrc are always non-nil so
+	// the scrape path needs no nil checks (rate 0 just never samples).
+	tracer    *obs.TraceBuffer
+	tsrc      *obs.TraceSource
+	traceRate uint64
+
 	// pool is the shared data-plane worker pool every pipelined shard's
 	// controller feeds (nil when Pipeline <= 1: serial and inline shards
 	// run no workers).
@@ -334,8 +355,9 @@ type shard struct {
 	done    chan struct{} // closed when the worker exits (detach/Close sync)
 	m       shardMetrics
 	onBatch func(shard, n int)
-	rec     *obs.Recorder // server-wide batch-span recorder
-	epoch   time.Time     // server start; batch spans are µs since epoch
+	rec     *obs.Recorder    // server-wide batch-span recorder
+	tracer  *obs.TraceBuffer // server-wide distributed-trace span ring
+	epoch   time.Time        // server start; batch and trace spans are µs since epoch
 
 	// serving gates client ops (Get/Put): false for follower replicas
 	// and shards sealed for handoff, which answer ErrWrongShard.
@@ -349,7 +371,7 @@ type shard struct {
 	nextID      oram.BlockID
 	appliedSeq  uint64 // sequence number of the last applied write (worker-owned)
 	totalShards int    // global shard count stamped into snapshots
-	onApply     func(shard int, seq uint64, key string, val []byte) error
+	onApply     func(tc obs.TraceContext, shard int, seq uint64, key string, val []byte) error
 	maxKeys     int
 	maxBatch    int
 	blockSize   int
@@ -373,6 +395,9 @@ func New(cfg Config) (*Server, error) {
 		s.reg = obs.NewRegistry()
 	}
 	s.rec = obs.NewRecorder("wall_us", serverFlightRecCap)
+	s.tracer = obs.NewTraceBuffer(serverTraceBufCap)
+	s.tsrc = obs.NewTraceSource(cfg.Seed ^ 0x7472616365) // decorrelate from protocol randomness
+	s.traceRate = cfg.TraceSample
 	if cfg.Pipeline > 1 {
 		s.pool = oram.NewWorkerPool(cfg.Workers)
 		s.reg.GaugeFunc(`server_pool_executed`,
@@ -421,6 +446,7 @@ func (s *Server) buildShard(id int, snap []byte) (*shard, error) {
 		done:        make(chan struct{}),
 		onBatch:     cfg.onBatch,
 		rec:         s.rec,
+		tracer:      s.tracer,
 		epoch:       s.start,
 		totalShards: cfg.TotalShards,
 		onApply:     cfg.OnApply,
@@ -455,6 +481,8 @@ func (s *Server) buildShard(id int, snap []byte) (*shard, error) {
 		pins := oram.NewPipelineInstruments(s.reg, fmt.Sprintf(`shard="%d"`, id))
 		pins.Recorder = s.rec
 		pins.Clock = func() int64 { return time.Since(s.start).Microseconds() }
+		pins.Tracer = s.tracer
+		pins.Track = int32(id)
 		pipe, err := oram.AttachPipeline(sh.ring, oram.PipelineOptions{
 			Depth: cfg.Pipeline,
 			Pool:  s.pool,
@@ -548,7 +576,14 @@ func (s *Server) Get(key string) ([]byte, bool, error) {
 // GetDeadline is Get with an explicit deadline (zero applies the
 // configured default timeout).
 func (s *Server) GetDeadline(key string, deadline time.Time) ([]byte, bool, error) {
-	res := s.do(opGet, key, nil, deadline)
+	return s.GetCtx(obs.TraceContext{}, key, deadline)
+}
+
+// GetCtx is GetDeadline carrying a distributed trace context: when the
+// server's sampler keeps the trace, the request's serve span and
+// pipeline stage spans land in Tracer(), parented on tc's span.
+func (s *Server) GetCtx(tc obs.TraceContext, key string, deadline time.Time) ([]byte, bool, error) {
+	res := s.do(tc, opGet, key, nil, deadline)
 	return res.val, res.found, res.err
 }
 
@@ -561,7 +596,13 @@ func (s *Server) Put(key string, val []byte) error {
 // PutDeadline is Put with an explicit deadline (zero applies the
 // configured default timeout).
 func (s *Server) PutDeadline(key string, val []byte, deadline time.Time) error {
-	return s.do(opPut, key, val, deadline).err
+	return s.PutCtx(obs.TraceContext{}, key, val, deadline)
+}
+
+// PutCtx is PutDeadline carrying a distributed trace context (see
+// GetCtx).
+func (s *Server) PutCtx(tc obs.TraceContext, key string, val []byte, deadline time.Time) error {
+	return s.do(tc, opPut, key, val, deadline).err
 }
 
 // MaxValueLen returns the largest value Put accepts.
@@ -583,10 +624,38 @@ func (s *Server) Obs() *obs.Registry { return s.reg }
 // the simulator recorders, which are cycle-stamped.
 func (s *Server) FlightRecorder() *obs.Recorder { return s.rec }
 
+// serverTraceBufCap bounds the distributed-trace span ring: 4096 spans
+// of 61 wire bytes each keep a full scrape well under one wire frame.
+const serverTraceBufCap = 4096
+
+// Tracer returns the server's distributed-trace span ring. Span
+// timestamps are microseconds since server start (the same domain as
+// the flight recorder), aligned across nodes by obs.MergeTraces.
+func (s *Server) Tracer() *obs.TraceBuffer { return s.tracer }
+
+// TraceSource returns the server's span-ID source (shared with the
+// cluster layer so replication and forward spans join the same ID
+// space).
+func (s *Server) TraceSource() *obs.TraceSource { return s.tsrc }
+
+// NowMicros returns the server's local span clock: microseconds since
+// start.
+func (s *Server) NowMicros() int64 { return time.Since(s.start).Microseconds() }
+
+// sampleTrace stamps req with tc and a fresh serve-span ID iff tracing
+// is on, tc is real, and the head sampler keeps the trace. Requests
+// from the pool arrive zeroed, so the unsampled path writes nothing.
+func (s *Server) sampleTrace(req *request, tc obs.TraceContext) {
+	if s.traceRate != 0 && tc.Valid() && tc.Sampled(s.traceRate) {
+		req.tc = tc
+		req.span = s.tsrc.SpanID()
+	}
+}
+
 // do validates, routes and enqueues one request, then waits for its
 // single response. Validation failures and backpressure reject before
 // any ORAM state is touched.
-func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) result {
+func (s *Server) do(tc obs.TraceContext, op opKind, key string, val []byte, deadline time.Time) result {
 	if key == "" || len(key) > MaxKeyLen {
 		return result{err: fmt.Errorf("%w: %d bytes", ErrBadKey, len(key))}
 	}
@@ -599,6 +668,7 @@ func (s *Server) do(op opKind, key string, val []byte, deadline time.Time) resul
 	req := reqPool.Get().(*request)
 	req.op, req.key, req.val = op, key, val
 	req.deadline, req.enqueued = deadline, time.Now()
+	s.sampleTrace(req, tc)
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -663,6 +733,12 @@ func (s *Server) sendShard(gid int, req *request) result {
 // replicas and sealed shards accept replication while refusing client
 // traffic.
 func (s *Server) Apply(shardID int, seq uint64, key string, val []byte) error {
+	return s.ApplyCtx(obs.TraceContext{}, shardID, seq, key, val)
+}
+
+// ApplyCtx is Apply carrying the primary's trace context, so a
+// replicated write's follower-side apply span joins the same trace.
+func (s *Server) ApplyCtx(tc obs.TraceContext, shardID int, seq uint64, key string, val []byte) error {
 	if key == "" || len(key) > MaxKeyLen {
 		return fmt.Errorf("%w: %d bytes", ErrBadKey, len(key))
 	}
@@ -672,6 +748,7 @@ func (s *Server) Apply(shardID int, seq uint64, key string, val []byte) error {
 	req := reqPool.Get().(*request)
 	req.op, req.key, req.val, req.seq = opApply, key, val, seq
 	req.enqueued = time.Now()
+	s.sampleTrace(req, tc)
 	return s.sendShard(shardID, req).err
 }
 
@@ -804,6 +881,7 @@ func (s *Server) DetachShard(shardID int) ([]byte, error) {
 // the pool.
 func releaseRequest(req *request) {
 	req.key, req.val = "", nil
+	req.tc, req.span = obs.TraceContext{}, 0
 	reqPool.Put(req)
 }
 
@@ -993,7 +1071,10 @@ type busOp struct {
 // Serial shards run the access inline and finish immediately.
 func (sh *shard) access(r *request, id oram.BlockID, write bool, block []byte) {
 	if sh.pipe != nil {
-		if err := sh.pipe.Submit(r, id, write, block); err != nil {
+		// The stage spans' parent is the request's serve span; r.tc is
+		// zero for untraced requests, making the child context invalid
+		// and the pipeline's span emission a no-op.
+		if err := sh.pipe.SubmitTraced(r, id, write, block, r.tc.Child(r.span)); err != nil {
 			sh.respond(r, result{err: fmt.Errorf("shard %d: %w", sh.id, err)})
 		}
 		return
@@ -1049,7 +1130,7 @@ func (sh *shard) finish(r *request, data []byte, ops []oram.Op, err error) {
 	sh.appliedSeq = seq
 	if sh.onApply != nil {
 		//oramlint:allow secret-branch the hook's error is operational replication state (dead peer, stale epoch), independent of key contents; the ORAM access for this write was already emitted before finish ran
-		if aerr := sh.onApply(sh.id, seq, r.key, r.val); aerr != nil {
+		if aerr := sh.onApply(r.tc.Child(r.span), sh.id, seq, r.key, r.val); aerr != nil {
 			sh.respond(r, result{err: fmt.Errorf("shard %d apply hook: %w", sh.id, aerr)})
 			return
 		}
@@ -1057,9 +1138,31 @@ func (sh *shard) finish(r *request, data []byte, ops []oram.Op, err error) {
 	sh.respond(r, result{seq: seq})
 }
 
-// respond delivers the request's single response and records latency.
+// respond delivers the request's single response and records latency,
+// plus the request's serve span when it was sampled at admission. The
+// span carries only identifiers and timings — key and value never reach
+// the tracer.
 func (sh *shard) respond(r *request, res result) {
 	sh.m.noteDone(r.op, res, time.Since(r.enqueued))
+	if r.span != 0 {
+		kind := obs.SpanServeGet
+		switch r.op {
+		case opPut:
+			kind = obs.SpanServePut
+		case opApply:
+			kind = obs.SpanServeApply
+		}
+		sh.tracer.Emit(obs.Span{
+			Hi:     r.tc.Hi,
+			Lo:     r.tc.Lo,
+			ID:     r.span,
+			Parent: r.tc.SpanID,
+			TS:     r.enqueued.Sub(sh.epoch).Microseconds(),
+			Dur:    time.Since(r.enqueued).Microseconds(),
+			Kind:   kind,
+			Track:  int32(sh.id),
+		})
+	}
 	r.done <- res
 }
 

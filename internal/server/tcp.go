@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"stringoram/internal/obs"
 )
 
 // ErrProtocolMismatch reports a hello handshake against a peer speaking
@@ -37,8 +40,9 @@ const forwardTTL = 3
 type ClusterBackend interface {
 	// Replicate applies one op-log entry shipped by a primary. It must
 	// reject entries carrying a placement version older than the node's
-	// with ErrStalePlacement (fencing for deposed primaries).
-	Replicate(pver uint64, shard int, seq uint64, key string, val []byte) error
+	// with ErrStalePlacement (fencing for deposed primaries). tc is the
+	// write's distributed trace context (zero when untraced).
+	Replicate(tc obs.TraceContext, pver uint64, shard int, seq uint64, key string, val []byte) error
 	// HandoffChunk ingests one chunk of a shard snapshot stream; the
 	// implementation installs the shard when last is set.
 	HandoffChunk(shard int, first, last bool, data []byte) error
@@ -52,9 +56,9 @@ type ClusterBackend interface {
 	Promote(pver uint64, shard int) error
 	// ForwardGet relays a get one hop toward the shard's owner with the
 	// given remaining TTL.
-	ForwardGet(key string, ttl int, timeoutMillis uint32) (val []byte, found bool, err error)
+	ForwardGet(tc obs.TraceContext, key string, ttl int, timeoutMillis uint32) (val []byte, found bool, err error)
 	// ForwardPut relays a put one hop toward the shard's owner.
-	ForwardPut(key string, val []byte, ttl int, timeoutMillis uint32) error
+	ForwardPut(tc obs.TraceContext, key string, val []byte, ttl int, timeoutMillis uint32) error
 }
 
 // TCPServer exposes a Server over the length-prefixed wire protocol.
@@ -74,6 +78,12 @@ type TCPServer struct {
 	conns  map[net.Conn]*atomic.Int64 // conn -> in-flight request count
 	closed bool
 	connWG sync.WaitGroup
+
+	// legacyWire makes this node answer every post-hello opcode (caps,
+	// traced, scrape) with statusBad, exactly like a pre-capability
+	// build. Operational rollback switch, and the mixed-version tests'
+	// old-server stand-in.
+	legacyWire atomic.Bool
 }
 
 // NewTCPServer wraps srv; call Serve to start accepting.
@@ -88,6 +98,13 @@ func (t *TCPServer) AttachCluster(cb ClusterBackend, nodeID string) {
 	t.cluster = cb
 	t.nodeID = nodeID
 }
+
+// SetLegacyWire toggles pre-capability wire emulation: when on, the
+// node rejects wireCaps (and every capability-gated frame) with
+// statusBad while serving the v2 core protocol normally — the observed
+// behavior of a build that predates the capability handshake. Used for
+// staged rollbacks and mixed-version testing.
+func (t *TCPServer) SetLegacyWire(on bool) { t.legacyWire.Store(on) }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after
 // a Shutdown-initiated stop, or the accept error otherwise.
@@ -304,13 +321,17 @@ func (t *TCPServer) dispatch(r wireRequest) wireResponse {
 	if r.TimeoutMillis > 0 {
 		deadline = time.Now().Add(time.Duration(r.TimeoutMillis) * time.Millisecond)
 	}
+	if r.Op >= wireCaps && t.legacyWire.Load() {
+		// Pre-capability emulation: unknown op, connection stays up.
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("unknown op %d", r.Op))}
+	}
 	switch r.Op {
 	case wirePing:
 		return wireResponse{Status: statusOK, Seq: r.Seq}
 	case wireGet:
-		return t.serveGet(r.Seq, r.Key, deadline, forwardTTL, r.TimeoutMillis)
+		return t.serveGet(obs.TraceContext{}, r.Seq, r.Key, deadline, forwardTTL, r.TimeoutMillis)
 	case wirePut:
-		return t.servePut(r.Seq, r.Key, r.Val, deadline, forwardTTL, r.TimeoutMillis)
+		return t.servePut(obs.TraceContext{}, r.Seq, r.Key, r.Val, deadline, forwardTTL, r.TimeoutMillis)
 	case wireMetrics:
 		body, err := json.Marshal(t.srv.Metrics())
 		if err != nil {
@@ -318,7 +339,7 @@ func (t *TCPServer) dispatch(r wireRequest) wireResponse {
 		}
 		return wireResponse{Status: statusOK, Seq: r.Seq, Body: body}
 	case wireReplicate:
-		return t.serveReplicate(r)
+		return t.serveReplicate(obs.TraceContext{}, r)
 	case wireHandoff:
 		return t.serveHandoff(r)
 	case wirePlacement:
@@ -326,18 +347,87 @@ func (t *TCPServer) dispatch(r wireRequest) wireResponse {
 	case wirePromote:
 		return t.servePromote(r)
 	case wireForward:
-		return t.serveForward(r, deadline)
+		return t.serveForward(obs.TraceContext{}, r, deadline)
+	case wireCaps:
+		return t.serveCaps(r)
+	case wireTraced:
+		return t.serveTraced(r, deadline)
+	case wireScrape:
+		return t.serveScrape(r)
 	default:
 		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("unknown op %d", r.Op))}
 	}
 }
 
+// serveCaps answers the capability negotiation: the response echoes the
+// client's flags masked to what this build supports. (Old clients never
+// send it; old servers answer statusBad, which new clients treat as "no
+// capabilities".)
+func (t *TCPServer) serveCaps(r wireRequest) wireResponse {
+	flags, err := decodeCapsVal(r.Val)
+	if err != nil {
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
+	}
+	var body [capsLen]byte
+	return wireResponse{Status: statusOK, Seq: r.Seq, Body: appendCapsVal(body[:0], flags&serverCaps)}
+}
+
+// serveTraced unwraps a trace-context-carrying frame and dispatches the
+// inner op with the decoded context. Only ops that accept a context may
+// be wrapped; everything else is rejected rather than silently dropping
+// the trace.
+func (t *TCPServer) serveTraced(r wireRequest, deadline time.Time) wireResponse {
+	tc, op, val, err := decodeTracedVal(r.Val)
+	if err != nil {
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
+	}
+	inner := r
+	inner.Op, inner.Val = op, val
+	switch op {
+	case wireGet:
+		return t.serveGet(tc, r.Seq, r.Key, deadline, forwardTTL, r.TimeoutMillis)
+	case wirePut:
+		return t.servePut(tc, r.Seq, r.Key, val, deadline, forwardTTL, r.TimeoutMillis)
+	case wireReplicate:
+		return t.serveReplicate(tc, inner)
+	case wireForward:
+		return t.serveForward(tc, inner, deadline)
+	default:
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("op %d cannot carry a trace context", op))}
+	}
+}
+
+// serveScrape answers a telemetry fetch: the node's Prometheus
+// exposition or its span ring, as cluster federation inputs.
+func (t *TCPServer) serveScrape(r wireRequest) wireResponse {
+	if len(r.Val) != 1 {
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte("scrape frame wants mode:1")}
+	}
+	switch r.Val[0] {
+	case scrapeMetrics:
+		var buf bytes.Buffer
+		if err := t.srv.Obs().WritePrometheus(&buf); err != nil {
+			return errResponse(r.Seq, err)
+		}
+		return wireResponse{Status: statusOK, Seq: r.Seq, Body: buf.Bytes()}
+	case scrapeSpans:
+		spans := t.srv.Tracer().Snapshot(nil)
+		body := make([]byte, 0, len(spans)*obs.SpanWireLen)
+		for _, s := range spans {
+			body = obs.AppendSpan(body, s)
+		}
+		return wireResponse{Status: statusOK, Seq: r.Seq, Body: body}
+	default:
+		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("unknown scrape mode %d", r.Val[0]))}
+	}
+}
+
 // serveGet answers a get locally, forwarding one hop when this node
 // does not serve the key's shard and a cluster layer is attached.
-func (t *TCPServer) serveGet(seq uint64, key string, deadline time.Time, ttl int, timeoutMillis uint32) wireResponse {
-	val, found, err := t.srv.GetDeadline(key, deadline)
+func (t *TCPServer) serveGet(tc obs.TraceContext, seq uint64, key string, deadline time.Time, ttl int, timeoutMillis uint32) wireResponse {
+	val, found, err := t.srv.GetCtx(tc, key, deadline)
 	if errors.Is(err, ErrWrongShard) && t.cluster != nil && ttl > 0 {
-		val, found, err = t.cluster.ForwardGet(key, ttl-1, timeoutMillis)
+		val, found, err = t.cluster.ForwardGet(tc, key, ttl-1, timeoutMillis)
 	}
 	if err != nil {
 		return errResponse(seq, err)
@@ -350,10 +440,10 @@ func (t *TCPServer) serveGet(seq uint64, key string, deadline time.Time, ttl int
 
 // servePut answers a put locally, forwarding one hop when this node
 // does not serve the key's shard and a cluster layer is attached.
-func (t *TCPServer) servePut(seq uint64, key string, val []byte, deadline time.Time, ttl int, timeoutMillis uint32) wireResponse {
-	err := t.srv.PutDeadline(key, val, deadline)
+func (t *TCPServer) servePut(tc obs.TraceContext, seq uint64, key string, val []byte, deadline time.Time, ttl int, timeoutMillis uint32) wireResponse {
+	err := t.srv.PutCtx(tc, key, val, deadline)
 	if errors.Is(err, ErrWrongShard) && t.cluster != nil && ttl > 0 {
-		err = t.cluster.ForwardPut(key, val, ttl-1, timeoutMillis)
+		err = t.cluster.ForwardPut(tc, key, val, ttl-1, timeoutMillis)
 	}
 	if err != nil {
 		return errResponse(seq, err)
@@ -369,7 +459,7 @@ func (t *TCPServer) clusterOnly(seq uint64) (wireResponse, bool) {
 	return wireResponse{}, true
 }
 
-func (t *TCPServer) serveReplicate(r wireRequest) wireResponse {
+func (t *TCPServer) serveReplicate(tc obs.TraceContext, r wireRequest) wireResponse {
 	if resp, ok := t.clusterOnly(r.Seq); !ok {
 		return resp
 	}
@@ -377,7 +467,7 @@ func (t *TCPServer) serveReplicate(r wireRequest) wireResponse {
 	if err != nil {
 		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
 	}
-	if err := t.cluster.Replicate(pver, shard, seq, r.Key, val); err != nil {
+	if err := t.cluster.Replicate(tc, pver, shard, seq, r.Key, val); err != nil {
 		return errResponse(r.Seq, err)
 	}
 	return wireResponse{Status: statusOK, Seq: r.Seq}
@@ -428,16 +518,16 @@ func (t *TCPServer) servePromote(r wireRequest) wireResponse {
 	return wireResponse{Status: statusOK, Seq: r.Seq}
 }
 
-func (t *TCPServer) serveForward(r wireRequest, deadline time.Time) wireResponse {
+func (t *TCPServer) serveForward(tc obs.TraceContext, r wireRequest, deadline time.Time) wireResponse {
 	op, ttl, val, err := decodeForwardVal(r.Val)
 	if err != nil {
 		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(err.Error())}
 	}
 	switch op {
 	case wireGet:
-		return t.serveGet(r.Seq, r.Key, deadline, ttl, r.TimeoutMillis)
+		return t.serveGet(tc, r.Seq, r.Key, deadline, ttl, r.TimeoutMillis)
 	case wirePut:
-		return t.servePut(r.Seq, r.Key, val, deadline, ttl, r.TimeoutMillis)
+		return t.servePut(tc, r.Seq, r.Key, val, deadline, ttl, r.TimeoutMillis)
 	default:
 		return wireResponse{Status: statusBad, Seq: r.Seq, Body: []byte(fmt.Sprintf("forward of op %d not allowed", op))}
 	}
@@ -481,6 +571,11 @@ type Client struct {
 	seq     uint64
 	pending map[uint64]chan wireResponse
 	err     error
+
+	// traced is set when EnableTracing negotiated the tracing capability
+	// with the peer. Trace contexts are only ever put on the wire when it
+	// is set, so no trace header can leak to a pre-capability peer.
+	traced atomic.Bool
 
 	serverNodeID string // learned in the hello handshake
 }
@@ -540,6 +635,36 @@ func (c *Client) hello(nodeID string) error {
 // ServerNodeID reports the node ID the peer announced in the handshake
 // (empty for non-cluster servers).
 func (c *Client) ServerNodeID() string { return c.serverNodeID }
+
+// EnableTracing negotiates the tracing capability. It returns false
+// (with nil error) against a peer that predates the capability
+// handshake — such peers answer the probe with "unknown op" without
+// dropping the connection, and this client then never sends them a
+// trace header. Safe to call concurrently with traffic; contexts are
+// dropped, not queued, until negotiation lands.
+func (c *Client) EnableTracing() (bool, error) {
+	var buf [capsLen]byte
+	resp, err := c.roundTrip(wireCaps, "", appendCapsVal(buf[:0], capTracing))
+	if err != nil {
+		return false, err
+	}
+	if resp.Status == statusBad {
+		return false, nil // pre-capability peer
+	}
+	if err := respError(resp); err != nil {
+		return false, err
+	}
+	flags, err := decodeCapsVal(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	on := flags&capTracing != 0
+	c.traced.Store(on)
+	return on, nil
+}
+
+// TracingEnabled reports whether the tracing capability was negotiated.
+func (c *Client) TracingEnabled() bool { return c.traced.Load() }
 
 // readLoop routes response frames to their waiters; on connection error
 // it fails every pending and future request with that error.
@@ -645,6 +770,23 @@ func (c *Client) roundTrip(op wireOp, key string, val []byte) (wireResponse, err
 	return resp, nil
 }
 
+// roundTripCtx is roundTrip with an optional trace context: a valid
+// context on a tracing-negotiated connection rides a wireTraced wrapper
+// (staged in a pooled buffer — no per-request allocation); otherwise
+// the plain frame is sent and the context stays local. This is the
+// leakage gate: an old peer can never receive a trace header because
+// its connection never negotiated the capability.
+func (c *Client) roundTripCtx(tc obs.TraceContext, op wireOp, key string, val []byte) (wireResponse, error) {
+	if !tc.Valid() || !c.traced.Load() {
+		return c.roundTrip(op, key, val)
+	}
+	fp := framePool.Get().(*[]byte)
+	*fp = appendTracedVal((*fp)[:0], tc, op, val)
+	resp, err := c.roundTrip(wireTraced, key, *fp)
+	framePool.Put(fp)
+	return resp, err
+}
+
 // respError maps a non-OK response to the typed serving errors, so
 // Retryable works identically on both sides of the wire. Statuses with
 // no specific sentinel wrap ErrRemote: the server answered, so failover
@@ -675,7 +817,13 @@ func respError(resp wireResponse) error {
 
 // Get fetches a value; found is false for keys never written.
 func (c *Client) Get(key string) (val []byte, found bool, err error) {
-	resp, err := c.roundTrip(wireGet, key, nil)
+	return c.GetCtx(obs.TraceContext{}, key)
+}
+
+// GetCtx is Get carrying a distributed trace context (sent only on
+// tracing-negotiated connections).
+func (c *Client) GetCtx(tc obs.TraceContext, key string) (val []byte, found bool, err error) {
+	resp, err := c.roundTripCtx(tc, wireGet, key, nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -690,7 +838,12 @@ func (c *Client) Get(key string) (val []byte, found bool, err error) {
 
 // Put stores a value.
 func (c *Client) Put(key string, val []byte) error {
-	resp, err := c.roundTrip(wirePut, key, val)
+	return c.PutCtx(obs.TraceContext{}, key, val)
+}
+
+// PutCtx is Put carrying a distributed trace context.
+func (c *Client) PutCtx(tc obs.TraceContext, key string, val []byte) error {
+	resp, err := c.roundTripCtx(tc, wirePut, key, val)
 	if err != nil {
 		return err
 	}
@@ -730,9 +883,15 @@ func (c *Client) Metrics() (Metrics, error) {
 
 // Replicate ships one op-log entry to a follower and waits for its ack.
 func (c *Client) Replicate(pver uint64, shard int, seq uint64, key string, val []byte) error {
+	return c.ReplicateCtx(obs.TraceContext{}, pver, shard, seq, key, val)
+}
+
+// ReplicateCtx is Replicate carrying the write's trace context, so the
+// follower's apply span joins the primary's trace.
+func (c *Client) ReplicateCtx(tc obs.TraceContext, pver uint64, shard int, seq uint64, key string, val []byte) error {
 	fp := framePool.Get().(*[]byte)
 	*fp = appendReplicateVal((*fp)[:0], pver, shard, seq, val)
-	resp, err := c.roundTrip(wireReplicate, key, *fp)
+	resp, err := c.roundTripCtx(tc, wireReplicate, key, *fp)
 	framePool.Put(fp)
 	if err != nil {
 		return err
@@ -794,8 +953,13 @@ func (c *Client) Promote(pver uint64, shard int) error {
 
 // ForwardGet relays a get to the peer with the given remaining TTL.
 func (c *Client) ForwardGet(key string, ttl int) (val []byte, found bool, err error) {
+	return c.ForwardGetCtx(obs.TraceContext{}, key, ttl)
+}
+
+// ForwardGetCtx is ForwardGet carrying a distributed trace context.
+func (c *Client) ForwardGetCtx(tc obs.TraceContext, key string, ttl int) (val []byte, found bool, err error) {
 	var buf [forwardHdrLen]byte
-	resp, err := c.roundTrip(wireForward, key, appendForwardVal(buf[:0], wireGet, ttl, nil))
+	resp, err := c.roundTripCtx(tc, wireForward, key, appendForwardVal(buf[:0], wireGet, ttl, nil))
 	if err != nil {
 		return nil, false, err
 	}
@@ -810,12 +974,42 @@ func (c *Client) ForwardGet(key string, ttl int) (val []byte, found bool, err er
 
 // ForwardPut relays a put to the peer with the given remaining TTL.
 func (c *Client) ForwardPut(key string, val []byte, ttl int) error {
+	return c.ForwardPutCtx(obs.TraceContext{}, key, val, ttl)
+}
+
+// ForwardPutCtx is ForwardPut carrying a distributed trace context.
+func (c *Client) ForwardPutCtx(tc obs.TraceContext, key string, val []byte, ttl int) error {
 	fp := framePool.Get().(*[]byte)
 	*fp = appendForwardVal((*fp)[:0], wirePut, ttl, val)
-	resp, err := c.roundTrip(wireForward, key, *fp)
+	resp, err := c.roundTripCtx(tc, wireForward, key, *fp)
 	framePool.Put(fp)
 	if err != nil {
 		return err
 	}
 	return respError(resp)
+}
+
+// ScrapeMetrics fetches the peer's Prometheus text exposition (the
+// cluster federation input).
+func (c *Client) ScrapeMetrics() ([]byte, error) {
+	resp, err := c.roundTrip(wireScrape, "", []byte{scrapeMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// ScrapeSpans fetches the peer's distributed-trace span ring.
+func (c *Client) ScrapeSpans() ([]obs.Span, error) {
+	resp, err := c.roundTrip(wireScrape, "", []byte{scrapeSpans})
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(resp); err != nil {
+		return nil, err
+	}
+	return obs.DecodeSpans(resp.Body)
 }

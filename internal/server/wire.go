@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"stringoram/internal/obs"
 )
 
 // Wire protocol: length-prefixed binary frames over a byte stream.
@@ -58,6 +60,35 @@ const (
 	// node does not serve the key's shard: Key is the key, Val is
 	// op:1 ttl:1 value.
 	wireForward wireOp = 10
+	// wireCaps negotiates optional capabilities after hello: Val is an
+	// 8-byte flag word, echoed back masked to what the server supports.
+	// Pre-capability servers answer statusBad (unknown op) without
+	// closing the connection, so a new client downgrades gracefully —
+	// and never sends capability-gated frames on that connection.
+	wireCaps wireOp = 11
+	// wireTraced wraps another request frame with a distributed trace
+	// context: Val is traceHi:8 traceLo:8 spanID:8 innerOp:1 innerVal
+	// (Key and the timeout ride in the outer frame). Only valid on
+	// connections where wireCaps negotiated capTracing.
+	wireTraced wireOp = 12
+	// wireScrape fetches node telemetry: Val is mode:1, where mode 0
+	// returns the Prometheus text exposition and mode 1 a binary span
+	// dump (obs.Span wire encoding). Used by cluster federation.
+	wireScrape wireOp = 13
+)
+
+// Capability flags negotiated by wireCaps.
+const (
+	capTracing uint64 = 1 << 0
+
+	// serverCaps is everything this build supports.
+	serverCaps = capTracing
+)
+
+// wireScrape modes.
+const (
+	scrapeMetrics byte = 0
+	scrapeSpans   byte = 1
 )
 
 // wireStatus is the response status code.
@@ -283,6 +314,49 @@ func decodeForwardVal(p []byte) (op wireOp, ttl int, val []byte, err error) {
 		return 0, 0, nil, fmt.Errorf("server: forward frame too short (%d bytes)", len(p))
 	}
 	return wireOp(p[0]), int(p[1]), p[forwardHdrLen:], nil
+}
+
+// caps Val layout: flags:8.
+const capsLen = 8
+
+// appendCapsVal encodes a capability flag word.
+func appendCapsVal(dst []byte, flags uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, flags)
+}
+
+// decodeCapsVal parses a capability flag word.
+func decodeCapsVal(p []byte) (flags uint64, err error) {
+	if len(p) != capsLen {
+		return 0, fmt.Errorf("server: caps frame length %d, want %d", len(p), capsLen)
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// traced Val layout: traceHi:8 traceLo:8 spanID:8 innerOp:1 innerVal.
+// Only the identifiers cross the wire — span timestamps stay in each
+// node's local ring; obs.MergeTraces re-aligns the clocks offline.
+const tracedHdrLen = 8 + 8 + 8 + 1
+
+// appendTracedVal wraps an inner request payload with a trace context.
+func appendTracedVal(dst []byte, tc obs.TraceContext, op wireOp, val []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, tc.Hi)
+	dst = binary.BigEndian.AppendUint64(dst, tc.Lo)
+	dst = binary.BigEndian.AppendUint64(dst, tc.SpanID)
+	dst = append(dst, byte(op))
+	return append(dst, val...)
+}
+
+// decodeTracedVal parses a traced wrapper; val aliases p. The decoded
+// context's SpanID is the sender's span — the receiver parents its own
+// spans on it.
+func decodeTracedVal(p []byte) (tc obs.TraceContext, op wireOp, val []byte, err error) {
+	if len(p) < tracedHdrLen {
+		return tc, 0, nil, fmt.Errorf("server: traced frame too short (%d bytes)", len(p))
+	}
+	tc.Hi = binary.BigEndian.Uint64(p)
+	tc.Lo = binary.BigEndian.Uint64(p[8:])
+	tc.SpanID = binary.BigEndian.Uint64(p[16:])
+	return tc, wireOp(p[24]), p[tracedHdrLen:], nil
 }
 
 // hello Val layout: version:4. The OK response body mirrors it:

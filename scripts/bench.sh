@@ -13,6 +13,10 @@
 #   obs    instrumented-vs-disabled pairs for the hot paths; the entry
 #          also records the derived overhead percentages (budget: <=5%)
 #                                               -> BENCH_obs.json
+#   trace  tracing tax on the serving hot path: untraced baseline vs
+#          context-attached-unsampled vs sampled-every-request; derived
+#          overhead percentages ride the entry (budget: <=5% sampled)
+#                                               -> BENCH_obs.json
 #   server pipelined serving throughput: the serial shard worker vs the
 #          concurrent controller at k in {1,2,4,8} in-flight accesses;
 #          entries carry ops/s and the server's own p99 request latency
@@ -24,9 +28,14 @@
 #          router and the one-hop forward path, each with the
 #          client-observed p99                  -> BENCH_server.json
 #
+# Every entry is stamped with the exact commit, GOMAXPROCS, and an ISO
+# UTC timestamp, so a BENCH_*.json row is attributable without the
+# shell history that produced it.
+#
 # Usage: scripts/bench.sh [label] [group]
 #   label  entry label (default: git short hash)
-#   group  sched | oram | obs | server | cores | cluster (default: sched)
+#   group  sched | oram | obs | trace | server | cores | cluster
+#          (default: sched)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,6 +77,12 @@ obs)
 	go test -run '^$' -bench 'BenchmarkAccessFunctional$|BenchmarkAccessFunctionalObs$' \
 	    -benchmem -benchtime 2s ./internal/oram | tee -a "$tmp"
 	;;
+trace)
+	out=BENCH_obs.json
+	echo "== serving hot path: untraced vs traced-unsampled vs traced-sampled =="
+	go test -run '^$' -bench 'BenchmarkServerGetPut$|BenchmarkServerGetPutTraced$|BenchmarkServerGetPutTracedSampled$' \
+	    -benchmem -benchtime 2s ./internal/server | tee -a "$tmp"
+	;;
 server)
 	out=BENCH_server.json
 	echo "== pipelined serving throughput: serial vs k in-flight =="
@@ -89,15 +104,18 @@ cluster)
 	    -benchmem -benchtime 2s ./internal/cluster | tee -a "$tmp"
 	;;
 *)
-	echo "bench.sh: unknown group '$group' (want sched, oram, obs, server, cores, or cluster)" >&2
+	echo "bench.sh: unknown group '$group' (want sched, oram, obs, trace, server, cores, or cluster)" >&2
 	exit 1
 	;;
 esac
 
-python3 - "$label" "$tmp" "$out" <<'EOF'
-import json, re, sys
+commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-label, raw_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+python3 - "$label" "$tmp" "$out" "$commit" "$stamp" <<'EOF'
+import json, os, re, sys
+
+label, raw_path, out_path, commit, stamp = sys.argv[1:6]
 benches = {}
 pat = re.compile(
     r'^(Benchmark\w+)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) B/op\s+(\d+) allocs/op)?')
@@ -122,17 +140,32 @@ try:
     runs = json.load(open(out_path))
 except (FileNotFoundError, json.JSONDecodeError):
     runs = []
-entry = {"label": label, "benchmarks": benches}
-# For instrumented-vs-disabled pairs (the obs group), record the derived
-# overhead so the <=5% budget is auditable straight from the JSON.
+# GOMAXPROCS defaults to the CPU count when the env var is unset —
+# mirror Go's own resolution so the stamp reflects what the run used.
+entry = {
+    "label": label,
+    "commit": commit,
+    "timestamp": stamp,
+    "gomaxprocs": int(os.environ.get("GOMAXPROCS") or os.cpu_count() or 1),
+    "benchmarks": benches,
+}
+# For instrumented-vs-disabled pairs (the obs and trace groups), record
+# the derived overhead so the <=5% budget is auditable straight from the
+# JSON. Obs pairs key by the disabled baseline's name; traced pairs key
+# by the traced benchmark (both compare against the plain baseline).
 overhead = {}
 for name, bench in benches.items():
-    if not name.endswith("Obs"):
+    if name.endswith("Obs"):
+        base, key = benches.get(name[:-3]), name[:-3]
+    elif name.endswith("TracedSampled"):
+        base, key = benches.get(name[: -len("TracedSampled")]), name
+    elif name.endswith("Traced"):
+        base, key = benches.get(name[: -len("Traced")]), name
+    else:
         continue
-    base = benches.get(name[:-3])
     if base and base["ns_per_op"] > 0:
         pct = 100.0 * (bench["ns_per_op"] - base["ns_per_op"]) / base["ns_per_op"]
-        overhead[name[:-3]] = round(pct, 2)
+        overhead[key] = round(pct, 2)
 if overhead:
     entry["obs_overhead_pct"] = overhead
 runs.append(entry)

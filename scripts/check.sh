@@ -50,6 +50,13 @@ go test -race ./internal/server ./internal/cluster ./cmd/oramd
 echo "== cluster chaos gate (kill one of 3 nodes under 64 writers, -race) =="
 go test -race -count=1 -run='^TestClusterKillOneNodeChaos$' ./internal/cluster
 
+echo "== SLO chaos gate (post-kill p99 objective on the survivors, -race) =="
+go test -race -count=1 -run='^TestClusterChaosSLO$' ./internal/cluster
+
+echo "== obs-race gate (cluster scrapes + stitched trace under traced load, -race) =="
+go test -race -count=1 -run='^(TestClusterScrapeUnderLoad|TestClusterStitchedForwardTrace)$' \
+    ./internal/cluster
+
 echo "== pipeline race stress (64 pipelined clients x 4 shards x k=8) =="
 go test -race -count=1 -run='^(TestPipelineRaceStress|TestServerPipelineStress)$' \
     ./internal/oram ./internal/server
@@ -70,7 +77,7 @@ go test -run='^TestAllocFree' -count=1 ./internal/oram ./internal/cluster
 
 echo "== observability gate (alloc guards, Perfetto schema, exposition parse) =="
 go test -count=1 \
-    -run='^(TestAllocFreeInstrumentedAccess|TestInstrumentUpdatesAllocFree|TestRecorderEmitAllocFree|TestWriteTracePerfettoShape|TestWritePrometheusFormatAndDeterminism|TestValidateExpositionRejectsGarbage|TestMetricsScrapeAllocBound)$' \
+    -run='^(TestAllocFreeInstrumentedAccess|TestInstrumentUpdatesAllocFree|TestRecorderEmitAllocFree|TestWriteTracePerfettoShape|TestWritePrometheusFormatAndDeterminism|TestValidateExpositionRejectsGarbage|TestMetricsScrapeAllocBound|TestAllocFreeTracedUnsampled)$' \
     ./internal/obs ./internal/oram ./internal/server
 
 echo "== examples/server smoke =="
